@@ -1,0 +1,42 @@
+//! Table I compilation-time columns, genuinely measured: wall-clock of
+//! each scheduling/optimization pass (compare the paper's minfuse /
+//! smartfuse / maxfuse / ours columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilefuse_scheduler::{schedule, FusionHeuristic};
+use tilefuse_workloads::polymage;
+
+fn bench(c: &mut Criterion) {
+    let workloads = vec![
+        polymage::unsharp_mask(128, 128).unwrap(),
+        polymage::harris(128, 128).unwrap(),
+        polymage::bilateral_grid(128, 128).unwrap(),
+    ];
+    let mut g = c.benchmark_group("compile_time");
+    g.sample_size(10);
+    for w in &workloads {
+        for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{h:?}"), w.name),
+                &w.program,
+                |b, p| b.iter(|| black_box(schedule(black_box(p), h).unwrap())),
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("Ours", w.name), w, |b, w| {
+            b.iter(|| {
+                let opts = tilefuse_core::Options {
+                    tile_sizes: w.tile_sizes.clone(),
+                    parallel_cap: Some(1),
+                    startup: FusionHeuristic::MinFuse,
+                ..Default::default()
+            };
+                black_box(tilefuse_core::optimize(black_box(&w.program), &opts).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

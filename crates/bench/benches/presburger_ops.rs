@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the polyhedral substrate: the elementary set/map
+//! operations Algorithms 1-3 are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tilefuse_presburger::{Map, Set};
+
+fn bench(c: &mut Criterion) {
+    let dom: Set = "[H, W] -> { S2[h,w,kh,kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 \
+                    and 0 <= kh <= 2 and 0 <= kw <= 2 }"
+        .parse()
+        .unwrap();
+    let read: Map = "[H, W] -> { S2[h,w,kh,kw] -> A[h+kh, w+kw] }".parse().unwrap();
+    let tile: Map = "[H, W] -> { S2[h,w,kh,kw] -> [o0, o1] : 32o0 <= h <= 32o0 + 31 \
+                     and 32o1 <= w <= 32o1 + 31 }"
+        .parse()
+        .unwrap();
+    let write: Map = "[H, W] -> { S0[h, w] -> A[h, w] : 0 <= h < H and 0 <= w < W }"
+        .parse()
+        .unwrap();
+
+    c.bench_function("parse_set", |b| {
+        b.iter(|| {
+            let s: Set = black_box("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
+                .parse()
+                .unwrap();
+            black_box(s)
+        })
+    });
+    c.bench_function("intersect_domain", |b| {
+        b.iter(|| black_box(read.intersect_domain(black_box(&dom)).unwrap()))
+    });
+    c.bench_function("footprint_relation4", |b| {
+        b.iter(|| {
+            // reverse(tile) ∘ read — the paper's relation (4).
+            black_box(tile.reverse().compose(black_box(&read)).unwrap())
+        })
+    });
+    c.bench_function("extension_relation6", |b| {
+        let fp = tile.reverse().compose(&read).unwrap();
+        b.iter(|| black_box(fp.compose(&write.reverse()).unwrap()))
+    });
+    c.bench_function("emptiness_omega", |b| {
+        let s: Set = "{ S[x, y] : 11x + 13y >= 27 and 11x + 13y <= 45 \
+                        and 7x - 9y >= -10 and 7x - 9y <= 4 }"
+            .parse()
+            .unwrap();
+        b.iter(|| black_box(s.is_empty().unwrap()))
+    });
+    c.bench_function("subtract_and_subset", |b| {
+        let a: Set = "{ S[i] : 0 <= i <= 100 }".parse().unwrap();
+        let c2: Set = "{ S[i] : 40 <= i <= 60 }".parse().unwrap();
+        b.iter(|| black_box(a.subtract(black_box(&c2)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

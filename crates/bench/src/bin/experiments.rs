@@ -1,0 +1,57 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p tilefuse-bench --bin experiments            # print all
+//! cargo run --release -p tilefuse-bench --bin experiments table1    # one artifact
+//! ```
+//! Artifacts: table1, table1-compile, fig8, fig9, table2, fig10,
+//! table3, table3-compile, all.
+
+use tilefuse_bench::tables;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| which == "all" || which == name;
+    let mut failures = 0;
+    macro_rules! emit {
+        ($name:expr, $gen:expr) => {
+            if run($name) {
+                match $gen {
+                    Ok(t) => println!("{}", t.to_markdown()),
+                    Err(e) => {
+                        eprintln!("{} failed: {e}", $name);
+                        failures += 1;
+                    }
+                }
+            }
+        };
+    }
+    macro_rules! emit_many {
+        ($name:expr, $gen:expr) => {
+            if run($name) {
+                match $gen {
+                    Ok(ts) => {
+                        for t in ts {
+                            println!("{}", t.to_markdown());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{} failed: {e}", $name);
+                        failures += 1;
+                    }
+                }
+            }
+        };
+    }
+    emit!("table1", tables::table1_exec());
+    emit!("table1-compile", tables::table1_compile(2000));
+    emit_many!("fig8", tables::fig8());
+    emit!("fig9", tables::fig9());
+    emit_many!("table2", tables::table2());
+    emit!("fig10", tables::fig10());
+    emit!("table3", tables::table3());
+    emit!("table3-compile", tables::table3_compile());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

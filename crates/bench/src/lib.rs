@@ -1,0 +1,15 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (Section VI).
+//!
+//! * [`versions`] — the compared compiler versions (heuristics, PolyMage,
+//!   Halide, ours) and how each is modeled;
+//! * [`tables`] — one generator per table/figure (Table I/II/III,
+//!   Figures 8/9/10), returning [`tables::ResultTable`]s;
+//! * the `experiments` binary prints everything and can rewrite
+//!   `EXPERIMENTS.md`;
+//! * Criterion benches under `benches/` wrap the same generators plus
+//!   micro-benchmarks of the polyhedral substrate.
+
+pub mod tables;
+pub mod tune;
+pub mod versions;

@@ -1,0 +1,433 @@
+//! Regeneration of every table and figure of the paper's Section VI.
+
+use crate::versions::{compile_time, summaries, BoxError, TargetKind, Version};
+use tilefuse_memsim::{cpu_time, davinci_time, gpu_time, CpuModel, DavinciModel, GpuModel};
+use tilefuse_workloads::equake::{equake, EquakeSize};
+use tilefuse_workloads::{polybench, polymage, resnet, Workload};
+
+/// A generic results table: row labels × column labels × cells.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// `(row label, cells)`; cells are preformatted strings.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl ResultTable {
+    /// Renders as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| | {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|---|{}\n", "---|".repeat(self.columns.len())));
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {label} | {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+fn ms(t: f64) -> String {
+    let v = t * 1e3;
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn speedup(base: f64, t: f64) -> String {
+    format!("{:.2}x", base / t)
+}
+
+/// The image size used by the simulation: full-HD class, like the paper's
+/// inputs, so the auto-tuned tile sizes of Table I expose the intended
+/// parallelism. The polyhedral analysis cost is size-independent.
+pub const IMG: i64 = 2048;
+
+/// Table I — PolyMage benchmarks: CPU execution time of
+/// naïve(1)/PolyMage(32)/Halide(32)/ours(32), GPU execution time of
+/// PPCG-minfuse/Halide/ours.
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table1_exec() -> Result<ResultTable, BoxError> {
+    table1_exec_at(IMG)
+}
+
+/// [`table1_exec`] at an explicit image size (for the benches).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table1_exec_at(img: i64) -> Result<ResultTable, BoxError> {
+    let cpu32 = CpuModel::xeon_e5_2683_v4();
+    let cpu1 = CpuModel::xeon_e5_2683_v4().with_threads(1);
+    let gpu = GpuModel::quadro_p6000();
+    let mut table = ResultTable {
+        title: "Table I — PolyMage benchmarks (execution time, ms)".into(),
+        columns: [
+            "stages",
+            "CPU naive (1)",
+            "CPU PolyMage (32)",
+            "CPU Halide (32)",
+            "CPU Ours (32)",
+            "GPU minfuse",
+            "GPU Halide",
+            "GPU Ours",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+        rows: Vec::new(),
+    };
+    for w in polymage::all(img, img)? {
+        let naive = cpu_time(&cpu1, &summaries(&w, Version::Naive, TargetKind::Cpu)?)?.total;
+        let pm = cpu_time(&cpu32, &summaries(&w, Version::PolyMage, TargetKind::Cpu)?)?.total;
+        let ha = cpu_time(&cpu32, &summaries(&w, Version::Halide, TargetKind::Cpu)?)?.total;
+        let ours = cpu_time(&cpu32, &summaries(&w, Version::Ours, TargetKind::Cpu)?)?.total;
+        let g_min = gpu_time(&gpu, &summaries(&w, Version::MinFuse, TargetKind::Gpu)?)?.total;
+        let g_ha = gpu_time(&gpu, &summaries(&w, Version::Halide, TargetKind::Gpu)?)?.total;
+        let g_ours = gpu_time(&gpu, &summaries(&w, Version::Ours, TargetKind::Gpu)?)?.total;
+        table.rows.push((
+            w.name.to_string(),
+            vec![
+                w.stages.to_string(),
+                ms(naive),
+                ms(pm),
+                ms(ha),
+                ms(ours),
+                ms(g_min),
+                ms(g_ha),
+                ms(g_ours),
+            ],
+        ));
+    }
+    Ok(table)
+}
+
+/// Table I — compilation-time columns (measured wall-clock; maxfuse runs
+/// under a partition budget and reports `>budget` like the paper's
+/// `>24h`).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table1_compile(maxfuse_budget: u64) -> Result<ResultTable, BoxError> {
+    let mut table = ResultTable {
+        title: "Table I — compilation time (s)".into(),
+        columns: ["minfuse", "smartfuse", "maxfuse", "Ours"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    for w in polymage::all(128, 128)? {
+        let mut cells = Vec::new();
+        for v in [Version::MinFuse, Version::SmartFuse, Version::MaxFuse, Version::Ours] {
+            let cell = match compile_time(&w, v, maxfuse_budget) {
+                Ok(Some(t)) => format!("{t:.3}"),
+                Ok(None) => ">budget".to_string(),
+                Err(e) => format!("✗ ({e})"),
+            };
+            cells.push(cell);
+        }
+        table.rows.push((w.name.to_string(), cells));
+    }
+    Ok(table)
+}
+
+/// Fig. 8 — CPU scaling: speedup over sequential naïve at 1/4/16/32
+/// threads for PolyMage-naive/PolyMage/Halide/ours.
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn fig8() -> Result<Vec<ResultTable>, BoxError> {
+    fig8_at(IMG)
+}
+
+/// [`fig8`] at an explicit image size (for the benches).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn fig8_at(img: i64) -> Result<Vec<ResultTable>, BoxError> {
+    let threads = [1usize, 4, 16, 32];
+    let mut out = Vec::new();
+    for w in polymage::all(img, img)? {
+        let base = cpu_time(
+            &CpuModel::xeon_e5_2683_v4().with_threads(1),
+            &summaries(&w, Version::Naive, TargetKind::Cpu)?,
+        )?
+        .total;
+        let mut table = ResultTable {
+            title: format!("Fig. 8 — {} (speedup over sequential naive)", w.name),
+            columns: threads.iter().map(|t| format!("{t} threads")).collect(),
+            rows: Vec::new(),
+        };
+        for v in [Version::Naive, Version::PolyMage, Version::Halide, Version::Ours] {
+            let s = summaries(&w, v, TargetKind::Cpu)?;
+            let mut cells = Vec::new();
+            for &t in &threads {
+                let time =
+                    cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(t), &s)?.total;
+                cells.push(speedup(base, time));
+            }
+            table.rows.push((v.label().to_string(), cells));
+        }
+        out.push(table);
+    }
+    Ok(out)
+}
+
+/// Fig. 9 — equake: speedup over the baseline for
+/// minfuse/smartfuse/maxfuse/ours at test/train/ref sizes.
+///
+/// The PPCG heuristics require the manually-permuted program (the
+/// preprocessing the paper describes, which costs locality) and produce
+/// the groupings the paper reports: smartfuse fuses the three SpMV
+/// components; maxfuse additionally fuses the gather with the follow-up
+/// affine loop nests. Ours runs on the original program and finds the
+/// maxfuse-like fusion automatically, without tiling (extension schedules
+/// over zero tile dimensions).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn fig9() -> Result<ResultTable, BoxError> {
+    use tilefuse_memsim::summarize_groups;
+    use tilefuse_pir::{compute_dependences, StmtId};
+    use tilefuse_scheduler::analyze_group;
+    let cpu = CpuModel::xeon_e5_2683_v4();
+    let mut table = ResultTable {
+        title: "Fig. 9 — equake (speedup over baseline, 32 cores)".into(),
+        columns: EquakeSize::all().iter().map(|(_, n)| (*n).to_string()).collect(),
+        rows: Vec::new(),
+    };
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("minfuse".into(), vec![]),
+        ("smartfuse".into(), vec![]),
+        ("maxfuse".into(), vec![]),
+        ("Our work".into(), vec![]),
+    ];
+    // The paper-documented fusion results of the heuristics (Section VI-A).
+    let partitions: [&[&[usize]]; 3] = [
+        &[&[0], &[1], &[2], &[3], &[4]],       // minfuse
+        &[&[0, 1, 2], &[3], &[4]],             // smartfuse: SpMV fused
+        &[&[0, 1], &[2, 3, 4]],                // maxfuse: gather + affine nests
+    ];
+    for (size, _) in EquakeSize::all() {
+        let permuted = equake(size, true)?;
+        let deps = compute_dependences(&permuted.program)?;
+        let params = permuted.program.param_values(&[]);
+        let mut times = Vec::new();
+        for part in partitions {
+            let mut groups = Vec::new();
+            for stmts in part.iter() {
+                let ids: Vec<StmtId> = stmts.iter().map(|&s| StmtId(s)).collect();
+                let g = analyze_group(&permuted.program, &deps, &ids, false)?
+                    .ok_or("equake group has no band")?;
+                groups.push(g);
+            }
+            let sums = summarize_groups(&permuted.program, &groups, &[], &params)?;
+            times.push(cpu_time(&cpu, &sums)?.total);
+        }
+        let base = times[0];
+        for (i, t) in times.iter().enumerate() {
+            rows[i].1.push(speedup(base, *t));
+        }
+        let original = equake(size, false)?;
+        let t = cpu_time(&cpu, &summaries(&original, Version::Ours, TargetKind::Cpu)?)?.total;
+        rows[3].1.push(speedup(base, t));
+    }
+    table.rows = rows;
+    Ok(table)
+}
+
+/// Table II — PolyBench CPU execution times (ms) at 1/8/32 threads for
+/// sequential/minfuse/smartfuse/maxfuse/hybridfuse/ours.
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table2() -> Result<Vec<ResultTable>, BoxError> {
+    let mut out = Vec::new();
+    let workloads: Vec<Workload> = vec![
+        polybench::two_mm(1024)?,
+        polybench::gemver(4096)?,
+        polybench::covariance(1024, 1024)?,
+    ];
+    for w in workloads {
+        let mut table = ResultTable {
+            title: format!("Table II — {} (execution time, ms)", w.name),
+            columns: ["1 thread", "8 threads", "32 threads"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            rows: Vec::new(),
+        };
+        for v in [
+            Version::Naive,
+            Version::MinFuse,
+            Version::SmartFuse,
+            Version::MaxFuse,
+            Version::HybridFuse,
+            Version::Ours,
+        ] {
+            let label = if v == Version::Naive { "sequential" } else { v.label() };
+            match summaries(&w, v, TargetKind::Cpu) {
+                Ok(s) => {
+                    let mut cells = Vec::new();
+                    for t in [1usize, 8, 32] {
+                        let time =
+                            cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(t), &s)?.total;
+                        cells.push(ms(time));
+                    }
+                    table.rows.push((label.to_string(), cells));
+                }
+                Err(_) => {
+                    table
+                        .rows
+                        .push((label.to_string(), vec!["✗".into(), "✗".into(), "✗".into()]));
+                }
+            }
+        }
+        out.push(table);
+    }
+    Ok(out)
+}
+
+/// Fig. 10 — GPU speedups over PPCG-minfuse for
+/// smartfuse/maxfuse/Halide/ours on the PolyMage pipelines.
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn fig10() -> Result<ResultTable, BoxError> {
+    fig10_at(IMG)
+}
+
+/// [`fig10`] at an explicit image size (for the benches).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn fig10_at(img: i64) -> Result<ResultTable, BoxError> {
+    let gpu = GpuModel::quadro_p6000();
+    let mut table = ResultTable {
+        title: "Fig. 10 — PolyMage benchmarks on GPU (speedup over minfuse)".into(),
+        columns: ["smartfuse", "maxfuse", "Halide manual", "Our work"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    for w in polymage::all(img, img)? {
+        let base = gpu_time(&gpu, &summaries(&w, Version::MinFuse, TargetKind::Gpu)?)?.total;
+        let mut cells = Vec::new();
+        for v in [Version::SmartFuse, Version::MaxFuse, Version::Halide, Version::Ours] {
+            match summaries(&w, v, TargetKind::Gpu) {
+                Ok(s) => cells.push(speedup(base, gpu_time(&gpu, &s)?.total)),
+                Err(_) => cells.push("—".into()),
+            }
+        }
+        table.rows.push((w.name.to_string(), cells));
+    }
+    Ok(table)
+}
+
+/// Table III — ResNet-50 on the DaVinci accelerator: forward
+/// conv+batchnorm time and the entire workload, smartfuse vs ours.
+///
+/// The "entire workload" adds the fixed remainder of a training step
+/// (backward passes and optimizer ops — untouched by this optimization),
+/// calibrated so smartfuse's split matches the paper's 11.50 / 35.03 ms.
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table3() -> Result<ResultTable, BoxError> {
+    let npu = DavinciModel::ascend_910();
+    let mut fwd_smart = 0.0;
+    let mut fwd_ours = 0.0;
+    for b in resnet::blocks() {
+        let w = resnet::conv_bn_program(&b)?;
+        let smart = davinci_time(&npu, &summaries(&w, Version::SmartFuse, TargetKind::Davinci)?)?
+            .total;
+        let ours =
+            davinci_time(&npu, &summaries(&w, Version::Ours, TargetKind::Davinci)?)?.total;
+        fwd_smart += smart * b.repeat as f64;
+        fwd_ours += ours * b.repeat as f64;
+    }
+    // Remainder of the training step (constant across versions),
+    // calibrated from the paper's smartfuse row: 35.03 − 11.50.
+    let rest = fwd_smart * (35.03 - 11.50) / 11.50;
+    let mut table = ResultTable {
+        title: "Table III — ResNet-50 on the DaVinci accelerator (ms)".into(),
+        columns: ["smartfuse", "Our work", "Speedup"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    table.rows.push((
+        "fwd conv+batchnorm".into(),
+        vec![ms(fwd_smart), ms(fwd_ours), speedup(fwd_smart, fwd_ours)],
+    ));
+    table.rows.push((
+        "entire workload".into(),
+        vec![
+            ms(fwd_smart + rest),
+            ms(fwd_ours + rest),
+            speedup(fwd_smart + rest, fwd_ours + rest),
+        ],
+    ));
+    Ok(table)
+}
+
+/// Table III — compilation time columns (measured).
+///
+/// # Errors
+/// Returns an error if an experiment fails.
+pub fn table3_compile() -> Result<ResultTable, BoxError> {
+    let mut smart = 0.0;
+    let mut ours = 0.0;
+    for b in resnet::blocks() {
+        let w = resnet::conv_bn_program(&b)?;
+        smart += compile_time(&w, Version::SmartFuse, 0)?.unwrap_or(0.0) * b.repeat as f64;
+        ours += compile_time(&w, Version::Ours, 0)?.unwrap_or(0.0) * b.repeat as f64;
+    }
+    Ok(ResultTable {
+        title: "Table III — ResNet-50 compilation time (s)".into(),
+        columns: ["smartfuse", "Our work"].iter().map(|s| (*s).to_string()).collect(),
+        rows: vec![("entire workload".into(), vec![format!("{smart:.2}"), format!("{ours:.2}")])],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let t = ResultTable {
+            title: "T".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![("r".into(), vec!["1".into(), "2".into()])],
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("| r | 1 | 2 |"));
+    }
+
+    #[test]
+    fn fig9_has_expected_shape() {
+        let t = fig9().unwrap();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.rows.len(), 4);
+        // ours >= maxfuse >= smartfuse (all speedup strings "X.XXx").
+        let val = |r: usize, c: usize| -> f64 {
+            t.rows[r].1[c].trim_end_matches('x').parse().unwrap()
+        };
+        for c in 0..3 {
+            assert!(val(3, c) >= val(1, c), "ours >= smartfuse: {t:?}");
+            assert!(val(1, c) >= val(0, c), "smartfuse >= minfuse: {t:?}");
+        }
+    }
+}

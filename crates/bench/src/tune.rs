@@ -1,0 +1,117 @@
+//! Tile-size auto-tuning.
+//!
+//! The paper uses auto-tuned tile sizes (Table I lists them) and notes that
+//! auto-tuning tools "can be used as a complementary optimization for our
+//! approach" (Section VII). This module implements that complement: it
+//! sweeps the same candidate set the PolyMage auto-tuner used (7 sizes per
+//! dimension — 8, 16, 32, 64, 128, 256, 512) and picks the configuration
+//! the analytic cost model prices cheapest.
+
+use crate::versions::BoxError;
+use tilefuse_core::{optimize, Options};
+use tilefuse_memsim::{cpu_time, gpu_time, summarize_optimized, CpuModel, GpuModel};
+use tilefuse_scheduler::FusionHeuristic;
+use tilefuse_workloads::Workload;
+
+/// The candidate tile sizes of the PolyMage auto-tuner (Section VI).
+pub const CANDIDATES: [i64; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+/// The tuning objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize modeled CPU time on the Xeon model.
+    Cpu,
+    /// Minimize modeled GPU time on the Quadro model.
+    Gpu,
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct TunePoint {
+    /// The tile sizes tried.
+    pub tile_sizes: Vec<i64>,
+    /// Modeled execution time in seconds.
+    pub time: f64,
+}
+
+/// The result of a sweep: every evaluated point, best first.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Evaluated points, sorted by ascending time.
+    pub points: Vec<TunePoint>,
+}
+
+impl TuneResult {
+    /// The winning tile sizes.
+    ///
+    /// # Panics
+    /// Panics if the sweep evaluated nothing.
+    pub fn best(&self) -> &TunePoint {
+        self.points.first().expect("sweep evaluated at least one point")
+    }
+}
+
+/// Sweeps 2-D tile sizes for `workload` under `objective`, optimizing with
+/// post-tiling fusion at every point. `limit` caps the candidate set per
+/// dimension (use a small limit for the deep pipelines — the sweep runs
+/// the full optimizer per point).
+///
+/// # Errors
+/// Returns an error if the optimizer fails at some configuration.
+pub fn sweep_2d(
+    workload: &Workload,
+    objective: Objective,
+    limit: usize,
+) -> Result<TuneResult, BoxError> {
+    let program = &workload.program;
+    let params = program.param_values(&[]);
+    let candidates = &CANDIDATES[..limit.min(CANDIDATES.len())];
+    let mut points = Vec::new();
+    for &t0 in candidates {
+        for &t1 in candidates {
+            let tiles = vec![t0, t1];
+            let opts = Options {
+                tile_sizes: tiles.clone(),
+                parallel_cap: Some(match objective {
+                    Objective::Cpu => 1,
+                    Objective::Gpu => 2,
+                }),
+                startup: FusionHeuristic::MinFuse,
+            ..Default::default()
+        };
+            let o = optimize(program, &opts)?;
+            let sums = summarize_optimized(program, &o, &tiles, &params)?;
+            let time = match objective {
+                Objective::Cpu => cpu_time(&CpuModel::xeon_e5_2683_v4(), &sums)?.total,
+                Objective::Gpu => gpu_time(&GpuModel::quadro_p6000(), &sums)?.total,
+            };
+            points.push(TunePoint { tile_sizes: tiles, time });
+        }
+    }
+    points.sort_by(|a, b| a.time.total_cmp(&b.time));
+    Ok(TuneResult { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_workloads::polymage::unsharp_mask;
+
+    #[test]
+    fn sweep_orders_points_and_finds_a_best() {
+        let w = unsharp_mask(512, 512).unwrap();
+        let r = sweep_2d(&w, Objective::Cpu, 3).unwrap();
+        assert_eq!(r.points.len(), 9);
+        assert!(r.points.windows(2).all(|p| p[0].time <= p[1].time));
+        let best = r.best();
+        assert!(CANDIDATES.contains(&best.tile_sizes[0]));
+        assert!(best.time > 0.0);
+    }
+
+    #[test]
+    fn gpu_objective_also_works() {
+        let w = unsharp_mask(512, 512).unwrap();
+        let r = sweep_2d(&w, Objective::Gpu, 2).unwrap();
+        assert_eq!(r.points.len(), 4);
+    }
+}

@@ -1,0 +1,525 @@
+//! Imperative AST generation from schedule trees.
+//!
+//! This is a pragmatic polyhedral code generator: it walks the tree,
+//! deriving loop bounds for each band dimension from the symbolic
+//! per-level bounds of the active statements' composite schedule
+//! relations, and emits an [`AstNode`] tree that the printers render as
+//! OpenMP C or CUDA-style code (compare the paper's Fig. 1(b) and Fig. 5).
+
+use crate::error::{Error, Result};
+use tilefuse_presburger::{Map, Scanner, Set, UnionSet};
+use tilefuse_schedtree::{Band, Node, ScheduleTree, MARK_SKIPPED};
+use std::fmt::Write as _;
+
+/// A node of the generated imperative AST.
+#[derive(Debug, Clone)]
+pub enum AstNode {
+    /// A `for` loop over `var`.
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Lower bound (rendered expression).
+        lb: String,
+        /// Upper bound (inclusive, rendered expression).
+        ub: String,
+        /// Whether the loop is parallel (coincident band member).
+        parallel: bool,
+        /// Band role marker: `"tile"`, `"point"` or `""`.
+        role: &'static str,
+        /// Loop body.
+        body: Vec<AstNode>,
+    },
+    /// A statement instance `S(args...)`.
+    Stmt {
+        /// Statement name.
+        name: String,
+        /// Instance coordinates as rendered expressions.
+        args: Vec<String>,
+    },
+    /// A comment line.
+    Comment(String),
+}
+
+/// One active statement during AST generation.
+#[derive(Debug, Clone)]
+struct Active {
+    name: String,
+    domain: Set,
+    /// `{ S[i] -> [outer loop dims] }` accumulated so far.
+    prefix: Map,
+    /// For each statement dim: the rendered expression in terms of loop
+    /// variables, once bound by an identity-like band member.
+    dim_exprs: Vec<Option<String>>,
+}
+
+/// Generates the AST of a schedule tree.
+///
+/// # Errors
+/// Returns an error on set-operation failure or malformed trees.
+pub fn generate(tree: &ScheduleTree) -> Result<Vec<AstNode>> {
+    let Node::Domain { domain, child } = tree.root() else {
+        return Err(Error::Exec("root must be a domain node".into()));
+    };
+    let mut actives = Vec::new();
+    for part in domain.parts() {
+        let name = part
+            .space()
+            .tuple()
+            .name()
+            .ok_or_else(|| Error::Exec("domain tuples must be named".into()))?
+            .to_owned();
+        let n = part.space().n_dim();
+        actives.push(Active {
+            name,
+            domain: part.clone(),
+            prefix: const_out_map(part, 0)?,
+            dim_exprs: vec![None; n],
+        });
+    }
+    let mut names: Vec<String> = Vec::new();
+    walk(child, &actives, &mut names)
+}
+
+fn const_out_map(part: &Set, n_out: usize) -> Result<Map> {
+    let params: Vec<&str> = part.space().params().iter().map(String::as_str).collect();
+    let space = part
+        .space()
+        .join_map(&tilefuse_presburger::Space::set(&params, tilefuse_presburger::Tuple::anonymous(n_out)))?;
+    let exprs: Vec<tilefuse_presburger::AffExpr> =
+        (0..n_out).map(|_| tilefuse_presburger::AffExpr::constant(&space, 0)).collect();
+    Ok(Map::from_affine(space, &exprs)?)
+}
+
+fn walk(node: &Node, actives: &[Active], names: &mut Vec<String>) -> Result<Vec<AstNode>> {
+    match node {
+        Node::Leaf => {
+            let mut out = Vec::new();
+            for a in actives {
+                let args: Vec<String> = a
+                    .dim_exprs
+                    .iter()
+                    .map(|e| e.clone().unwrap_or_else(|| "?".to_owned()))
+                    .collect();
+                out.push(AstNode::Stmt { name: a.name.clone(), args });
+            }
+            Ok(out)
+        }
+        Node::Domain { .. } => Err(Error::Exec("nested domain".into())),
+        Node::Mark { mark, child } => {
+            if mark == MARK_SKIPPED {
+                return Ok(vec![AstNode::Comment(
+                    "subtree skipped (fused via extension)".to_owned(),
+                )]);
+            }
+            let mut out = vec![AstNode::Comment(format!("mark: {mark}"))];
+            out.extend(walk(child, actives, names)?);
+            Ok(out)
+        }
+        Node::Filter { filter, child } => {
+            let kept = filter_actives(actives, filter)?;
+            if kept.is_empty() {
+                return Ok(Vec::new());
+            }
+            walk(child, &kept, names)
+        }
+        Node::Sequence { children } => {
+            let mut out = Vec::new();
+            for c in children {
+                out.extend(walk(c, actives, names)?);
+            }
+            Ok(out)
+        }
+        Node::Extension { extension, child } => {
+            let mut extended = actives.to_vec();
+            for part in extension.parts() {
+                let name = part
+                    .space()
+                    .out_tuple()
+                    .name()
+                    .ok_or_else(|| Error::Exec("unnamed extension target".into()))?
+                    .to_owned();
+                let n = part.space().n_out();
+                // The extension's leading input dims may include pinned
+                // outer sequence positions that do not correspond to loop
+                // levels; drop them so levels align with the name stack.
+                let n_in = part.space().n_in();
+                let part = if n_in > names.len() {
+                    part.remove_in_dims(0, n_in - names.len())?
+                } else {
+                    part.clone()
+                };
+                extended.push(Active {
+                    name,
+                    domain: part.range()?,
+                    prefix: part.reverse(),
+                    dim_exprs: vec![None; n],
+                });
+            }
+            walk(child, &extended, names)
+        }
+        Node::Band { band: b, child } => walk_band(b, child, actives, names),
+    }
+}
+
+fn filter_actives(actives: &[Active], filter: &UnionSet) -> Result<Vec<Active>> {
+    let mut kept = Vec::new();
+    for a in actives {
+        if let Some(part) = filter.part_named(&a.name) {
+            let domain = a.domain.intersect(part)?;
+            if !domain.is_empty()? {
+                let mut a2 = a.clone();
+                a2.domain = domain;
+                kept.push(a2);
+            }
+        }
+    }
+    Ok(kept)
+}
+
+fn walk_band(
+    b: &Band,
+    child: &Node,
+    actives: &[Active],
+    names: &mut Vec<String>,
+) -> Result<Vec<AstNode>> {
+    let n = b.n_member();
+    // Extend each active with this band's members; remember identity-like
+    // bindings for statement argument rendering.
+    let mut extended = Vec::with_capacity(actives.len());
+    let role = band_role(b);
+    let base_depth = names.len();
+    for j in 0..n {
+        names.push(loop_var_name(role, base_depth + j));
+    }
+    for a in actives {
+        let part = b
+            .sched()
+            .parts()
+            .iter()
+            .find(|m| m.space().in_tuple().name() == Some(a.name.as_str()))
+            .cloned();
+        let part = match part {
+            Some(m) => m.intersect_domain(&a.domain)?,
+            None => const_out_map(&a.domain, n)?,
+        };
+        let mut a2 = a.clone();
+        // Identity binding detection: out_j = dim_d + c.
+        for j in 0..n {
+            if let Some((d, c)) = identity_binding(&part, j) {
+                let var = loop_var_name(role, base_depth + j);
+                a2.dim_exprs[d] = Some(if c == 0 {
+                    var
+                } else if c > 0 {
+                    format!("{var} - {c}")
+                } else {
+                    format!("{var} + {}", -c)
+                });
+            }
+        }
+        a2.prefix = a2.prefix.flat_range_product(&part)?;
+        extended.push(a2);
+    }
+    let body = walk(child, &extended, names)?;
+    // Bounds: per member, from the symbolic scan levels of the union of
+    // the actives' prefix ranges.
+    let mut node = body;
+    for j in (0..n).rev() {
+        let var = names[base_depth + j].clone();
+        let (lb, ub) = bounds_text(&extended, base_depth + j, names)?;
+        node = vec![AstNode::For {
+            var,
+            lb,
+            ub,
+            parallel: b.coincident().get(j).copied().unwrap_or(false),
+            role,
+            body: node,
+        }];
+    }
+    names.truncate(base_depth);
+    Ok(node)
+}
+
+/// A band is a "tile" band when its parts are non-functional relations
+/// (tile coordinates), otherwise "point".
+fn band_role(b: &Band) -> &'static str {
+    for part in b.sched().parts() {
+        for j in 0..b.n_member() {
+            if identity_binding(part, j).is_none() {
+                return "tile";
+            }
+        }
+    }
+    "point"
+}
+
+/// If band member `j` of `part` is `dim_d + c`, returns `(d, c)`.
+fn identity_binding(part: &Map, j: usize) -> Option<(usize, i64)> {
+    let space = part.space();
+    let np = space.n_param();
+    let n_in = space.n_in();
+    let basics = part.basics();
+    let b = basics.first()?;
+    let out_col = np + n_in + j;
+    for r in b.eq_rows() {
+        let c_out = r[out_col];
+        if c_out.abs() != 1 {
+            continue;
+        }
+        // row: ±(out_j) ∓ dim_d ∓ c = 0 with no other dims/params/divs.
+        let mut dim = None;
+        let mut ok = true;
+        for (col, &v) in r.iter().enumerate().take(r.len() - 1) {
+            if col == out_col || v == 0 {
+                continue;
+            }
+            if col >= np && col < np + n_in && v == -c_out && dim.is_none() {
+                dim = Some(col - np);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            if let Some(d) = dim {
+                // c_out·out − c_out·dim + const = 0  =>  out = dim − const·c_out.
+                return Some((d, -r[r.len() - 1] * c_out));
+            }
+        }
+    }
+    None
+}
+
+fn loop_var_name(role: &str, level: usize) -> String {
+    match role {
+        "tile" => format!("t{level}"),
+        _ => format!("c{level}"),
+    }
+}
+
+/// Renders the `[lb, ub]` bounds of loop level `level` as expressions over
+/// parameters and outer loop variables.
+fn bounds_text(
+    actives: &[Active],
+    level: usize,
+    names: &[String],
+) -> Result<(String, String)> {
+    // Per disjunct (and per active statement): the branch's bounds combine
+    // with max/min; across disjuncts the *union* semantics require the
+    // loosest bound (min of lower bounds, max of upper bounds).
+    let mut branch_lbs: Vec<Vec<String>> = Vec::new();
+    let mut branch_ubs: Vec<Vec<String>> = Vec::new();
+    for a in actives {
+        let rng = a.prefix.intersect_domain(&a.domain)?.range()?;
+        let scanner = Scanner::symbolic(&rng)?;
+        for br in 0..scanner.n_branch() {
+            let levels = scanner.branch_bounds(br);
+            if level >= levels.len() {
+                continue;
+            }
+            let space = rng.space();
+            let np = space.n_param();
+            let name_of = |col: usize| -> String {
+                if col < np {
+                    space.params()[col].clone()
+                } else {
+                    names
+                        .get(col - np)
+                        .cloned()
+                        .unwrap_or_else(|| format!("c{}", col - np))
+                }
+            };
+            let mut lbs: Vec<String> = levels[level]
+                .lowers
+                .iter()
+                .map(|(a_coef, row)| render_div(row, *a_coef, &name_of, true))
+                .collect();
+            let mut ubs: Vec<String> = levels[level]
+                .uppers
+                .iter()
+                .map(|(b_coef, row)| render_div(row, *b_coef, &name_of, false))
+                .collect();
+            lbs.sort();
+            lbs.dedup();
+            ubs.sort();
+            ubs.dedup();
+            branch_lbs.push(lbs);
+            branch_ubs.push(ubs);
+        }
+    }
+    // A branch whose bound set is a superset of another's is dominated
+    // (its max lower bound is at least the other's; its min upper bound is
+    // at most the other's) and drops out of the union.
+    let lb = join_bounds(drop_supersets(branch_lbs).into_iter().map(|v| join_bounds(v, "max")).collect(), "min");
+    let ub = join_bounds(drop_supersets(branch_ubs).into_iter().map(|v| join_bounds(v, "min")).collect(), "max");
+    Ok((lb, ub))
+}
+
+/// Removes entries whose string set is a strict superset of (or equal to)
+/// another entry's set, keeping one representative.
+fn drop_supersets(mut sets: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    sets.sort();
+    sets.dedup();
+    let snapshot = sets.clone();
+    sets.retain(|s| {
+        !snapshot.iter().any(|o| {
+            o != s && o.iter().all(|x| s.contains(x))
+        })
+    });
+    if sets.is_empty() {
+        snapshot
+    } else {
+        sets
+    }
+}
+
+fn join_bounds(mut v: Vec<String>, f: &str) -> String {
+    match v.len() {
+        0 => "?".to_owned(),
+        1 => v.pop().unwrap(),
+        _ => format!("{f}({})", v.join(", ")),
+    }
+}
+
+/// Renders `ceil(-row/a)` (lower) or `floor(row/b)` (upper).
+fn render_div(
+    row: &[i64],
+    coef: i64,
+    name_of: &dyn Fn(usize) -> String,
+    lower: bool,
+) -> String {
+    let mut expr = String::new();
+    let n = row.len() - 1;
+    let mut first = true;
+    let sign = if lower { -1 } else { 1 };
+    for (col, &c) in row[..n].iter().enumerate() {
+        let c = c * sign;
+        if c == 0 {
+            continue;
+        }
+        let v = name_of(col);
+        if first {
+            match c {
+                1 => {
+                    let _ = write!(expr, "{v}");
+                }
+                -1 => {
+                    let _ = write!(expr, "-{v}");
+                }
+                _ => {
+                    let _ = write!(expr, "{c}{v}");
+                }
+            }
+            first = false;
+        } else if c > 0 {
+            if c == 1 {
+                let _ = write!(expr, " + {v}");
+            } else {
+                let _ = write!(expr, " + {c}{v}");
+            }
+        } else if c == -1 {
+            let _ = write!(expr, " - {v}");
+        } else {
+            let _ = write!(expr, " - {}{v}", -c);
+        }
+    }
+    let k = row[n] * sign;
+    if first {
+        let _ = write!(expr, "{k}");
+    } else if k > 0 {
+        let _ = write!(expr, " + {k}");
+    } else if k < 0 {
+        let _ = write!(expr, " - {}", -k);
+    }
+    if coef == 1 {
+        expr
+    } else if lower {
+        format!("ceil(({expr}) / {coef})")
+    } else {
+        format!("floor(({expr}) / {coef})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_presburger::UnionMap;
+    use tilefuse_schedtree::{band as band_node, Band, ScheduleTree};
+
+    fn uset(s: &str) -> UnionSet {
+        UnionSet::from_parts([s.parse::<Set>().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn simple_loop_nest() {
+        let dom = uset("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }");
+        let b = Band::new(
+            UnionMap::from_parts(["[N] -> { S[i, j] -> [i, j] }".parse::<Map>().unwrap()])
+                .unwrap(),
+            true,
+            vec![true, false],
+        )
+        .unwrap();
+        let t = ScheduleTree::new(dom, band_node(b, Node::Leaf));
+        let ast = generate(&t).unwrap();
+        assert_eq!(ast.len(), 1);
+        let AstNode::For { var, lb, ub, parallel, body, .. } = &ast[0] else {
+            panic!("expected for");
+        };
+        assert_eq!(var, "c0");
+        assert_eq!(lb, "0");
+        assert_eq!(ub, "N - 1");
+        assert!(*parallel);
+        let AstNode::For { lb: lb2, ub: ub2, parallel: p2, body: inner, .. } = &body[0] else {
+            panic!("expected inner for");
+        };
+        assert_eq!(lb2, "0");
+        assert_eq!(ub2, "c0");
+        assert!(!*p2);
+        let AstNode::Stmt { name, args } = &inner[0] else {
+            panic!("expected stmt");
+        };
+        assert_eq!(name, "S");
+        assert_eq!(args, &["c0".to_owned(), "c1".to_owned()]);
+    }
+
+    #[test]
+    fn tiled_band_gets_tile_vars() {
+        let dom = uset("{ S[i] : 0 <= i <= 7 }");
+        let orig = Band::new(
+            UnionMap::from_parts(["{ S[i] -> [i] }".parse::<Map>().unwrap()]).unwrap(),
+            true,
+            vec![true],
+        )
+        .unwrap();
+        let (tile, point) = orig.tile(&[4]).unwrap();
+        let t = ScheduleTree::new(dom, band_node(tile, band_node(point, Node::Leaf)));
+        let ast = generate(&t).unwrap();
+        let AstNode::For { var, role, body, .. } = &ast[0] else {
+            panic!("expected for");
+        };
+        assert_eq!(*role, "tile");
+        assert_eq!(var, "t0");
+        let AstNode::For { var: v2, role: r2, .. } = &body[0] else {
+            panic!("expected inner for");
+        };
+        assert_eq!(*r2, "point");
+        assert_eq!(v2, "c1");
+    }
+
+    #[test]
+    fn skipped_subtree_renders_comment() {
+        let dom = uset("{ S[i] : 0 <= i <= 3 }");
+        let b = Band::new(
+            UnionMap::from_parts(["{ S[i] -> [i] }".parse::<Map>().unwrap()]).unwrap(),
+            true,
+            vec![true],
+        )
+        .unwrap();
+        let t = ScheduleTree::new(
+            dom,
+            tilefuse_schedtree::mark(MARK_SKIPPED, band_node(b, Node::Leaf)),
+        );
+        let ast = generate(&t).unwrap();
+        assert!(matches!(&ast[0], AstNode::Comment(c) if c.contains("skipped")));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for code generation and interpretation.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from interpretation and AST generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Execution failed (out-of-bounds access, missing buffer, ...).
+    Exec(String),
+    /// Underlying IR error.
+    Pir(tilefuse_pir::Error),
+    /// Underlying schedule-tree error.
+    SchedTree(tilefuse_schedtree::Error),
+    /// Underlying set/map error.
+    Presburger(tilefuse_presburger::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Pir(e) => write!(f, "IR error: {e}"),
+            Error::SchedTree(e) => write!(f, "schedule tree error: {e}"),
+            Error::Presburger(e) => write!(f, "set operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pir(e) => Some(e),
+            Error::SchedTree(e) => Some(e),
+            Error::Presburger(e) => Some(e),
+            Error::Exec(_) => None,
+        }
+    }
+}
+
+impl From<tilefuse_pir::Error> for Error {
+    fn from(e: tilefuse_pir::Error) -> Self {
+        Error::Pir(e)
+    }
+}
+
+impl From<tilefuse_schedtree::Error> for Error {
+    fn from(e: tilefuse_schedtree::Error) -> Self {
+        Error::SchedTree(e)
+    }
+}
+
+impl From<tilefuse_presburger::Error> for Error {
+    fn from(e: tilefuse_presburger::Error) -> Self {
+        Error::Presburger(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::Exec("oob".into()).to_string().contains("oob"));
+        let e = Error::from(tilefuse_presburger::Error::Overflow("mul"));
+        assert!(e.to_string().contains("overflow"));
+    }
+}

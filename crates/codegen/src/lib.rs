@@ -1,0 +1,25 @@
+//! Code generation and executable semantics for schedule trees.
+//!
+//! Two consumers of a transformed schedule tree live here:
+//!
+//! * the **interpreter** ([`execute_tree`], [`reference_execute`]) runs
+//!   statement instances against real buffers in the order the tree
+//!   prescribes — including extension-node recomputation and tile-local
+//!   scratch storage — so every optimization in this repository is
+//!   validated against the original program's output;
+//! * the **AST generator + printers** ([`generate`], [`print()`]) render the
+//!   tree as OpenMP-C or CUDA-flavoured pseudo-code, reproducing the shape
+//!   of the paper's Fig. 1(b) and Fig. 5 listings.
+
+mod ast;
+mod error;
+mod interp;
+mod printer;
+
+pub use ast::{generate, AstNode};
+pub use error::{Error, Result};
+pub use interp::{
+    check_outputs_match, execute_tree, execute_tree_traced, reference_execute, Access, Buffer,
+    ExecContext, ExecStats,
+};
+pub use printer::{print, print_cuda_kernel, Target};

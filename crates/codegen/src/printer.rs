@@ -1,0 +1,204 @@
+//! Pretty-printers: OpenMP C and CUDA-flavoured renderings of the
+//! generated AST (compare the paper's Fig. 1(b) and Fig. 5).
+
+use crate::ast::AstNode;
+use std::fmt::Write;
+
+/// Rendering target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// OpenMP C: `#pragma omp parallel for` on the outermost parallel
+    /// loop, `#pragma ivdep` on the innermost parallel loop.
+    OpenMp,
+    /// CUDA-style: the first (up to) two tile loops map to block indices,
+    /// the first (up to) two point loops to thread indices.
+    Cuda,
+    /// CCE-style (DaVinci): tile loops annotated as DDR→L1 DMA scopes,
+    /// point loops as L1→L0/UB compute scopes (compare Section V-A).
+    Cce,
+}
+
+/// Renders an AST to target-flavoured pseudo-C.
+pub fn print(ast: &[AstNode], target: Target) -> String {
+    let mut out = String::new();
+    let mut state = State { target, used_parallel_pragma: false, block_dims: 0, thread_dims: 0 };
+    for n in ast {
+        render(n, 0, &mut state, &mut out);
+    }
+    out
+}
+
+struct State {
+    target: Target,
+    used_parallel_pragma: bool,
+    block_dims: usize,
+    thread_dims: usize,
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(node: &AstNode, depth: usize, state: &mut State, out: &mut String) {
+    match node {
+        AstNode::Comment(c) => {
+            indent(out, depth);
+            let _ = writeln!(out, "/* {c} */");
+        }
+        AstNode::Stmt { name, args } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{name}({});", args.join(", "));
+        }
+        AstNode::For { var, lb, ub, parallel, role, body } => {
+            let mut mapped = false;
+            match state.target {
+                Target::OpenMp => {
+                    if *parallel && !state.used_parallel_pragma {
+                        state.used_parallel_pragma = true;
+                        indent(out, depth);
+                        let _ = writeln!(out, "#pragma omp parallel for");
+                    } else if *parallel && is_innermost(body) {
+                        indent(out, depth);
+                        let _ = writeln!(out, "#pragma ivdep");
+                    }
+                }
+                Target::Cce => {
+                    if *role == "tile" && state.block_dims == 0 {
+                        state.block_dims += 1;
+                        indent(out, depth);
+                        let _ = writeln!(
+                            out,
+                            "/* DMA scope: DDR -> L1 buffer per {var} tile */"
+                        );
+                    } else if *role != "tile" && state.thread_dims == 0 && state.block_dims > 0 {
+                        state.thread_dims += 1;
+                        indent(out, depth);
+                        let _ = writeln!(
+                            out,
+                            "/* compute scope: L1 -> L0A/L0B (cube) and UB (vector) */"
+                        );
+                    }
+                }
+                Target::Cuda => {
+                    if *parallel && *role == "tile" && state.block_dims < 2 {
+                        let axis = ["x", "y"][state.block_dims];
+                        state.block_dims += 1;
+                        indent(out, depth);
+                        let _ = writeln!(
+                            out,
+                            "/* {var} = blockIdx.{axis} (grid-mapped, {lb} <= {var} <= {ub}) */"
+                        );
+                        mapped = true;
+                    } else if *parallel
+                        && *role != "tile"
+                        && state.block_dims > 0
+                        && state.thread_dims < 2
+                    {
+                        let axis = ["x", "y"][state.thread_dims];
+                        state.thread_dims += 1;
+                        indent(out, depth);
+                        let _ = writeln!(
+                            out,
+                            "/* {var} = threadIdx.{axis} (thread-mapped, {lb} <= {var} <= {ub}) */"
+                        );
+                        mapped = true;
+                    }
+                }
+            }
+            if !mapped {
+                indent(out, depth);
+                let _ = writeln!(out, "for ({var} = {lb}; {var} <= {ub}; {var}++) {{");
+            }
+            for c in body {
+                render(c, depth + 1, state, out);
+            }
+            if !mapped {
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+}
+
+fn is_innermost(body: &[AstNode]) -> bool {
+    !body.iter().any(|n| matches!(n, AstNode::For { .. }))
+}
+
+/// Renders a CUDA-style kernel: `__shared__` declarations for the
+/// tile-local arrays (name, element count) followed by the mapped body —
+/// the form the paper's Section V-B describes for intermediate values on
+/// shared memory.
+pub fn print_cuda_kernel(ast: &[AstNode], shared: &[(String, usize)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "__global__ void kernel0(...) {{");
+    for (name, elems) in shared {
+        let _ = writeln!(out, "  __shared__ float {name}_local[{elems}];");
+    }
+    let body = print(ast, Target::Cuda);
+    for line in body.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ast() -> Vec<AstNode> {
+        vec![AstNode::For {
+            var: "t0".into(),
+            lb: "0".into(),
+            ub: "3".into(),
+            parallel: true,
+            role: "tile",
+            body: vec![AstNode::For {
+                var: "c1".into(),
+                lb: "4t0".into(),
+                ub: "4t0 + 3".into(),
+                parallel: true,
+                role: "point",
+                body: vec![AstNode::Stmt { name: "S".into(), args: vec!["c1".into()] }],
+            }],
+        }]
+    }
+
+    #[test]
+    fn openmp_adds_parallel_pragma_once() {
+        let text = print(&sample_ast(), Target::OpenMp);
+        assert_eq!(text.matches("#pragma omp parallel for").count(), 1, "{text}");
+        assert!(text.contains("#pragma ivdep"), "{text}");
+        assert!(text.contains("for (t0 = 0; t0 <= 3; t0++)"), "{text}");
+        assert!(text.contains("S(c1);"), "{text}");
+    }
+
+    #[test]
+    fn cuda_maps_tile_to_blocks_and_points_to_threads() {
+        let text = print(&sample_ast(), Target::Cuda);
+        assert!(text.contains("blockIdx.x"), "{text}");
+        assert!(text.contains("threadIdx.x"), "{text}");
+        // Mapped loops are not emitted as `for`.
+        assert!(!text.contains("for (t0"), "{text}");
+        assert!(!text.contains("for (c1"), "{text}");
+    }
+
+    #[test]
+    fn cce_annotates_memory_scopes() {
+        let text = print(&sample_ast(), Target::Cce);
+        assert!(text.contains("DDR -> L1"), "{text}");
+        assert!(text.contains("L0A/L0B"), "{text}");
+        // All loops still rendered.
+        assert!(text.contains("for (t0"), "{text}");
+        assert!(text.contains("for (c1"), "{text}");
+    }
+
+    #[test]
+    fn comments_render() {
+        let ast = vec![AstNode::Comment("hello".into())];
+        let text = print(&ast, Target::OpenMp);
+        assert_eq!(text, "/* hello */\n");
+    }
+}

@@ -1,0 +1,521 @@
+//! Algorithm 1: construct arbitrary tile shapes.
+//!
+//! Rectangular tiling is applied *only to the live-out computation space*;
+//! the tile shapes of intermediate spaces are then derived from the memory
+//! footprints each live-out tile requires (upwards exposed data), walking
+//! producer chains transitively (lines 9–16 of the paper's Algorithm 1).
+//! The result is a set of *mixed schedules*: one tiling schedule for the
+//! live-out group plus one extension schedule per fused producer statement.
+
+use crate::error::{Error, Result};
+use crate::footprint::{chained_footprint, exposed_footprint, extension_schedule};
+use tilefuse_pir::{ArrayId, Dependence, Program, StmtId};
+use tilefuse_presburger::Map;
+use tilefuse_scheduler::{band_part, loop_vars, Group};
+use tilefuse_schedtree::Band;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Optimizer options (the paper's target-specific knobs).
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Tile sizes for the live-out bands (a prefix is used when a band is
+    /// shallower). Empty = no tiling (fusion-only, the equake case).
+    pub tile_sizes: Vec<i64>,
+    /// Cap on exploitable outer parallelism: `Some(1)` when targeting
+    /// OpenMP CPUs, `Some(2)` for CUDA GPUs (Section III-C), `None` for
+    /// unlimited.
+    pub parallel_cap: Option<usize>,
+    /// The conservative start-up fusion heuristic.
+    pub startup: tilefuse_scheduler::FusionHeuristic,
+    /// Recomputation budget: a producer whose extension schedule would
+    /// re-execute its instances more than this factor (evaluated at the
+    /// program's default parameters) is not fused. Overlapped stencil
+    /// halos stay well below this; fusing a matrix product into every
+    /// consumer tile (re-running the whole producer per tile) blows past
+    /// it — the storage-vs-recomputation judgement the akg cost model
+    /// makes in the paper's Section V-A.
+    pub max_recompute: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            tile_sizes: vec![32, 32],
+            parallel_cap: None,
+            startup: tilefuse_scheduler::FusionHeuristic::MinFuse,
+            max_recompute: 3.0,
+        }
+    }
+}
+
+impl Options {
+    /// CPU-targeted options (OpenMP: one parallel dimension).
+    pub fn cpu(tile_sizes: &[i64]) -> Self {
+        Options {
+            tile_sizes: tile_sizes.to_vec(),
+            parallel_cap: Some(1),
+            ..Options::default()
+        }
+    }
+
+    /// GPU-targeted options (two-level hardware parallelism).
+    pub fn gpu(tile_sizes: &[i64]) -> Self {
+        Options {
+            tile_sizes: tile_sizes.to_vec(),
+            parallel_cap: Some(2),
+            ..Options::default()
+        }
+    }
+}
+
+/// One extension schedule: the producer instances each live-out tile
+/// (re)computes.
+#[derive(Debug, Clone)]
+pub struct ExtensionPart {
+    /// The producer statement.
+    pub stmt: StmtId,
+    /// The producer's fusion group (index into the start-up groups).
+    pub group: usize,
+    /// Relation (6): `{ [o...] -> Stmt[i] }` over the live-out tile dims.
+    pub ext: Map,
+}
+
+/// The output of Algorithm 1 for one live-out group.
+#[derive(Debug, Clone)]
+pub struct MixedSchedules {
+    /// The live-out group index.
+    pub liveout: usize,
+    /// Number of tiled band dimensions (0 = fusion without tiling).
+    pub k: usize,
+    /// The tile band (present when `k > 0`).
+    pub tile_band: Option<Band>,
+    /// Parallel dimensions of the live-out tile band after the target cap
+    /// — the `m` of the paper.
+    pub m: usize,
+    /// Extension schedules of fused producer statements, in statement
+    /// order.
+    pub extensions: Vec<ExtensionPart>,
+    /// Producer groups fully fused into this live-out's tiles (topological
+    /// order).
+    pub fused_groups: Vec<usize>,
+    /// Producer groups rejected by the `m > n` parallelism guard; they keep
+    /// their own schedules (and are tiled independently — line 17).
+    pub untiled_groups: Vec<usize>,
+}
+
+/// Runs Algorithm 1 for the live-out group `liveout` over its producer
+/// groups.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn algorithm1(
+    program: &Program,
+    deps: &[Dependence],
+    groups: &[Group],
+    liveout: usize,
+    producers: &[usize],
+    opts: &Options,
+) -> Result<MixedSchedules> {
+    let lg = &groups[liveout];
+    let k = lg.depth.min(opts.tile_sizes.len());
+    // Build per-statement tile-dimension maps (relation (2)).
+    let mut tile_maps = Vec::new();
+    let tile_band = if k > 0 {
+        let mut parts = Vec::new();
+        for (idx, &s) in lg.stmts.iter().enumerate() {
+            let vars = loop_vars(program, s);
+            parts.push(band_part(program, s, &vars[..k], &lg.shifts[idx][..k])?);
+        }
+        let prefix = Band::new(
+            tilefuse_presburger::UnionMap::from_parts(parts)?,
+            true,
+            lg.coincident[..k].to_vec(),
+        )?;
+        let (tile, _) = prefix.tile(&opts.tile_sizes[..k])?;
+        for &s in &lg.stmts {
+            let name = program.stmt(s).name();
+            let part = tile
+                .sched()
+                .parts()
+                .iter()
+                .find(|m| m.space().in_tuple().name() == Some(name))
+                .ok_or_else(|| Error::Internal(format!("no tile part for {name}")))?;
+            tile_maps.push(part.clone());
+        }
+        Some(tile)
+    } else {
+        for &s in &lg.stmts {
+            tile_maps.push(band_part(program, s, &[], &[])?);
+        }
+        None
+    };
+    let m_raw = lg.coincident[..k].iter().take_while(|&&c| c).count();
+    let m = match opts.parallel_cap {
+        Some(cap) => m_raw.min(cap),
+        None => m_raw,
+    };
+    // Tile count of the live-out space at the default parameters (for the
+    // recomputation budget below).
+    let params = program.param_values(&[]);
+    let n_tiles = {
+        let rep = lg.stmts[0];
+        let vars = loop_vars(program, rep);
+        let hull = program.stmt(rep).domain().rect_hull(&params)?.unwrap_or_default();
+        let mut n = 1.0f64;
+        for (j, &ts) in opts.tile_sizes.iter().take(k).enumerate() {
+            let extent = vars
+                .get(j)
+                .and_then(|&d| hull.get(d))
+                .map(|(l, u)| (u - l + 1).max(0) as f64)
+                .unwrap_or(1.0);
+            n *= (extent / ts as f64).ceil();
+        }
+        n
+    };
+
+    // Upwards exposed data of the live-out group: arrays read by it but
+    // written by producer groups (line 5).
+    let producer_stmts: BTreeSet<StmtId> = producers
+        .iter()
+        .flat_map(|&g| groups[g].stmts.iter().copied())
+        .collect();
+    let producer_targets: BTreeSet<ArrayId> =
+        producer_stmts.iter().map(|&s| program.stmt(s).body().target).collect();
+    let mut needed: BTreeMap<ArrayId, Map> = BTreeMap::new();
+    for &arr in &producer_targets {
+        if let Some(fp) = exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
+            if !fp.is_empty()? {
+                needed.insert(arr, fp);
+            }
+        }
+    }
+
+    // Walk producer chains (lines 9–16).
+    let mut extensions: Vec<ExtensionPart> = Vec::new();
+    let mut untiled: BTreeSet<usize> = BTreeSet::new();
+    let mut remaining: BTreeSet<StmtId> = producer_stmts.clone();
+    let group_of = |s: StmtId| -> usize {
+        groups
+            .iter()
+            .position(|g| g.stmts.contains(&s))
+            .expect("statement belongs to a group")
+    };
+    while let Some(&s) = remaining
+        .iter()
+        .find(|&&s| needed.contains_key(&program.stmt(s).body().target))
+    {
+        remaining.remove(&s);
+        let g = group_of(s);
+        if untiled.contains(&g) {
+            continue;
+        }
+        // The m > n parallelism guard (line 8): a producer group with fewer
+        // parallel loops than the live-out tile band must not be fused.
+        let n = match opts.parallel_cap {
+            Some(cap) => groups[g].n_outer_parallel().min(cap),
+            None => groups[g].n_outer_parallel(),
+        };
+        if m > n {
+            untiled.insert(g);
+            for &other in &groups[g].stmts {
+                remaining.remove(&other);
+            }
+            continue;
+        }
+        let target = program.stmt(s).body().target;
+        let fp = needed.get(&target).expect("checked above").clone();
+        let write = program.write_access(s)?;
+        let ext = extension_schedule(&fp, &write)?;
+        // Recomputation budget (see Options::max_recompute): estimate how
+        // many times the producer would re-execute across tiles.
+        if recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute {
+            untiled.insert(g);
+            for &other in &groups[g].stmts {
+                remaining.remove(&other);
+            }
+            continue;
+        }
+        // Extend the footprint demands through this statement's reads
+        // (line 15) so transitive producers can be tiled too.
+        for &arr in &producer_targets {
+            if arr == target {
+                continue;
+            }
+            if let Some(extra) = chained_footprint(program, s, &ext, arr)? {
+                if extra.is_empty()? {
+                    continue;
+                }
+                needed
+                    .entry(arr)
+                    .and_modify(|m| {
+                        if let Ok(u) = m.union(&extra) {
+                            *m = u;
+                        }
+                    })
+                    .or_insert(extra);
+            }
+        }
+        extensions.push(ExtensionPart { stmt: s, group: g, ext });
+    }
+
+    // A group is fused only when every member received an extension
+    // schedule; partial groups keep their original schedule.
+    let mut fused_groups: Vec<usize> = Vec::new();
+    for &g in producers {
+        if untiled.contains(&g) {
+            continue;
+        }
+        let covered = groups[g]
+            .stmts
+            .iter()
+            .all(|&s| extensions.iter().any(|e| e.stmt == s));
+        if covered {
+            fused_groups.push(g);
+        }
+    }
+    fused_groups.sort_unstable();
+    extensions.retain(|e| fused_groups.contains(&e.group));
+    extensions.sort_by_key(|e| e.stmt);
+    let _ = deps; // dependences are implicit in the access-relation walk
+    Ok(MixedSchedules {
+        liveout,
+        k,
+        tile_band,
+        m,
+        extensions,
+        fused_groups,
+        untiled_groups: untiled.into_iter().collect(),
+    })
+}
+
+/// Estimated recomputation factor of fusing `stmt` via `ext`:
+/// `(tiles × per-tile instances) / total instances`, with the per-tile
+/// count sampled at the origin tile (box approximation).
+fn recompute_estimate(
+    program: &Program,
+    ext: &Map,
+    stmt: StmtId,
+    n_tiles: f64,
+    params: &[i64],
+) -> Result<f64> {
+    let card = |set: &tilefuse_presburger::Set| -> Result<f64> {
+        Ok(match set.rect_hull(params)? {
+            None => 0.0,
+            Some(h) => h.iter().map(|(l, u)| (u - l + 1).max(0) as f64).product(),
+        })
+    };
+    let k = ext.space().n_in();
+    let per_tile = card(&ext.image_of(&vec![0; k])?)?;
+    let base = card(program.stmt(stmt).domain())?.max(1.0);
+    Ok((n_tiles * per_tile / base).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_pir::{compute_dependences, ArrayKind, Body, Expr, IdxExpr, SchedTerm};
+    use tilefuse_scheduler::{fuse, FuseBudget, FusionHeuristic};
+
+    /// The paper's conv2d with quantization (Fig. 1(a)), H = W = 6,
+    /// KH = KW = 3.
+    fn conv2d() -> Program {
+        let mut p = Program::new("conv2d").with_param("H", 6).with_param("W", 6);
+        let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
+        let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+        let d2 = |d| IdxExpr::dim(2, d);
+        let d4 = |d| IdxExpr::dim(4, d);
+        p.add_stmt(
+            "{ S0[h, w] : 0 <= h < H and 0 <= w < W }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+            Body {
+                target: a,
+                target_idx: vec![d2(0), d2(1)],
+                rhs: Expr::mul(Expr::load(a, vec![d2(0), d2(1)]), Expr::Const(0.5)),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
+            Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[h, w, kh, kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }",
+            vec![
+                SchedTerm::Cst(1),
+                SchedTerm::Var(0),
+                SchedTerm::Var(1),
+                SchedTerm::Cst(1),
+                SchedTerm::Var(2),
+                SchedTerm::Var(3),
+            ],
+            Body {
+                target: c,
+                target_idx: vec![d4(0), d4(1)],
+                rhs: Expr::add(
+                    Expr::load(c, vec![d4(0), d4(1)]),
+                    Expr::mul(
+                        Expr::load(a, vec![d4(0).plus(&d4(2)), d4(1).plus(&d4(3))]),
+                        Expr::load(b, vec![d4(2), d4(3)]),
+                    ),
+                ),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S3[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1)],
+            Body {
+                target: c,
+                target_idx: vec![d2(0), d2(1)],
+                rhs: Expr::relu(Expr::load(c, vec![d2(0), d2(1)])),
+            },
+        )
+        .unwrap();
+        p
+    }
+
+    fn setup() -> (Program, Vec<Dependence>, Vec<Group>) {
+        let p = conv2d();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        (p, deps, f.groups)
+    }
+
+    #[test]
+    fn startup_matches_paper_grouping() {
+        let (_, _, groups) = setup();
+        // ({S0}, {S1, S2, S3}) — the conservative result of Section II.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].stmts, vec![StmtId(0)]);
+        assert_eq!(groups[1].stmts, vec![StmtId(1), StmtId(2), StmtId(3)]);
+        assert_eq!(groups[1].coincident, vec![true, true]);
+    }
+
+    #[test]
+    fn algorithm1_fuses_quantization_into_tiles() {
+        let (p, deps, groups) = setup();
+        let opts = Options { tile_sizes: vec![2, 2], ..Options::default() };
+        let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
+        assert_eq!(mixed.k, 2);
+        assert_eq!(mixed.m, 2);
+        assert_eq!(mixed.fused_groups, vec![0]);
+        assert!(mixed.untiled_groups.is_empty());
+        assert_eq!(mixed.extensions.len(), 1);
+        // The extension schedule equals the paper's relation (6).
+        let expected: Map =
+            "[H, W] -> { [o0, o1] -> S0[h, w] : 0 <= o0 <= 1 and 0 <= o1 <= 1 \
+               and 2o0 <= h <= 2o0 + 3 and 2o1 <= w <= 2o1 + 3 }"
+                .parse()
+                .unwrap();
+        let got = mixed.extensions[0]
+            .ext
+            .fix_param(0, 6)
+            .unwrap()
+            .fix_param(1, 6)
+            .unwrap();
+        let want = expected.fix_param(0, 6).unwrap().fix_param(1, 6).unwrap();
+        assert!(got.is_equal(&want).unwrap(), "got {got}");
+    }
+
+    #[test]
+    fn parallelism_guard_rejects_serial_producers() {
+        // If the cap says the live-out has 2 parallel dims but the producer
+        // has fewer (simulate with cap): producer n capped below m.
+        let (p, deps, groups) = setup();
+        // Pretend the producer group has no parallelism by lowering its
+        // coincident flags.
+        let mut groups2 = groups.clone();
+        groups2[0].coincident = vec![false, false];
+        let opts = Options { tile_sizes: vec![2, 2], ..Options::default() };
+        let mixed = algorithm1(&p, &deps, &groups2, 1, &[0], &opts).unwrap();
+        assert_eq!(mixed.fused_groups, Vec::<usize>::new());
+        assert_eq!(mixed.untiled_groups, vec![0]);
+        assert!(mixed.extensions.is_empty());
+    }
+
+    #[test]
+    fn fusion_without_tiling_when_no_sizes() {
+        // The equake case: no tiling, extension over zero tile dims.
+        let (p, deps, groups) = setup();
+        let opts = Options { tile_sizes: vec![], ..Options::default() };
+        let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
+        assert_eq!(mixed.k, 0);
+        assert!(mixed.tile_band.is_none());
+        assert_eq!(mixed.m, 0);
+        assert_eq!(mixed.fused_groups, vec![0]);
+        let ext = &mixed.extensions[0].ext;
+        assert_eq!(ext.space().n_in(), 0);
+        // All S0 instances needed by the (single) whole-space "tile".
+        let inst = ext.range().unwrap().fixed_params(&[6, 6]).unwrap();
+        assert_eq!(inst.count_points(&[6, 6]).unwrap(), 36);
+    }
+
+    #[test]
+    fn cpu_cap_reduces_m() {
+        let (p, deps, groups) = setup();
+        let opts = Options { tile_sizes: vec![2, 2], parallel_cap: Some(1), ..Options::default() };
+        let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
+        assert_eq!(mixed.m, 1);
+        assert_eq!(mixed.fused_groups, vec![0]);
+    }
+
+    #[test]
+    fn transitive_chain_is_followed() {
+        // S0 -> S1 -> liveout: both producers get extension schedules.
+        let mut p = Program::new("chain").with_param("N", 12);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Temp);
+        let c = p.add_array("C", vec![("N", -4).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[i] : 0 <= i < N - 4 }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+            Body {
+                target: c,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(b, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(b, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 3);
+        let opts = Options { tile_sizes: vec![4], ..Options::default() };
+        let mixed = algorithm1(&p, &deps, &f.groups, 2, &[0, 1], &opts).unwrap();
+        assert_eq!(mixed.fused_groups, vec![0, 1]);
+        assert_eq!(mixed.extensions.len(), 2);
+        // S1's extension per tile covers the stencil halo: tile 0 of S2
+        // needs B[0..5] (4 points + halo 2), so S1 instances 0..=5.
+        let e1 = mixed.extensions.iter().find(|e| e.stmt == StmtId(1)).unwrap();
+        let inst = e1.ext.image_of(&[0]).unwrap().fixed_params(&[12]).unwrap();
+        assert_eq!(inst.count_points(&[12]).unwrap(), 6);
+        // And S0's extension covers S1's needs plus its own halo: A[0..7].
+        let e0 = mixed.extensions.iter().find(|e| e.stmt == StmtId(0)).unwrap();
+        let inst0 = e0.ext.image_of(&[0]).unwrap().fixed_params(&[12]).unwrap();
+        assert_eq!(inst0.count_points(&[12]).unwrap(), 8);
+    }
+}

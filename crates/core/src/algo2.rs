@@ -1,0 +1,187 @@
+//! Algorithm 2: post-tiling fusion by schedule-tree manipulation.
+//!
+//! For each live-out group: replace its band with the tiling schedule,
+//! split into tile and point bands, graft an extension node carrying the
+//! producers' extension schedules under the tile band, introduce sequence
+//! and filter nodes for tile-wise fusion, and mark the producers' original
+//! subtrees `"skipped"` — reproducing the tree of the paper's Fig. 5.
+
+use crate::algo1::MixedSchedules;
+use crate::error::{Error, Result};
+use tilefuse_pir::Program;
+use tilefuse_presburger::{AffExpr, Map, Space, Tuple, UnionMap, UnionSet};
+use tilefuse_schedtree::{
+    band, extension, filter, sequence, Node, ScheduleTree, MARK_SKIPPED,
+};
+
+/// Applies the post-tiling fusion of `mixed` to `tree` (built by the
+/// start-up heuristic with one top-level sequence child per group — the
+/// output of [`tilefuse_scheduler::build_tree`]).
+///
+/// `has_top_sequence` says whether the tree has a top-level sequence (it
+/// does whenever there are at least two groups).
+///
+/// # Errors
+/// Returns an error if the tree does not have the expected shape.
+pub fn algorithm2(
+    tree: &mut ScheduleTree,
+    program: &Program,
+    groups: &[tilefuse_scheduler::Group],
+    mixed: &MixedSchedules,
+    has_top_sequence: bool,
+) -> Result<()> {
+    let l = mixed.liveout;
+    let liveout_path: Vec<usize> =
+        if has_top_sequence { vec![0, l, 0] } else { vec![0] };
+    // The live-out group's subtree starts with its shared band when the
+    // group has one.
+    let old = tree.node_at(&liveout_path)?.clone();
+    let (point_band, old_child) = match old {
+        Node::Band { band: b, child } => (Some(b), *child),
+        other => (None, other),
+    };
+
+    // Build the live-out branch: point band over the original child.
+    let liveout_branch_inner = match &point_band {
+        Some(b) => band(b.clone(), old_child),
+        None => old_child,
+    };
+
+    let new_node = if mixed.extensions.is_empty() {
+        // Plain tiling (or nothing to do at all).
+        match (&mixed.tile_band, point_band) {
+            (Some(tb), Some(_)) => band(tb.clone(), liveout_branch_inner),
+            _ => liveout_branch_inner,
+        }
+    } else {
+        // Extension parts, with the sequence position prepended when the
+        // extension sits below the top-level sequence.
+        let mut parts = Vec::new();
+        for e in &mixed.extensions {
+            let m = if has_top_sequence {
+                prepend_const_in_dim(&e.ext, l as i64)?
+            } else {
+                e.ext.clone()
+            };
+            parts.push(m);
+        }
+        let ext_map = UnionMap::from_parts(parts)?;
+        // One filter per fused producer group (topological order), then the
+        // live-out filter.
+        let mut branches = Vec::new();
+        for &g in &mixed.fused_groups {
+            let sub = original_group_subtree(tree, g, has_top_sequence)?;
+            let mut f = UnionSet::new();
+            for &s in &groups[g].stmts {
+                f.add(program.stmt(s).domain().clone())?;
+            }
+            branches.push(filter(f, sub));
+        }
+        let mut lf = UnionSet::new();
+        for &s in &groups[l].stmts {
+            f_add(&mut lf, program, s)?;
+        }
+        branches.push(filter(lf, liveout_branch_inner));
+        let fused = extension(ext_map, sequence(branches));
+        match &mixed.tile_band {
+            Some(tb) => band(tb.clone(), fused),
+            None => fused,
+        }
+    };
+    tree.replace_at(&liveout_path, new_node)?;
+
+    // Mark the fused producers' original subtrees as skipped (below their
+    // filters so sequence/filter structure stays valid).
+    for &g in &mixed.fused_groups {
+        if has_top_sequence {
+            tree.mark_at(&[0, g, 0], MARK_SKIPPED)?;
+        }
+    }
+    Ok(())
+}
+
+fn f_add(us: &mut UnionSet, program: &Program, s: tilefuse_pir::StmtId) -> Result<()> {
+    us.add(program.stmt(s).domain().clone())?;
+    Ok(())
+}
+
+/// Plain-tiles the band of group `g` (the line-17 treatment of groups the
+/// parallelism guard rejected from fusion).
+///
+/// # Errors
+/// Returns an error if the tree does not have the expected shape.
+pub fn plain_tile_group(
+    tree: &mut ScheduleTree,
+    g: usize,
+    tile_sizes: &[i64],
+    has_top_sequence: bool,
+) -> Result<()> {
+    let path: Vec<usize> = if has_top_sequence { vec![0, g, 0] } else { vec![0] };
+    let old = tree.node_at(&path)?.clone();
+    let Node::Band { band: b, child } = old else {
+        return Ok(()); // no band to tile
+    };
+    let k = b.n_member().min(tile_sizes.len());
+    if k == 0 || !b.permutable() {
+        return Ok(());
+    }
+    let prefix = b.truncate_members(k)?;
+    let (tile, _) = prefix.tile(&tile_sizes[..k])?;
+    let new_node = band(tile, band(b, *child));
+    tree.replace_at(&path, new_node)?;
+    Ok(())
+}
+
+/// Fetches (a clone of) the subtree under group `g`'s top-level filter,
+/// unwrapping a possible skip mark from an earlier surgery pass.
+fn original_group_subtree(
+    tree: &ScheduleTree,
+    g: usize,
+    has_top_sequence: bool,
+) -> Result<Node> {
+    let path: Vec<usize> = if has_top_sequence { vec![0, g, 0] } else { vec![0] };
+    let node = tree.node_at(&path)?.clone();
+    Ok(match node {
+        Node::Mark { mark, child } if mark == MARK_SKIPPED => *child,
+        other => other,
+    })
+}
+
+/// `{ [o...] -> S[i] }` to `{ [c, o...] -> S[i] }` with a pinned constant
+/// first input dimension.
+fn prepend_const_in_dim(ext: &Map, value: i64) -> Result<Map> {
+    let rev = ext.reverse();
+    let dom_space = rev.space().domain_space();
+    let params: Vec<&str> = dom_space.params().iter().map(String::as_str).collect();
+    let cspace = dom_space.join_map(&Space::set(&params, Tuple::anonymous(1)))?;
+    let cmap = Map::from_affine(cspace.clone(), &[AffExpr::constant(&cspace, value)])?;
+    Ok(cmap.flat_range_product(&rev)?.reverse())
+}
+
+/// Internal sanity check used by tests: an extension node's in-arity.
+#[allow(dead_code)]
+pub(crate) fn extension_in_arity(node: &Node) -> Result<usize> {
+    match node {
+        Node::Extension { extension, .. } => Ok(extension
+            .parts()
+            .first()
+            .map(|m| m.space().n_in())
+            .ok_or_else(|| Error::Internal("empty extension".into()))?),
+        _ => Err(Error::Internal("not an extension node".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_const_pins_first_dim() {
+        let ext: Map = "{ [o] -> S[i] : 2o <= i <= 2o + 1 }".parse().unwrap();
+        let p = prepend_const_in_dim(&ext, 7).unwrap();
+        assert_eq!(p.space().n_in(), 2);
+        assert!(p.contains_pair(&[7, 1, 3]).unwrap());
+        assert!(!p.contains_pair(&[6, 1, 3]).unwrap());
+        assert!(!p.contains_pair(&[7, 1, 4]).unwrap());
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory footprints and extension schedules — the paper's relations
+//! (2)–(6).
+//!
+//! Given a tiled live-out computation space, this module computes:
+//! * the *tile-dimension map* (relation (2)): `{ S[i] -> [o] }`;
+//! * the *footprint of upwards exposed data* (relation (4)):
+//!   `{ [o] -> A[x] }`, every element of `A` a tile needs;
+//! * the *extension schedule* (relation (6)): `{ [o] -> S0[i] }`, the
+//!   producer instances each tile must (re)compute, obtained by composing
+//!   the footprint with the reverse of the producer's write access.
+//!
+//! The module's tests reproduce the paper's Section III example verbatim
+//! (H = W = 6, KH = KW = 3, T2 = T3 = 2), including the blue/red tile
+//! footprints `{A[h',w'] : 2 ≤ h' ≤ 5 ∧ 0 ≤ w' ≤ 3}` and
+//! `{A[h',w'] : 2 ≤ h' ≤ 5 ∧ 2 ≤ w' ≤ 5}`.
+
+use crate::error::{Error, Result};
+use tilefuse_pir::{ArrayId, Program, StmtId};
+use tilefuse_presburger::Map;
+
+/// The footprint of `array` needed by each tile of a live-out group:
+/// relation (4), `{ [o] -> A[x] }`.
+///
+/// `tile_maps` are the per-statement tile-dimension maps (relation (2),
+/// `{ S[i] -> [o] }`) of the group's statements.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn exposed_footprint(
+    program: &Program,
+    stmts: &[StmtId],
+    tile_maps: &[Map],
+    array: ArrayId,
+) -> Result<Option<Map>> {
+    let mut acc: Option<Map> = None;
+    for (&s, tile_map) in stmts.iter().zip(tile_maps) {
+        let Some(read) = program.read_access_to(s, array)? else {
+            continue;
+        };
+        // (reverse of (2)) ∘ (3): tiles -> statement instances -> data.
+        let part = tile_map.reverse().compose(&read)?;
+        acc = Some(match acc {
+            None => part,
+            Some(prev) => prev.union(&part)?,
+        });
+    }
+    Ok(acc)
+}
+
+/// The extension schedule (relation (6)): composes a tile footprint
+/// `{ [o] -> A[x] }` with the reverse of the producer's write access
+/// (relation (5), `{ A[x] -> S0[i] }`), yielding `{ [o] -> S0[i] }`.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn extension_schedule(footprint: &Map, write: &Map) -> Result<Map> {
+    Ok(footprint.compose(&write.reverse())?)
+}
+
+/// The footprint of `array` needed by already-fused producer instances:
+/// used when walking producer chains (Algorithm 1, lines 9–16) — the
+/// instances a tile recomputes have reads of their own.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn chained_footprint(
+    program: &Program,
+    stmt: StmtId,
+    ext: &Map,
+    array: ArrayId,
+) -> Result<Option<Map>> {
+    let Some(read) = program.read_access_to(stmt, array)? else {
+        return Ok(None);
+    };
+    Ok(Some(ext.compose(&read)?))
+}
+
+/// Validates that an extension schedule covers everything the consumer
+/// needs: every element of `footprint` must be written by some instance in
+/// the extension's range (otherwise a tile would read an undefined value).
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn covers_footprint(ext: &Map, write: &Map, footprint: &Map) -> Result<bool> {
+    // produced = { [o] -> A[x] : instance in ext writes x }
+    let produced = ext.compose(write)?;
+    Ok(footprint.is_subset(&produced)?)
+}
+
+/// Convenience: an upwards-exposed-data summary for one live-out group.
+#[derive(Debug, Clone)]
+pub struct ExposedData {
+    /// The array.
+    pub array: ArrayId,
+    /// Relation (4) for this array.
+    pub footprint: Map,
+}
+
+impl ExposedData {
+    /// Renders as `A: { [o] -> A[...] ... }` for diagnostics.
+    pub fn describe(&self, program: &Program) -> String {
+        format!("{}: {}", program.array(self.array).name(), self.footprint)
+    }
+}
+
+/// Internal helper: requires a named in-tuple.
+pub(crate) fn stmt_of_map(m: &Map) -> Result<String> {
+    m.space()
+        .out_tuple()
+        .name()
+        .map(str::to_owned)
+        .ok_or_else(|| Error::Internal("extension schedule target must be named".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_presburger::Set;
+
+    /// The paper's Section III running example, with concrete sizes
+    /// H = W = 6, KH = KW = 3 and tile sizes T2 = T3 = 2.
+    /// Reduction space: S2[h,w,kh,kw], 0<=h,w<=3, 0<=kh,kw<=2.
+    /// Tiling schedule (relation (2)): o = (h/2, w/2).
+    fn paper_tile_map() -> Map {
+        "{ S2[h,w,kh,kw] -> [o0, o1] : 2o0 <= h <= 2o0 + 1 and 2o1 <= w <= 2o1 + 1 \
+           and 0 <= h <= 3 and 0 <= w <= 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }"
+            .parse()
+            .unwrap()
+    }
+
+    /// Relation (3): the read access of S2 to tensor A.
+    fn paper_read() -> Map {
+        "{ S2[h,w,kh,kw] -> A[h+kh, w+kw] : 0 <= h <= 3 and 0 <= w <= 3 \
+           and 0 <= kh <= 2 and 0 <= kw <= 2 }"
+            .parse()
+            .unwrap()
+    }
+
+    /// Relation (5) reversed source: the write access of S0 to tensor A.
+    fn paper_write() -> Map {
+        "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 5 }".parse().unwrap()
+    }
+
+    /// Relation (4) computed as reverse(2) ∘ (3).
+    fn paper_footprint() -> Map {
+        paper_tile_map().reverse().compose(&paper_read()).unwrap()
+    }
+
+    #[test]
+    fn relation4_matches_paper_closed_form() {
+        // (4): { (o0,o1) -> A[h',w'] : 0 <= o0 < 2 and 0 <= o1 < 2 and
+        //        2 o0 <= h' < 2 o0 + 4 and 2 o1 <= w' < 2 o1 + 4 }
+        // (ceil((6-3+1)/2) = 2 tiles per dim; KH + T2 - 1 = 4 extent).
+        let got = paper_footprint();
+        let expected: Map = "{ [o0, o1] -> A[h', w'] : 0 <= o0 <= 1 and 0 <= o1 <= 1 \
+             and 2o0 <= h' <= 2o0 + 3 and 2o1 <= w' <= 2o1 + 3 }"
+            .parse()
+            .unwrap();
+        assert!(got.is_equal(&expected).unwrap(), "got {got}");
+    }
+
+    #[test]
+    fn blue_and_red_tile_footprints_match_paper() {
+        let fp = paper_footprint();
+        // Blue tile (o0, o1) = (1, 0): {A[h',w'] : 2<=h'<=5 and 0<=w'<=3}.
+        let blue = fp.image_of(&[1, 0]).unwrap();
+        let expected_blue: Set =
+            "{ A[h', w'] : 2 <= h' <= 5 and 0 <= w' <= 3 }".parse().unwrap();
+        assert!(blue.is_equal(&expected_blue).unwrap(), "blue = {blue}");
+        // Red tile (1, 1): {A[h',w'] : 2<=h'<=5 and 2<=w'<=5}.
+        let red = fp.image_of(&[1, 1]).unwrap();
+        let expected_red: Set =
+            "{ A[h', w'] : 2 <= h' <= 5 and 2 <= w' <= 5 }".parse().unwrap();
+        assert!(red.is_equal(&expected_red).unwrap(), "red = {red}");
+        // Their intersection is the interleaved region read by both tiles.
+        let overlap = blue.intersect(&red).unwrap();
+        assert_eq!(overlap.count_points(&[]).unwrap(), 4 * 2);
+    }
+
+    #[test]
+    fn relation6_matches_paper_closed_form() {
+        // (6): { (o0,o1) -> S0[h,w] : same box as (4) transported to S0 }.
+        let ext = extension_schedule(&paper_footprint(), &paper_write()).unwrap();
+        let expected: Map = "{ [o0, o1] -> S0[h, w] : 0 <= o0 <= 1 and 0 <= o1 <= 1 \
+             and 2o0 <= h <= 2o0 + 3 and 2o1 <= w <= 2o1 + 3 }"
+            .parse()
+            .unwrap();
+        assert!(ext.is_equal(&expected).unwrap(), "ext = {ext}");
+        // Blue tile instances: { S0[h,w] : 2<=h<=5 and 0<=w<=3 } (paper).
+        let blue = ext.image_of(&[1, 0]).unwrap();
+        let expected_blue: Set =
+            "{ S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 }".parse().unwrap();
+        assert!(blue.is_equal(&expected_blue).unwrap());
+    }
+
+    #[test]
+    fn extension_covers_consumer_footprint() {
+        let fp = paper_footprint();
+        let ext = extension_schedule(&fp, &paper_write()).unwrap();
+        assert!(covers_footprint(&ext, &paper_write(), &fp).unwrap());
+        // A producer writing only the left half of A cannot cover the
+        // footprint (tiles at o1 = 1 need columns 2..=5).
+        let partial: Map =
+            "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 3 }".parse().unwrap();
+        let ext2 = extension_schedule(&fp, &partial).unwrap();
+        assert!(!covers_footprint(&ext2, &partial, &fp).unwrap());
+    }
+
+    #[test]
+    fn overlapped_tiles_recompute_instances() {
+        // The same S0 instance appears in several tiles' extensions: count
+        // total (tile, instance) pairs vs distinct instances.
+        let ext = extension_schedule(&paper_footprint(), &paper_write()).unwrap();
+        let total_pairs = ext.as_wrapped_set().count_points(&[]).unwrap();
+        let distinct = ext.range().unwrap().count_points(&[]).unwrap();
+        assert_eq!(total_pairs, 4 * 16); // 4 tiles × 4x4 footprint
+        assert_eq!(distinct, 36); // whole 6x6 image
+        assert!(total_pairs > distinct, "overlap implies recomputation");
+    }
+
+    #[test]
+    fn matmul_like_access_yields_rectangular_tiles() {
+        // Fine-tuning the kh/kw loops into a matmul-style access (paper,
+        // end of Section III): pointwise access -> rectangular, no overlap.
+        let tile: Map = "{ S2[i, j] -> [o] : 2o <= i <= 2o + 1 and 0 <= i <= 3 and 0 <= j <= 3 }"
+            .parse()
+            .unwrap();
+        let read: Map = "{ S2[i, j] -> A[i] : 0 <= i <= 3 and 0 <= j <= 3 }".parse().unwrap();
+        let fp = tile.reverse().compose(&read).unwrap();
+        let t0 = fp.image_of(&[0]).unwrap();
+        let t1 = fp.image_of(&[1]).unwrap();
+        assert!(t0.intersect(&t1).unwrap().is_empty().unwrap(), "no overlap");
+        assert_eq!(t0.count_points(&[]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Post-tiling fusion: the MICRO 2020 composition of loop tiling and
+//! fusion.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! 1. **Algorithm 1** ([`algorithm1`]): apply rectangular tiling *only* to
+//!    live-out computation spaces, compute the memory footprints each tile
+//!    requires (the `footprint` module — the paper's relations (2)–(6)), and derive
+//!    *extension schedules* that tile intermediate computation spaces with
+//!    arbitrary (possibly overlapped) shapes.
+//! 2. **Algorithm 2** ([`algorithm2`]): post-tiling fusion as schedule-tree
+//!    surgery — tile/point band splitting, extension-node grafting, and
+//!    `"skipped"` marks, producing the tree of the paper's Fig. 5.
+//! 3. **Algorithm 3** ([`optimize`]): the full composition over multiple
+//!    live-out spaces, with the shared-intermediate rule that never
+//!    introduces recomputation across live-outs, and fine-grained dead
+//!    code elimination as a side effect.
+//!
+//! ```no_run
+//! use tilefuse_core::{optimize, Options};
+//! # fn conv2d_program() -> tilefuse_pir::Program { unimplemented!() }
+//! let program = conv2d_program();
+//! let optimized = optimize(&program, &Options::cpu(&[32, 32]))?;
+//! println!("{}", tilefuse_schedtree::render(&optimized.tree));
+//! # Ok::<(), tilefuse_core::Error>(())
+//! ```
+
+mod algo1;
+mod algo2;
+mod error;
+mod footprint;
+mod optimize;
+#[cfg(test)]
+mod tests_optimize;
+
+pub use algo1::{algorithm1, ExtensionPart, MixedSchedules, Options};
+pub use algo2::{algorithm2, plain_tile_group};
+pub use error::{Error, Result};
+pub use footprint::{
+    chained_footprint, covers_footprint, exposed_footprint, extension_schedule, ExposedData,
+};
+pub use optimize::{optimize, recomputation_factor, Optimized, Report};

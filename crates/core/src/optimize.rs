@@ -1,0 +1,269 @@
+//! Algorithm 3: the complete composition — start-up fusion, per-live-out
+//! tile-shape construction, shared-intermediate resolution, and post-tiling
+//! fusion.
+
+use crate::algo1::{algorithm1, MixedSchedules, Options};
+use crate::algo2::{algorithm2, plain_tile_group};
+use crate::error::{Error, Result};
+use tilefuse_pir::{ArrayId, DepKind, Dependence, Program};
+use tilefuse_scheduler::{schedule, Group};
+use tilefuse_schedtree::ScheduleTree;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of the post-tiling fusion optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The transformed schedule tree.
+    pub tree: ScheduleTree,
+    /// Diagnostics and metadata for execution and cost modeling.
+    pub report: Report,
+}
+
+/// Metadata about an optimization run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The start-up fusion groups.
+    pub groups: Vec<Group>,
+    /// Indices of live-out groups.
+    pub liveouts: Vec<usize>,
+    /// Algorithm 1 output per live-out group.
+    pub mixed: Vec<MixedSchedules>,
+    /// Arrays whose producers were fused into tiles: their values become
+    /// tile-local (scratchpad/shared-memory candidates).
+    pub scratch_arrays: BTreeSet<ArrayId>,
+    /// Per tile-local array: the schedule-prefix length identifying its
+    /// tile (the depth of the extension node that fused its producer).
+    /// Consumed by the interpreter's scratch clearing.
+    pub scratch_scopes: std::collections::BTreeMap<ArrayId, usize>,
+    /// Producer groups excluded from fusion by the shared-intermediate
+    /// rule (Algorithm 3 would otherwise introduce recomputation across
+    /// live-outs, or the group has an unfusable consumer).
+    pub shared_unfused: Vec<usize>,
+    /// The dependences of the program (for legality re-checks).
+    pub deps: Vec<Dependence>,
+}
+
+impl Report {
+    /// Whether group `g` was fused into at least one live-out's tiles.
+    pub fn is_fused(&self, g: usize) -> bool {
+        self.mixed.iter().any(|m| m.fused_groups.contains(&g))
+    }
+
+    /// Total fusion groups in the final schedule (fused producers no
+    /// longer count as separate groups).
+    pub fn n_final_groups(&self) -> usize {
+        let fused: BTreeSet<usize> = self
+            .mixed
+            .iter()
+            .flat_map(|m| m.fused_groups.iter().copied())
+            .collect();
+        self.groups.len() - fused.len()
+    }
+}
+
+/// Runs the full optimizer (Algorithm 3) on `program`.
+///
+/// # Errors
+/// Returns an error if scheduling fails or the tree surgery meets an
+/// unexpected shape.
+pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
+    let scheduled = schedule(program, opts.startup)?;
+    let groups = scheduled.fusion.groups;
+    let deps = scheduled.deps;
+    let mut tree = scheduled.tree;
+    let has_top_sequence = groups.len() > 1;
+
+    // Group-level flow DAG.
+    let n = groups.len();
+    let group_of = |s: tilefuse_pir::StmtId| -> usize {
+        groups.iter().position(|g| g.stmts.contains(&s)).expect("stmt in a group")
+    };
+    let mut gedges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for d in &deps {
+        if d.kind != DepKind::Flow {
+            continue;
+        }
+        let (a, b) = (group_of(d.src), group_of(d.dst));
+        if a != b {
+            gedges.insert((a, b));
+        }
+    }
+    let liveouts: Vec<usize> = (0..n)
+        .filter(|&g| groups[g].stmts.iter().any(|&s| program.is_live_out(s)))
+        .collect();
+    if liveouts.is_empty() {
+        return Err(Error::Internal("program has no live-out statements".into()));
+    }
+
+    // Transitive producer sets per live-out (excluding other live-outs:
+    // the paper does not fuse live-out spaces into each other).
+    let producers_of = |l: usize, excluded: &BTreeSet<usize>| -> Vec<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![l];
+        while let Some(g) = stack.pop() {
+            for &(a, b) in &gedges {
+                if b == g && !seen.contains(&a) && !liveouts.contains(&a) && !excluded.contains(&a)
+                {
+                    seen.insert(a);
+                    stack.push(a);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    };
+
+    // Fixpoint over shared-intermediate conflicts.
+    let mut excluded: BTreeSet<usize> = BTreeSet::new();
+    let mut mixed: Vec<MixedSchedules>;
+    loop {
+        mixed = Vec::new();
+        for &l in &liveouts {
+            let producers = producers_of(l, &excluded);
+            mixed.push(algorithm1(program, &deps, &groups, l, &producers, opts)?);
+        }
+        let mut new_conflicts: BTreeSet<usize> = BTreeSet::new();
+        #[allow(clippy::needless_range_loop)] // index is the group id itself
+        for g in 0..n {
+            if excluded.contains(&g) || liveouts.contains(&g) {
+                continue;
+            }
+            let fused_in: Vec<&MixedSchedules> =
+                mixed.iter().filter(|m| m.fused_groups.contains(&g)).collect();
+            if fused_in.is_empty() {
+                continue;
+            }
+            // Rule 1: fused into SOME but not ALL of its consuming
+            // live-outs -> cannot skip the original -> prevent fusion.
+            let consumer_liveouts: Vec<usize> = liveouts
+                .iter()
+                .copied()
+                .filter(|&l| producers_of(l, &excluded).contains(&g))
+                .collect();
+            if fused_in.len() != consumer_liveouts.len() {
+                new_conflicts.insert(g);
+                continue;
+            }
+            // Rule 2: slices used by different live-outs must not
+            // intersect (no recomputation across live-outs).
+            if fused_in.len() >= 2 {
+                'pairs: for i in 0..fused_in.len() {
+                    for j in i + 1..fused_in.len() {
+                        for &s in &groups[g].stmts {
+                            let ri = ext_range(fused_in[i], s)?;
+                            let rj = ext_range(fused_in[j], s)?;
+                            if let (Some(ri), Some(rj)) = (ri, rj) {
+                                if !ri.intersect(&rj)?.is_empty()? {
+                                    new_conflicts.insert(g);
+                                    break 'pairs;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if new_conflicts.is_subset(&excluded) {
+            break;
+        }
+        excluded.extend(new_conflicts);
+    }
+
+    // Surgery per live-out (in tree order so paths stay valid: each
+    // surgery only touches its own group's child and marks producers).
+    for m in &mixed {
+        algorithm2(&mut tree, program, &groups, m, has_top_sequence)?;
+    }
+    // Plain-tile groups that stayed out of fusion but are tilable:
+    // excluded/untiled producers. (Fused groups' originals are skipped.)
+    let fused_all: BTreeSet<usize> =
+        mixed.iter().flat_map(|m| m.fused_groups.iter().copied()).collect();
+    let untiled_all: BTreeSet<usize> = mixed
+        .iter()
+        .flat_map(|m| m.untiled_groups.iter().copied())
+        .chain(excluded.iter().copied())
+        .collect();
+    if has_top_sequence {
+        for &g in &untiled_all {
+            if !fused_all.contains(&g) {
+                plain_tile_group(&mut tree, g, &opts.tile_sizes, has_top_sequence)?;
+            }
+        }
+    }
+    tree.validate()?;
+
+    // Scratch arrays: targets of fused producer statements, each scoped to
+    // the depth of its extension node (sequence position + tile dims).
+    let mut scratch_arrays = BTreeSet::new();
+    let mut scratch_scopes = std::collections::BTreeMap::new();
+    for m in &mixed {
+        let scope = m.k + usize::from(has_top_sequence);
+        for e in &m.extensions {
+            let arr = program.stmt(e.stmt).body().target;
+            scratch_arrays.insert(arr);
+            // An array fused under several live-outs keeps the smaller
+            // scope (coarser clearing is safe: slices are disjoint).
+            scratch_scopes
+                .entry(arr)
+                .and_modify(|s: &mut usize| *s = (*s).min(scope))
+                .or_insert(scope);
+        }
+    }
+
+    Ok(Optimized {
+        tree,
+        report: Report {
+            groups,
+            liveouts,
+            mixed,
+            scratch_arrays,
+            scratch_scopes,
+            shared_unfused: excluded.into_iter().collect(),
+            deps,
+        },
+    })
+}
+
+/// The instance slice of statement `s` fused into `m`'s tiles (the range
+/// of its extension schedule), or `None` when not fused there.
+fn ext_range(
+    m: &MixedSchedules,
+    s: tilefuse_pir::StmtId,
+) -> Result<Option<tilefuse_presburger::Set>> {
+    for e in &m.extensions {
+        if e.stmt == s {
+            return Ok(Some(e.ext.range()?));
+        }
+    }
+    Ok(None)
+}
+
+/// Per-array count of fused producer instance executions vs. distinct
+/// instances — quantifies overlapped-tiling recomputation for reporting.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn recomputation_factor(
+    optimized: &Optimized,
+    param_values: &[i64],
+) -> Result<BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    for m in &optimized.report.mixed {
+        for e in &m.extensions {
+            let pairs = e
+                .ext
+                .as_wrapped_set()
+                .fixed_params(param_values)?
+                .count_points(param_values)?;
+            let distinct = e
+                .ext
+                .range()?
+                .fixed_params(param_values)?
+                .count_points(param_values)?;
+            if distinct > 0 {
+                let name = crate::footprint::stmt_of_map(&e.ext)?;
+                out.insert(name, pairs as f64 / distinct as f64);
+            }
+        }
+    }
+    Ok(out)
+}

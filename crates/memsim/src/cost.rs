@@ -1,0 +1,283 @@
+//! Analytic cost models: pricing execution groups on the three platforms.
+
+use crate::error::Result;
+use crate::model::{CpuModel, DavinciModel, GpuModel};
+use crate::summary::{require_nonempty, ExecGroup};
+
+/// A priced schedule: total time plus a per-group breakdown.
+#[derive(Debug, Clone)]
+pub struct CostBreakdown {
+    /// Estimated execution time (seconds).
+    pub total: f64,
+    /// Per-group `(label, seconds)`.
+    pub per_group: Vec<(String, f64)>,
+}
+
+/// Prices a schedule on a CPU: groups run one after another; within a
+/// group, OpenMP parallelizes the outermost coincident loop, tile-local
+/// arrays live in the private cache, and external arrays stream from DRAM.
+///
+/// # Errors
+/// Returns an error on empty input.
+pub fn cpu_time(model: &CpuModel, groups: &[ExecGroup]) -> Result<CostBreakdown> {
+    require_nonempty(groups)?;
+    let mut total = 0.0;
+    let mut per_group = Vec::new();
+    for g in groups {
+        // OpenMP exposes one parallel dimension.
+        let chunks = g.parallel_chunks.first().copied().unwrap_or(1.0);
+        let par = chunks.min(model.threads as f64).max(1.0);
+        // Load imbalance when chunks barely exceed threads.
+        let balance = chunks / (par * (chunks / par).ceil()).max(1.0);
+        let simd = if g.vectorizable { model.simd_width } else { 1.0 };
+        let compute = g.ops / (model.flops_per_core * par * simd * balance.max(0.25));
+        // Per-access traffic hits the level that holds the tile working
+        // set.
+        let level_bw = if g.tile_footprint_bytes <= model.l1_capacity {
+            model.l1_bw
+        } else if g.tile_footprint_bytes <= model.llc_capacity / par {
+            model.llc_bw
+        } else {
+            model.dram_bw
+        };
+        let access_bytes = (g.loads + g.stores) * 4.0;
+        let mem_fast = access_bytes / (level_bw * par.min(model.threads as f64)).max(1.0);
+        let mem_dram = g.external_bytes() / model.dram_bw;
+        let t = model.parallel_overhead + compute.max(mem_dram) + mem_fast;
+        per_group.push((g.label.clone(), t));
+        total += t;
+    }
+    Ok(CostBreakdown { total, per_group })
+}
+
+/// Prices a schedule on a GPU: one kernel per group; the first two
+/// parallel chunk dimensions map to the grid, intra-tile points to
+/// threads. Tile-local arrays use shared memory when they fit (else they
+/// spill to global, like PPCG's box allocation falling back).
+///
+/// # Errors
+/// Returns an error on empty input.
+pub fn gpu_time(model: &GpuModel, groups: &[ExecGroup]) -> Result<CostBreakdown> {
+    require_nonempty(groups)?;
+    let mut total = 0.0;
+    let mut per_group = Vec::new();
+    for g in groups {
+        let blocks: f64 = g.parallel_chunks.iter().take(2).product::<f64>().max(1.0);
+        let points_per_tile = (g.total_instances() / g.n_tiles.max(1.0)).max(1.0);
+        let threads_per_block = points_per_tile.min(1024.0);
+        // Two-level parallelism requirement: with fewer than two parallel
+        // dims, threads cannot be mapped and the device starves.
+        let two_level = g.parallel_chunks.len() >= 2 || g.n_tiles > 1.0;
+        let resident = if two_level { blocks * threads_per_block } else { blocks };
+        let device_threads = (model.sms * 128) as f64;
+        let utilization = (resident / device_threads).min(1.0).max(1.0 / device_threads);
+        let compute = g.ops / (model.flops * utilization);
+        // Shared-memory feasibility per tile.
+        let local_per_tile: f64 = g.local_arrays.iter().map(|(_, b)| b).sum();
+        let (shared_bytes, spilled_bytes) = if local_per_tile <= model.shared_capacity {
+            (local_per_tile * g.n_tiles, 0.0)
+        } else {
+            (0.0, local_per_tile * g.n_tiles)
+        };
+        let global = g.external_bytes() + spilled_bytes;
+        let mem = global / model.global_bw + shared_bytes / model.shared_bw;
+        let t = model.kernel_launch + compute.max(mem);
+        per_group.push((g.label.clone(), t));
+        total += t;
+    }
+    Ok(CostBreakdown { total, per_group })
+}
+
+/// Prices a schedule on the DaVinci accelerator: each group is an
+/// operator; every external tensor pays an off-chip transfer (bandwidth +
+/// fixed latency), cube-unit statements run at matrix rate, the rest on
+/// the vector unit; tile-local tensors stay in the unified buffer.
+///
+/// # Errors
+/// Returns an error on empty input.
+pub fn davinci_time(model: &DavinciModel, groups: &[ExecGroup]) -> Result<CostBreakdown> {
+    require_nonempty(groups)?;
+    let mut total = 0.0;
+    let mut per_group = Vec::new();
+    for g in groups {
+        let mut transfer = 0.0;
+        for (_, bytes) in &g.external_arrays {
+            transfer += bytes / model.ddr_bw + model.ddr_latency;
+        }
+        let local_per_tile: f64 = g.local_arrays.iter().map(|(_, b)| b).sum();
+        let ub_traffic = local_per_tile * g.n_tiles / model.ub_bw;
+        // Buffer pressure: tiles larger than the unified buffer force
+        // extra off-chip round trips.
+        let spill = if local_per_tile > model.ub_capacity {
+            local_per_tile * g.n_tiles / model.ddr_bw
+        } else {
+            0.0
+        };
+        let compute = g.ops_cube / model.cube_rate + g.ops_vector / model.vector_rate;
+        let t = transfer + spill + compute.max(ub_traffic);
+        per_group.push((g.label.clone(), t));
+        total += t;
+    }
+    Ok(CostBreakdown { total, per_group })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tilefuse_pir::{ArrayId, StmtId};
+
+    fn group(label: &str) -> ExecGroup {
+        ExecGroup {
+            label: label.into(),
+            stmts: vec![StmtId(0)],
+            instances: BTreeMap::from([(StmtId(0), 1_000_000.0)]),
+            ops: 2_000_000.0,
+            ops_cube: 0.0,
+            ops_vector: 2_000_000.0,
+            loads: 2_000_000.0,
+            stores: 1_000_000.0,
+            parallel_chunks: vec![64.0],
+            n_tiles: 64.0,
+            tile_footprint_bytes: 16.0 * 1024.0,
+            local_arrays: vec![],
+            external_arrays: vec![(ArrayId(0), 4_000_000.0)],
+            vectorizable: true,
+        }
+    }
+
+    #[test]
+    fn cpu_time_scales_with_threads() {
+        let g = vec![group("g")];
+        let t32 = cpu_time(&CpuModel::xeon_e5_2683_v4(), &g).unwrap().total;
+        let t1 = cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(1), &g).unwrap().total;
+        assert!(t1 > t32, "t1={t1} t32={t32}");
+    }
+
+    #[test]
+    fn cpu_serial_group_is_slower() {
+        let mut sg = group("serial");
+        sg.parallel_chunks = vec![];
+        sg.vectorizable = false;
+        let pt = cpu_time(&CpuModel::xeon_e5_2683_v4(), &[group("par")]).unwrap().total;
+        let st = cpu_time(&CpuModel::xeon_e5_2683_v4(), &[sg]).unwrap().total;
+        assert!(st > pt);
+    }
+
+    #[test]
+    fn gpu_fused_local_beats_global_roundtrip() {
+        // Unfused: two groups, intermediate external in both.
+        let mut a = group("producer");
+        a.external_arrays = vec![(ArrayId(0), 8_000_000.0)];
+        let mut b = group("consumer");
+        b.external_arrays = vec![(ArrayId(0), 8_000_000.0), (ArrayId(1), 8_000_000.0)];
+        let unfused = gpu_time(&GpuModel::quadro_p6000(), &[a, b]).unwrap().total;
+        // Fused: one group, intermediate tile-local in shared memory.
+        let mut f = group("fused");
+        f.ops *= 2.0;
+        f.local_arrays = vec![(ArrayId(0), 8.0 * 1024.0)];
+        f.external_arrays = vec![(ArrayId(1), 8_000_000.0)];
+        let fused = gpu_time(&GpuModel::quadro_p6000(), &[f]).unwrap().total;
+        assert!(fused < unfused, "fused={fused} unfused={unfused}");
+    }
+
+    #[test]
+    fn gpu_shared_spill_costs_global_bandwidth() {
+        let mut small = group("fits");
+        small.local_arrays = vec![(ArrayId(0), 8.0 * 1024.0)];
+        let mut big = group("spills");
+        big.local_arrays = vec![(ArrayId(0), 1024.0 * 1024.0)];
+        let m = GpuModel::quadro_p6000();
+        let ts = gpu_time(&m, &[small]).unwrap().total;
+        let tb = gpu_time(&m, &[big]).unwrap().total;
+        assert!(tb > ts);
+    }
+
+    #[test]
+    fn davinci_fusion_saves_offchip_latency() {
+        // conv -> bn unfused: intermediate crosses DDR twice.
+        let mut conv = group("conv");
+        conv.ops_cube = conv.ops;
+        conv.ops_vector = 0.0;
+        conv.external_arrays =
+            vec![(ArrayId(0), 4_000_000.0), (ArrayId(1), 4_000_000.0)];
+        let mut bn = group("bn");
+        bn.external_arrays = vec![(ArrayId(1), 4_000_000.0), (ArrayId(2), 4_000_000.0)];
+        let m = DavinciModel::ascend_910();
+        let unfused = davinci_time(&m, &[conv.clone(), bn]).unwrap().total;
+        let mut fused = group("conv+bn");
+        fused.ops_cube = conv.ops;
+        fused.local_arrays = vec![(ArrayId(1), 64.0 * 1024.0)];
+        fused.external_arrays =
+            vec![(ArrayId(0), 4_000_000.0), (ArrayId(2), 4_000_000.0)];
+        let t_fused = davinci_time(&m, &[fused]).unwrap().total;
+        assert!(t_fused < unfused, "fused={t_fused} unfused={unfused}");
+    }
+
+    #[test]
+    fn cpu_capacity_levels_change_fast_memory_cost() {
+        // Same work, bigger tile working set: traffic drops to a slower
+        // level and the modeled time grows.
+        let mut small = group("small");
+        small.tile_footprint_bytes = 16.0 * 1024.0; // fits L1
+        small.external_arrays = vec![];
+        let mut big = small.clone();
+        big.label = "big".into();
+        big.tile_footprint_bytes = 512.0 * 1024.0 * 1024.0; // beyond LLC
+        let m = CpuModel::xeon_e5_2683_v4();
+        let ts = cpu_time(&m, &[small]).unwrap().total;
+        let tb = cpu_time(&m, &[big]).unwrap().total;
+        assert!(tb > ts, "big tiles {tb} must cost more than small {ts}");
+    }
+
+    #[test]
+    fn cpu_vectorization_speeds_compute() {
+        let mut v = group("vec");
+        v.external_arrays = vec![];
+        let mut nv = v.clone();
+        nv.vectorizable = false;
+        let m = CpuModel::xeon_e5_2683_v4();
+        let tv = cpu_time(&m, &[v]).unwrap().total;
+        let tn = cpu_time(&m, &[nv]).unwrap().total;
+        assert!(tv < tn);
+    }
+
+    #[test]
+    fn gpu_kernel_launch_charged_per_group() {
+        let m = GpuModel::quadro_p6000();
+        let one = gpu_time(&m, &[group("a")]).unwrap().total;
+        let two = gpu_time(&m, &[group("a"), group("b")]).unwrap().total;
+        assert!(two > one + m.kernel_launch * 0.9);
+    }
+
+    #[test]
+    fn davinci_ub_capacity_spill() {
+        let m = DavinciModel::ascend_910();
+        let mut fits = group("fits");
+        fits.local_arrays = vec![(ArrayId(0), 64.0 * 1024.0)];
+        fits.external_arrays = vec![];
+        let mut spills = fits.clone();
+        spills.label = "spills".into();
+        spills.local_arrays = vec![(ArrayId(0), 2048.0 * 1024.0)];
+        let tf = davinci_time(&m, &[fits]).unwrap().total;
+        let tsp = davinci_time(&m, &[spills]).unwrap().total;
+        assert!(tsp > tf, "UB overflow must cost DDR traffic");
+    }
+
+    #[test]
+    fn breakdown_labels_match_groups() {
+        let m = CpuModel::xeon_e5_2683_v4();
+        let b = cpu_time(&m, &[group("alpha"), group("beta")]).unwrap();
+        let labels: Vec<&str> = b.per_group.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["alpha", "beta"]);
+        let total: f64 = b.per_group.iter().map(|(_, t)| t).sum();
+        assert!((total - b.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summaries_rejected() {
+        assert!(cpu_time(&CpuModel::xeon_e5_2683_v4(), &[]).is_err());
+        assert!(gpu_time(&GpuModel::quadro_p6000(), &[]).is_err());
+        assert!(davinci_time(&DavinciModel::ascend_910(), &[]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Memory-hierarchy models for the tilefuse evaluation.
+//!
+//! The paper measured on a 32-core Xeon, an NVIDIA Quadro P6000, and a
+//! Huawei Ascend 910 — none of which this reproduction can assume. This
+//! crate substitutes analytic machine models whose *relative* behaviour
+//! preserves what the evaluation measures:
+//!
+//! * [`summarize_groups`]/[`summarize_optimized`] reduce a schedule to
+//!   per-group instance counts (including overlapped-tiling
+//!   recomputation), surviving parallelism, tile-local arrays, and bytes
+//!   per memory level — computed with the same polyhedral footprint
+//!   machinery the optimizer itself uses;
+//! * [`cpu_time`], [`gpu_time`], [`davinci_time`] price the summaries on
+//!   [`CpuModel`], [`GpuModel`], [`DavinciModel`];
+//! * [`CacheSim`] is a trace-driven set-associative LRU cache for
+//!   cross-validating the analytic model on small sizes.
+
+mod cachesim;
+mod cost;
+mod error;
+mod model;
+mod summary;
+
+pub use cachesim::{AddressMap, CacheSim};
+pub use cost::{cpu_time, davinci_time, gpu_time, CostBreakdown};
+pub use error::{Error, Result};
+pub use model::{CpuModel, DavinciModel, GpuModel};
+pub use summary::{card_box, summarize_groups, summarize_optimized, ExecGroup};

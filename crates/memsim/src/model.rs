@@ -1,0 +1,152 @@
+//! Machine models: the three platforms of the paper's evaluation.
+//!
+//! The models are deliberately simple — compute rate, memory levels with
+//! capacity and bandwidth, parallel resources, launch overheads. The goal
+//! is not absolute accuracy but preserving the *relative* effects the
+//! paper measures: fused intermediates live in fast memory, lost
+//! parallelism divides throughput, extra kernels pay launch latency, and
+//! off-chip traffic dominates on the accelerator.
+
+/// A CPU with a cache hierarchy and OpenMP-style parallelism
+/// (the paper's dual-socket 32-core Xeon E5-2683 v4).
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    /// Hardware threads available.
+    pub threads: usize,
+    /// Scalar operations per second per core.
+    pub flops_per_core: f64,
+    /// SIMD speedup when the innermost loop vectorizes.
+    pub simd_width: f64,
+    /// DRAM bandwidth (bytes/s, whole machine).
+    pub dram_bw: f64,
+    /// Shared last-level cache bandwidth (bytes/s).
+    pub llc_bw: f64,
+    /// Per-core private cache (scratchpad-like) bandwidth (bytes/s).
+    pub l1_bw: f64,
+    /// Per-core private cache capacity (bytes).
+    pub l1_capacity: f64,
+    /// Last-level cache capacity (bytes).
+    pub llc_capacity: f64,
+    /// Per-parallel-region overhead (s) — OpenMP fork/join.
+    pub parallel_overhead: f64,
+}
+
+impl CpuModel {
+    /// A model of the paper's evaluation platform: 2 × 16-core Xeon
+    /// E5-2683 v4 at 2.1 GHz.
+    pub fn xeon_e5_2683_v4() -> Self {
+        CpuModel {
+            threads: 32,
+            flops_per_core: 2.1e9,
+            simd_width: 4.0,
+            dram_bw: 76.8e9,
+            llc_bw: 400e9,
+            l1_bw: 3000e9,
+            l1_capacity: 32.0 * 1024.0,
+            llc_capacity: 40.0 * 1024.0 * 1024.0,
+            parallel_overhead: 5e-6,
+        }
+    }
+
+    /// The same machine restricted to `threads` threads (Fig. 8 sweeps).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// A GPU with two-level parallelism, shared memory, and kernel launches
+/// (the paper's Quadro P6000).
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Resident threads per SM.
+    pub threads_per_sm: usize,
+    /// Scalar operations per second (whole device).
+    pub flops: f64,
+    /// Global memory bandwidth (bytes/s).
+    pub global_bw: f64,
+    /// Shared-memory bandwidth (bytes/s, whole device).
+    pub shared_bw: f64,
+    /// Shared memory per block (bytes).
+    pub shared_capacity: f64,
+    /// Kernel launch latency (s).
+    pub kernel_launch: f64,
+}
+
+impl GpuModel {
+    /// A model of the NVIDIA Quadro P6000 (30 SMs, 432 GB/s).
+    pub fn quadro_p6000() -> Self {
+        GpuModel {
+            sms: 30,
+            threads_per_sm: 2048,
+            flops: 12.0e12,
+            global_bw: 432e9,
+            shared_bw: 8000e9,
+            shared_capacity: 48.0 * 1024.0,
+            kernel_launch: 8e-6,
+        }
+    }
+}
+
+/// The DaVinci-architecture accelerator (the paper's Ascend 910, Fig. 7):
+/// a cube unit fed from L1/L0 buffers, vector/scalar units on a unified
+/// buffer, expensive off-chip DDR.
+#[derive(Debug, Clone)]
+pub struct DavinciModel {
+    /// Cube (matrix) unit rate (MACs/s).
+    pub cube_rate: f64,
+    /// Vector unit rate (ops/s).
+    pub vector_rate: f64,
+    /// Off-chip DDR bandwidth (bytes/s).
+    pub ddr_bw: f64,
+    /// Fixed off-chip transfer latency per tensor movement (s) — the
+    /// paper: "the off-chip memory latency is very expensive on Ascend
+    /// 910".
+    pub ddr_latency: f64,
+    /// Unified Buffer bandwidth (bytes/s).
+    pub ub_bw: f64,
+    /// L1 buffer capacity (bytes).
+    pub l1_capacity: f64,
+    /// Unified Buffer capacity (bytes).
+    pub ub_capacity: f64,
+}
+
+impl DavinciModel {
+    /// A model of the Ascend 910's DaVinci core.
+    pub fn ascend_910() -> Self {
+        DavinciModel {
+            cube_rate: 256e12,
+            vector_rate: 4e12,
+            ddr_bw: 1200e9,
+            ddr_latency: 2.0e-6,
+            ub_bw: 20e12,
+            l1_capacity: 1024.0 * 1024.0,
+            ub_capacity: 256.0 * 1024.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let cpu = CpuModel::xeon_e5_2683_v4();
+        assert_eq!(cpu.threads, 32);
+        assert!(cpu.l1_bw > cpu.llc_bw && cpu.llc_bw > cpu.dram_bw);
+        let gpu = GpuModel::quadro_p6000();
+        assert!(gpu.shared_bw > gpu.global_bw);
+        let npu = DavinciModel::ascend_910();
+        assert!(npu.ub_bw > npu.ddr_bw);
+    }
+
+    #[test]
+    fn with_threads_overrides() {
+        let cpu = CpuModel::xeon_e5_2683_v4().with_threads(4);
+        assert_eq!(cpu.threads, 4);
+    }
+}

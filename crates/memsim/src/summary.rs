@@ -1,0 +1,457 @@
+//! Schedule summaries: the quantities the cost models price.
+//!
+//! A summary reduces an executed schedule to, per final fusion group: how
+//! many instances run (including overlapped-tiling recomputation), how
+//! much parallelism survives, which arrays are tile-local, and how many
+//! bytes move at each memory level. Footprints are measured with the same
+//! polyhedral machinery the optimizer uses (rectangular hulls of
+//! tile-footprint images — exactly PPCG's over-approximated box for
+//! shared-memory allocation).
+
+use crate::error::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use tilefuse_core::Optimized;
+use tilefuse_pir::{ArrayId, ArrayKind, Program, StmtId};
+use tilefuse_presburger::{Map, Set};
+use tilefuse_scheduler::{band_part, loop_vars, Group};
+use tilefuse_schedtree::Band;
+
+/// One final execution group (a kernel on GPU, a parallel loop nest on
+/// CPU, an operator on the accelerator).
+#[derive(Debug, Clone)]
+pub struct ExecGroup {
+    /// A label for diagnostics (the live-out statement names).
+    pub label: String,
+    /// Statements executed by this group (fused producers included).
+    pub stmts: Vec<StmtId>,
+    /// Instance counts per statement, *including* recomputation and the
+    /// dynamic work multiplier.
+    pub instances: BTreeMap<StmtId, f64>,
+    /// Scalar operations executed.
+    pub ops: f64,
+    /// Element loads issued.
+    pub loads: f64,
+    /// Element stores issued.
+    pub stores: f64,
+    /// Iteration chunks available per leading parallel dimension
+    /// (tiles if tiled, points otherwise).
+    pub parallel_chunks: Vec<f64>,
+    /// Number of tiles executed (1 when untiled).
+    pub n_tiles: f64,
+    /// Per-tile working set in bytes (rectangular-hull box, all arrays).
+    pub tile_footprint_bytes: f64,
+    /// Arrays that live tile-locally (scratchpad / shared memory):
+    /// `(array, per-tile bytes)`.
+    pub local_arrays: Vec<(ArrayId, f64)>,
+    /// Arrays exchanged with backing memory: `(array, distinct bytes)`.
+    pub external_arrays: Vec<(ArrayId, f64)>,
+    /// Scalar operations attributable to tensor/matrix statements (≥ 4
+    /// loop dims — the accelerator's cube unit).
+    pub ops_cube: f64,
+    /// Scalar operations attributable to vector/scalar statements.
+    pub ops_vector: f64,
+    /// Whether the innermost loop is parallel (vectorizable).
+    pub vectorizable: bool,
+}
+
+impl ExecGroup {
+    /// Total instances.
+    pub fn total_instances(&self) -> f64 {
+        self.instances.values().sum()
+    }
+
+    /// Total bytes exchanged with backing memory.
+    pub fn external_bytes(&self) -> f64 {
+        self.external_arrays.iter().map(|(_, b)| b).sum()
+    }
+}
+
+/// Box cardinality of a set (exact for rectangular domains, an
+/// over-approximation otherwise — the documented modeling choice).
+pub fn card_box(set: &Set, params: &[i64]) -> Result<f64> {
+    match set.rect_hull(params)? {
+        None => Ok(0.0),
+        Some(h) => Ok(h.iter().map(|(l, u)| (u - l + 1).max(0) as f64).product()),
+    }
+}
+
+/// Per-tile footprint of `array` for a group tiled by `tile_maps`:
+/// rectangular hull of the image of the first non-empty tile.
+fn per_tile_array_bytes(
+    program: &Program,
+    stmts: &[StmtId],
+    tile_maps: &[Map],
+    array: ArrayId,
+    params: &[i64],
+) -> Result<f64> {
+    let mut acc: Option<Map> = None;
+    for (&s, tm) in stmts.iter().zip(tile_maps) {
+        // Cheap structural check before building any relation.
+        let body = program.stmt(s).body();
+        let reads = body.rhs.loads().iter().any(|(arr, _)| *arr == array);
+        let writes = body.target == array;
+        if !reads && !writes {
+            continue;
+        }
+        let mut maps = Vec::new();
+        if reads {
+            if let Some(r) = program.read_access_to(s, array)? {
+                maps.push(r);
+            }
+        }
+        if writes {
+            maps.push(program.write_access(s)?);
+        }
+        for m in maps {
+            let part = tm.reverse().compose(&m)?;
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => prev.union(&part)?,
+            });
+        }
+    }
+    let Some(fp) = acc else {
+        return Ok(0.0);
+    };
+    // Representative tile: the lexicographically smallest tile coordinate.
+    let k = fp.space().n_in();
+    let dom = fp.domain()?;
+    let Some(hull) = dom.rect_hull(params)? else {
+        return Ok(0.0);
+    };
+    let rep: Vec<i64> = hull.iter().map(|(l, _)| *l).collect();
+    debug_assert_eq!(rep.len(), k);
+    let img = fp.image_of(&rep)?;
+    let elem = f64::from(program.array(array).elem_bytes());
+    Ok(card_box(&img, params)? * elem)
+}
+
+/// Summarizes a heuristic fusion result (tiling-after-fusion baseline):
+/// each group is tiled by `tile_sizes` over its shared band prefix.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn summarize_groups(
+    program: &Program,
+    groups: &[Group],
+    tile_sizes: &[i64],
+    params: &[i64],
+) -> Result<Vec<ExecGroup>> {
+    let mut out = Vec::new();
+    for g in groups {
+        out.push(summarize_one_group(program, groups, g, tile_sizes, params, &[], &[])?);
+    }
+    Ok(out)
+}
+
+/// Summarizes an optimizer result: fused producers join their live-out
+/// group with recomputation factors; their arrays become tile-local.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn summarize_optimized(
+    program: &Program,
+    optimized: &Optimized,
+    tile_sizes: &[i64],
+    params: &[i64],
+) -> Result<Vec<ExecGroup>> {
+    let report = &optimized.report;
+    let fused_all: BTreeSet<usize> =
+        report.mixed.iter().flat_map(|m| m.fused_groups.iter().copied()).collect();
+    let mut out = Vec::new();
+    for (gi, g) in report.groups.iter().enumerate() {
+        if fused_all.contains(&gi) {
+            continue; // executes inside its live-out's tiles
+        }
+        // Is gi a live-out group with fused producers?
+        let mixed = report.mixed.iter().find(|m| m.liveout == gi);
+        let (extra, exts): (Vec<StmtId>, Vec<&tilefuse_core::ExtensionPart>) = match mixed {
+            Some(m) => (
+                m.extensions.iter().map(|e| e.stmt).collect(),
+                m.extensions.iter().collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        out.push(summarize_one_group(
+            program, &report.groups, g, tile_sizes, params, &extra, &exts,
+        )?);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summarize_one_group(
+    program: &Program,
+    _all_groups: &[Group],
+    g: &Group,
+    tile_sizes: &[i64],
+    params: &[i64],
+    fused_stmts: &[StmtId],
+    exts: &[&tilefuse_core::ExtensionPart],
+) -> Result<ExecGroup> {
+    let k = g.depth.min(tile_sizes.len());
+    // Tile maps of the group's own statements.
+    let mut stmts: Vec<StmtId> = g.stmts.clone();
+    let mut tile_maps: Vec<Map> = Vec::new();
+    for (idx, &s) in g.stmts.iter().enumerate() {
+        let vars = loop_vars(program, s);
+        let part = band_part(program, s, &vars[..k], &g.shifts[idx][..k])?;
+        let tiled = if k > 0 {
+            let band = Band::new(
+                tilefuse_presburger::UnionMap::from_parts([part])?,
+                true,
+                vec![false; k],
+            )?;
+            let (tile, _) = band.tile(&tile_sizes[..k])?;
+            tile.sched().parts()[0].clone()
+        } else {
+            part
+        };
+        tile_maps.push(tiled);
+    }
+    // Fused producers: their "tile map" is the reverse of the extension.
+    for e in exts {
+        stmts.push(e.stmt);
+        tile_maps.push(e.ext.reverse());
+    }
+
+    // Parallel-extent bookkeeping first (tile counts feed the
+    // recomputation estimates below).
+    let rep_stmt = g.stmts[0];
+    let rep_vars = loop_vars(program, rep_stmt);
+    let rep_hull = program
+        .stmt(rep_stmt)
+        .domain()
+        .rect_hull(params)?
+        .unwrap_or_default();
+    let mut n_tiles = 1.0;
+    for (j, &ts) in tile_sizes.iter().take(k).enumerate() {
+        let extent = rep_vars
+            .get(j)
+            .and_then(|&d| rep_hull.get(d))
+            .map(|(l, u)| (u - l + 1).max(0) as f64)
+            .unwrap_or(1.0);
+        n_tiles *= (extent / ts as f64).ceil();
+    }
+
+    // Instance counts.
+    let mut instances = BTreeMap::new();
+    let mut ops = 0.0;
+    let mut ops_cube = 0.0;
+    let mut ops_vector = 0.0;
+    let mut loads = 0.0;
+    let mut stores = 0.0;
+    for &s in &stmts {
+        let stmt = program.stmt(s);
+        let base = card_box(stmt.domain(), params)? * stmt.work_scale();
+        let count = if fused_stmts.contains(&s) {
+            // Recomputation: (tiles) × (per-tile extension instances,
+            // sampled at the origin tile — domains start at zero).
+            let e = exts.iter().find(|e| e.stmt == s).expect("fused stmt has ext");
+            let kk = e.ext.space().n_in();
+            let per_tile = card_box(&e.ext.image_of(&vec![0; kk])?, params)?;
+            (n_tiles * per_tile * stmt.work_scale()).max(base)
+        } else {
+            base
+        };
+        instances.insert(s, count);
+        let stmt_ops = count * (stmt.body().rhs.op_count() as f64 + 1.0);
+        ops += stmt_ops;
+        if stmt.n_dims() >= 4 {
+            ops_cube += stmt_ops;
+        } else {
+            ops_vector += stmt_ops;
+        }
+        loads += count * stmt.body().rhs.loads().len() as f64;
+        stores += count;
+    }
+
+    // Parallel chunks per leading coincident dim (tiles when tiled).
+    let mut parallel_chunks = Vec::new();
+    for (j, &coin) in g.coincident.iter().enumerate() {
+        if !coin {
+            break;
+        }
+        let extent = rep_vars
+            .get(j)
+            .and_then(|&d| rep_hull.get(d))
+            .map(|(l, u)| (u - l + 1).max(0) as f64)
+            .unwrap_or(1.0);
+        let chunk = if j < k { (extent / tile_sizes[j] as f64).ceil() } else { extent };
+        parallel_chunks.push(chunk);
+    }
+
+    // Array classification.
+    let group_set: BTreeSet<StmtId> = stmts.iter().copied().collect();
+    let mut touched: BTreeSet<ArrayId> = BTreeSet::new();
+    for &s in &stmts {
+        touched.insert(program.stmt(s).body().target);
+        for (a, _) in program.stmt(s).body().rhs.loads() {
+            touched.insert(a);
+        }
+    }
+    let mut local_arrays = Vec::new();
+    let mut external_arrays = Vec::new();
+    let mut tile_footprint_bytes = 0.0;
+    for &a in &touched {
+        let decl = program.array(a);
+        let writers: BTreeSet<StmtId> = program
+            .stmts()
+            .iter()
+            .filter(|s| s.body().target == a)
+            .map(|s| s.id())
+            .collect();
+        let readers: BTreeSet<StmtId> = program
+            .stmts()
+            .iter()
+            .filter(|s| s.body().rhs.loads().iter().any(|(arr, _)| *arr == a))
+            .map(|s| s.id())
+            .collect();
+        let internal = decl.kind() == ArrayKind::Temp
+            && writers.is_subset(&group_set)
+            && readers
+                .iter()
+                .all(|r| group_set.contains(r) || writers.contains(r));
+        let fused_local = exts
+            .iter()
+            .any(|e| program.stmt(e.stmt).body().target == a);
+        let per_tile = per_tile_array_bytes(program, &stmts, &tile_maps, a, params)?;
+        tile_footprint_bytes += per_tile;
+        if (internal && group_set.len() > 1) || fused_local {
+            local_arrays.push((a, per_tile));
+        } else {
+            // Distinct bytes of the array touched by this group.
+            let bind = |name: &str| -> i64 {
+                program
+                    .params()
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .map(|i| params[i])
+                    .unwrap_or(0)
+            };
+            let bytes = decl.len(&bind).max(0) as f64 * f64::from(decl.elem_bytes());
+            external_arrays.push((a, bytes));
+        }
+    }
+
+    let vectorizable = g.innermost_parallel;
+
+    let label = g
+        .stmts
+        .iter()
+        .map(|&s| program.stmt(s).name().to_owned())
+        .collect::<Vec<_>>()
+        .join("+");
+    Ok(ExecGroup {
+        label,
+        stmts,
+        instances,
+        ops,
+        ops_cube,
+        ops_vector,
+        loads,
+        stores,
+        parallel_chunks,
+        n_tiles,
+        tile_footprint_bytes,
+        local_arrays,
+        external_arrays,
+        vectorizable,
+    })
+}
+
+/// Guards against summaries of empty programs.
+pub(crate) fn require_nonempty(groups: &[ExecGroup]) -> Result<()> {
+    if groups.is_empty() {
+        return Err(Error::Model("no execution groups to price".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_pir::{Body, Expr, IdxExpr, SchedTerm};
+    use tilefuse_scheduler::{schedule, FusionHeuristic};
+
+    fn stencil_pair(n: i64) -> Program {
+        let mut p = Program::new("st").with_param("N", n);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn minfuse_summary_pays_external_traffic_for_intermediate() {
+        let p = stencil_pair(128);
+        let s = schedule(&p, FusionHeuristic::MinFuse).unwrap();
+        let sums = summarize_groups(&p, &s.fusion.groups, &[32], &[128]).unwrap();
+        assert_eq!(sums.len(), 2);
+        // Both groups see A as external: the producer writes it to memory,
+        // the consumer reads it back.
+        assert!(sums[0].external_bytes() > 0.0);
+        assert!(sums[1].external_bytes() > 0.0);
+        assert!(sums[0].local_arrays.is_empty());
+        assert_eq!(sums[0].instances[&StmtId(0)], 128.0);
+    }
+
+    #[test]
+    fn optimized_summary_localizes_intermediate_with_recompute() {
+        let p = stencil_pair(128);
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![32],
+            parallel_cap: None,
+            startup: FusionHeuristic::MinFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&p, &opts).unwrap();
+        let sums = summarize_optimized(&p, &o, &[32], &[128]).unwrap();
+        assert_eq!(sums.len(), 1, "producer fused away");
+        let g = &sums[0];
+        assert_eq!(g.local_arrays.len(), 1, "A is tile-local");
+        // Recomputation: 4 tiles × 34 producer instances = 136 > 128.
+        let s0 = g.instances[&StmtId(0)];
+        assert!(s0 > 128.0 && s0 <= 140.0, "recompute-inflated count {s0}");
+        // Output B remains external.
+        assert!(g.external_bytes() > 0.0);
+        assert_eq!(g.parallel_chunks, vec![4.0]);
+        assert_eq!(g.n_tiles, 4.0);
+    }
+
+    #[test]
+    fn card_box_counts_rectangles_exactly() {
+        let s: Set = "{ S[i, j] : 0 <= i <= 3 and 0 <= j <= 4 }".parse().unwrap();
+        assert_eq!(card_box(&s, &[]).unwrap(), 20.0);
+        let e: Set = "{ S[i] : 1 = 0 }".parse().unwrap();
+        assert_eq!(card_box(&e, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tile_footprint_includes_halo() {
+        let p = stencil_pair(128);
+        let s = schedule(&p, FusionHeuristic::MinFuse).unwrap();
+        let sums = summarize_groups(&p, &s.fusion.groups, &[32], &[128]).unwrap();
+        // Consumer tile reads 32 B elements and 34 A elements: 66 × 4 bytes.
+        let consumer = &sums[1];
+        assert_eq!(consumer.tile_footprint_bytes, (34.0 + 32.0) * 4.0);
+    }
+}

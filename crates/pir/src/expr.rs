@@ -1,0 +1,457 @@
+//! Executable statement bodies: affine index expressions and scalar
+//! expression trees.
+//!
+//! Statement bodies serve two masters: the *interpreter* (in `codegen`)
+//! evaluates them against real buffers to validate transformed schedules,
+//! and the *dependence analysis* (in [`crate::deps`]) derives access
+//! relations from the same [`IdxExpr`]s, so the two can never drift apart.
+
+use std::fmt;
+
+/// An affine index expression over a statement's iteration dimensions and
+/// the program parameters: `Σ c_d · dim_d + Σ c_p · param_p + c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxExpr {
+    dim_coeffs: Vec<i64>,
+    param_terms: Vec<(String, i64)>,
+    constant: i64,
+}
+
+impl IdxExpr {
+    /// The constant index `c` for a statement with `n_dims` dimensions.
+    pub fn constant(n_dims: usize, c: i64) -> Self {
+        IdxExpr { dim_coeffs: vec![0; n_dims], param_terms: Vec::new(), constant: c }
+    }
+
+    /// The index `dim_d` for a statement with `n_dims` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `d >= n_dims`.
+    pub fn dim(n_dims: usize, d: usize) -> Self {
+        assert!(d < n_dims, "dim {d} out of range for {n_dims} dims");
+        let mut e = Self::constant(n_dims, 0);
+        e.dim_coeffs[d] = 1;
+        e
+    }
+
+    /// The index `param + offset`.
+    pub fn param(n_dims: usize, name: &str, offset: i64) -> Self {
+        IdxExpr {
+            dim_coeffs: vec![0; n_dims],
+            param_terms: vec![(name.to_owned(), 1)],
+            constant: offset,
+        }
+    }
+
+    /// Adds another index expression.
+    ///
+    /// # Panics
+    /// Panics if the dimension counts differ.
+    #[must_use]
+    pub fn plus(&self, other: &IdxExpr) -> IdxExpr {
+        assert_eq!(self.dim_coeffs.len(), other.dim_coeffs.len());
+        let mut out = self.clone();
+        for (a, b) in out.dim_coeffs.iter_mut().zip(&other.dim_coeffs) {
+            *a += b;
+        }
+        for (n, c) in &other.param_terms {
+            if let Some(t) = out.param_terms.iter_mut().find(|(m, _)| m == n) {
+                t.1 += c;
+            } else {
+                out.param_terms.push((n.clone(), *c));
+            }
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// Adds a constant offset.
+    #[must_use]
+    pub fn offset(&self, c: i64) -> IdxExpr {
+        let mut out = self.clone();
+        out.constant += c;
+        out
+    }
+
+    /// Scales by a constant.
+    #[must_use]
+    pub fn scale(&self, k: i64) -> IdxExpr {
+        IdxExpr {
+            dim_coeffs: self.dim_coeffs.iter().map(|c| c * k).collect(),
+            param_terms: self.param_terms.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Number of statement dimensions this index is defined over.
+    pub fn n_dims(&self) -> usize {
+        self.dim_coeffs.len()
+    }
+
+    /// Coefficient of dimension `d`.
+    pub fn dim_coeff(&self, d: usize) -> i64 {
+        self.dim_coeffs[d]
+    }
+
+    /// Parameter terms `(name, coeff)`.
+    pub fn param_terms(&self) -> &[(String, i64)] {
+        &self.param_terms
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Evaluates at concrete iteration-dimension values, resolving
+    /// parameters through `params`.
+    ///
+    /// # Panics
+    /// Panics if `dims` has the wrong length or a parameter is missing.
+    pub fn eval(&self, dims: &[i64], params: &dyn Fn(&str) -> i64) -> i64 {
+        assert_eq!(dims.len(), self.dim_coeffs.len(), "wrong dim count");
+        let mut acc = self.constant;
+        for (c, v) in self.dim_coeffs.iter().zip(dims) {
+            acc += c * v;
+        }
+        for (n, c) in &self.param_terms {
+            acc += c * params(n);
+        }
+        acc
+    }
+}
+
+impl fmt::Display for IdxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (d, &c) in self.dim_coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            write_term(f, &mut first, c, &format!("i{d}"))?;
+        }
+        for (n, c) in &self.param_terms {
+            if *c == 0 {
+                continue;
+            }
+            write_term(f, &mut first, *c, n)?;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, first: &mut bool, c: i64, v: &str) -> fmt::Result {
+    if *first {
+        match c {
+            1 => write!(f, "{v}")?,
+            -1 => write!(f, "-{v}")?,
+            _ => write!(f, "{c}{v}")?,
+        }
+        *first = false;
+    } else if c > 0 {
+        if c == 1 {
+            write!(f, " + {v}")?;
+        } else {
+            write!(f, " + {c}{v}")?;
+        }
+    } else if c == -1 {
+        write!(f, " - {v}")?;
+    } else {
+        write!(f, " - {}{v}", -c)?;
+    }
+    Ok(())
+}
+
+/// Identifies an array declared in a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Binary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+/// Unary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// `max(x, 0)` — the ReLU activation.
+    Relu,
+    /// Exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Reciprocal `1/x`.
+    Recip,
+}
+
+/// A scalar expression tree evaluated per statement instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Load `array[idx...]`.
+    Load(ArrayId, Vec<IdxExpr>),
+    /// A floating-point literal.
+    Const(f64),
+    /// The value of iteration dimension `d` (as a float).
+    Iter(usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // DSL constructors, deliberately named
+impl Expr {
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(a), Box::new(b))
+    }
+
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(a), Box::new(b))
+    }
+
+    /// `relu(a)`.
+    pub fn relu(a: Expr) -> Expr {
+        Expr::Un(UnOp::Relu, Box::new(a))
+    }
+
+    /// `load(array, indices)`.
+    pub fn load(array: ArrayId, idx: Vec<IdxExpr>) -> Expr {
+        Expr::Load(array, idx)
+    }
+
+    /// Collects every `(array, indices)` load in the tree.
+    pub fn loads(&self) -> Vec<(ArrayId, &[IdxExpr])> {
+        let mut out = Vec::new();
+        self.collect_loads(&mut out);
+        out
+    }
+
+    fn collect_loads<'a>(&'a self, out: &mut Vec<(ArrayId, &'a [IdxExpr])>) {
+        match self {
+            Expr::Load(a, idx) => out.push((*a, idx.as_slice())),
+            Expr::Bin(_, l, r) => {
+                l.collect_loads(out);
+                r.collect_loads(out);
+            }
+            Expr::Un(_, e) => e.collect_loads(out),
+            Expr::Const(_) | Expr::Iter(_) => {}
+        }
+    }
+
+    /// Evaluates the tree. `load` resolves array reads.
+    ///
+    /// # Panics
+    /// May panic if an [`IdxExpr`] has the wrong arity for `dims`.
+    pub fn eval(
+        &self,
+        dims: &[i64],
+        params: &dyn Fn(&str) -> i64,
+        load: &mut dyn FnMut(ArrayId, &[i64]) -> f64,
+    ) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Iter(d) => dims[*d] as f64,
+            Expr::Load(a, idx) => {
+                let coords: Vec<i64> = idx.iter().map(|e| e.eval(dims, params)).collect();
+                load(*a, &coords)
+            }
+            Expr::Bin(op, l, r) => {
+                let x = l.eval(dims, params, load);
+                let y = r.eval(dims, params, load);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Max => x.max(y),
+                    BinOp::Min => x.min(y),
+                }
+            }
+            Expr::Un(op, e) => {
+                let x = e.eval(dims, params, load);
+                match op {
+                    UnOp::Neg => -x,
+                    UnOp::Relu => x.max(0.0),
+                    UnOp::Exp => x.exp(),
+                    UnOp::Sqrt => x.sqrt(),
+                    UnOp::Abs => x.abs(),
+                    UnOp::Recip => 1.0 / x,
+                }
+            }
+        }
+    }
+
+    /// Number of scalar operations in the tree (loads count as zero; used
+    /// by the cost model).
+    pub fn op_count(&self) -> u64 {
+        match self {
+            Expr::Const(_) | Expr::Iter(_) | Expr::Load(..) => 0,
+            Expr::Bin(_, l, r) => 1 + l.op_count() + r.op_count(),
+            Expr::Un(_, e) => 1 + e.op_count(),
+        }
+    }
+}
+
+/// The effect of one statement instance: `target[idx...] = rhs`.
+///
+/// Reductions are expressed by making `rhs` read `target` (e.g.
+/// `C[h,w] = C[h,w] + ...`), which also yields the correct dependences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Body {
+    /// The array written.
+    pub target: ArrayId,
+    /// Index expressions of the write.
+    pub target_idx: Vec<IdxExpr>,
+    /// The value stored.
+    pub rhs: Expr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_expr_eval() {
+        // h + kh - 1 with params KH
+        let e = IdxExpr::dim(4, 0).plus(&IdxExpr::dim(4, 2)).offset(-1);
+        assert_eq!(e.eval(&[5, 0, 2, 0], &|_| unreachable!()), 6);
+        let p = IdxExpr::param(1, "W", -1);
+        assert_eq!(p.eval(&[0], &|n| if n == "W" { 10 } else { 0 }), 9);
+    }
+
+    #[test]
+    fn idx_expr_algebra() {
+        let e = IdxExpr::dim(2, 0).scale(2).plus(&IdxExpr::constant(2, 3));
+        assert_eq!(e.eval(&[4, 0], &|_| 0), 11);
+        assert_eq!(e.dim_coeff(0), 2);
+        assert_eq!(e.constant_term(), 3);
+        assert_eq!(e.n_dims(), 2);
+    }
+
+    #[test]
+    fn idx_expr_display() {
+        let e = IdxExpr::dim(2, 0).plus(&IdxExpr::dim(2, 1).scale(-1)).offset(3);
+        assert_eq!(e.to_string(), "i0 - i1 + 3");
+        assert_eq!(IdxExpr::constant(2, 0).to_string(), "0");
+    }
+
+    #[test]
+    fn expr_eval_conv_like() {
+        // A[h+kh] * B[kh]
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let e = Expr::mul(
+            Expr::load(a, vec![IdxExpr::dim(2, 0).plus(&IdxExpr::dim(2, 1))]),
+            Expr::load(b, vec![IdxExpr::dim(2, 1)]),
+        );
+        let v = e.eval(&[3, 1], &|_| 0, &mut |arr, coords| {
+            if arr == a {
+                coords[0] as f64
+            } else {
+                2.0
+            }
+        });
+        assert_eq!(v, 8.0);
+        assert_eq!(e.op_count(), 1);
+    }
+
+    #[test]
+    fn expr_unops() {
+        let x = Expr::Const(-3.0);
+        assert_eq!(Expr::relu(x.clone()).eval(&[], &|_| 0, &mut |_, _| 0.0), 0.0);
+        assert_eq!(
+            Expr::Un(UnOp::Abs, Box::new(x.clone())).eval(&[], &|_| 0, &mut |_, _| 0.0),
+            3.0
+        );
+        assert_eq!(
+            Expr::Un(UnOp::Neg, Box::new(x)).eval(&[], &|_| 0, &mut |_, _| 0.0),
+            3.0
+        );
+        let four = Expr::Const(4.0);
+        assert_eq!(
+            Expr::Un(UnOp::Sqrt, Box::new(four.clone())).eval(&[], &|_| 0, &mut |_, _| 0.0),
+            2.0
+        );
+        assert_eq!(
+            Expr::Un(UnOp::Recip, Box::new(four)).eval(&[], &|_| 0, &mut |_, _| 0.0),
+            0.25
+        );
+    }
+
+    #[test]
+    fn expr_binops() {
+        let two = || Expr::Const(2.0);
+        let three = || Expr::Const(3.0);
+        let ev = |e: Expr| e.eval(&[], &|_| 0, &mut |_, _| 0.0);
+        assert_eq!(ev(Expr::add(two(), three())), 5.0);
+        assert_eq!(ev(Expr::sub(two(), three())), -1.0);
+        assert_eq!(ev(Expr::div(three(), two())), 1.5);
+        assert_eq!(ev(Expr::max(two(), three())), 3.0);
+        assert_eq!(ev(Expr::min(two(), three())), 2.0);
+    }
+
+    #[test]
+    fn loads_collects_all() {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let e = Expr::add(
+            Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+            Expr::relu(Expr::load(b, vec![IdxExpr::dim(1, 0)])),
+        );
+        let ls = e.loads();
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].0, a);
+        assert_eq!(ls[1].0, b);
+    }
+
+    #[test]
+    fn iter_expr_reads_dim() {
+        let e = Expr::Iter(1);
+        assert_eq!(e.eval(&[7, 9], &|_| 0, &mut |_, _| 0.0), 9.0);
+    }
+}

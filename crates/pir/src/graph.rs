@@ -1,0 +1,267 @@
+//! The statement-level dependence graph.
+//!
+//! Fusion heuristics cluster the strongly connected components of this
+//! graph; its topological order gives the legal sequence of fusion groups.
+
+use crate::deps::Dependence;
+use crate::program::StmtId;
+use std::collections::BTreeSet;
+
+/// A directed graph over statements, one node per statement.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl DepGraph {
+    /// Builds the graph for `n` statements from dependences (self-edges are
+    /// kept; parallel edges collapse).
+    pub fn new(n: usize, deps: &[Dependence]) -> Self {
+        let edges = deps.iter().map(|d| (d.src.0, d.dst.0)).collect();
+        DepGraph { n, edges }
+    }
+
+    /// Builds the graph from raw edges.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        DepGraph { n, edges: edges.into_iter().collect() }
+    }
+
+    /// Number of statements.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the edge `src -> dst` exists.
+    pub fn has_edge(&self, src: StmtId, dst: StmtId) -> bool {
+        self.edges.contains(&(src.0, dst.0))
+    }
+
+    /// Direct predecessors of `v` (excluding `v` itself).
+    pub fn preds(&self, v: StmtId) -> Vec<StmtId> {
+        self.edges
+            .iter()
+            .filter(|(s, d)| *d == v.0 && *s != v.0)
+            .map(|(s, _)| StmtId(*s))
+            .collect()
+    }
+
+    /// Direct successors of `v` (excluding `v` itself).
+    pub fn succs(&self, v: StmtId) -> Vec<StmtId> {
+        self.edges
+            .iter()
+            .filter(|(s, d)| *s == v.0 && *d != v.0)
+            .map(|(_, d)| StmtId(*d))
+            .collect()
+    }
+
+    /// All statements transitively reachable from `v` (excluding `v` unless
+    /// it lies on a cycle through itself).
+    pub fn reachable(&self, v: StmtId) -> BTreeSet<StmtId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = self.succs(v);
+        while let Some(u) = stack.pop() {
+            if seen.insert(u) {
+                stack.extend(self.succs(u));
+            }
+        }
+        seen
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (Tarjan). Each component is sorted by statement index.
+    pub fn sccs(&self) -> Vec<Vec<StmtId>> {
+        let mut state = Tarjan {
+            graph: self,
+            index: vec![None; self.n],
+            low: vec![0; self.n],
+            on_stack: vec![false; self.n],
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+        for v in 0..self.n {
+            if state.index[v].is_none() {
+                state.strongconnect(v);
+            }
+        }
+        for c in &mut state.out {
+            c.sort();
+        }
+        state.out
+    }
+
+    /// Strongly connected components in topological order (sources first).
+    /// Independent components are ordered by their smallest statement id,
+    /// so the result follows the original program order where the
+    /// dependences allow.
+    pub fn sccs_topological(&self) -> Vec<Vec<StmtId>> {
+        let sccs = self.sccs();
+        let comp_of: Vec<usize> = {
+            let mut m = vec![0; self.n];
+            for (c, comp) in sccs.iter().enumerate() {
+                for s in comp {
+                    m[s.0] = c;
+                }
+            }
+            m
+        };
+        let k = sccs.len();
+        let mut indeg = vec![0usize; k];
+        let mut dag: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &(s, d) in &self.edges {
+            let (cs, cd) = (comp_of[s], comp_of[d]);
+            if cs != cd && dag.insert((cs, cd)) {
+                indeg[cd] += 1;
+            }
+        }
+        // Kahn with a min-heap keyed by the component's smallest stmt id.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> =
+            (0..k)
+                .filter(|&c| indeg[c] == 0)
+                .map(|c| std::cmp::Reverse((sccs[c][0].0, c)))
+                .collect();
+        let mut order = Vec::with_capacity(k);
+        while let Some(std::cmp::Reverse((_, c))) = ready.pop() {
+            order.push(sccs[c].clone());
+            for &(cs, cd) in dag.iter().filter(|(cs, _)| *cs == c) {
+                debug_assert_eq!(cs, c);
+                indeg[cd] -= 1;
+                if indeg[cd] == 0 {
+                    ready.push(std::cmp::Reverse((sccs[cd][0].0, cd)));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), k);
+        order
+    }
+
+    /// Whether grouping `group` (a set of statements) is *convex*: no path
+    /// from inside the group leaves it and comes back. Non-convex groups
+    /// cannot be fused without also fusing the statements in between.
+    pub fn is_convex(&self, group: &BTreeSet<StmtId>) -> bool {
+        for &g in group {
+            for out in self.succs(g) {
+                if group.contains(&out) {
+                    continue;
+                }
+                // Path back into the group?
+                let back = self.reachable(out);
+                if back.iter().any(|r| group.contains(r)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+struct Tarjan<'a> {
+    graph: &'a DepGraph,
+    index: Vec<Option<usize>>,
+    low: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next: usize,
+    out: Vec<Vec<StmtId>>,
+}
+
+impl Tarjan<'_> {
+    fn strongconnect(&mut self, v: usize) {
+        self.index[v] = Some(self.next);
+        self.low[v] = self.next;
+        self.next += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+        let succs: Vec<usize> = self
+            .graph
+            .edges
+            .iter()
+            .filter(|(s, _)| *s == v)
+            .map(|(_, d)| *d)
+            .collect();
+        for w in succs {
+            if self.index[w].is_none() {
+                self.strongconnect(w);
+                self.low[v] = self.low[v].min(self.low[w]);
+            } else if self.on_stack[w] {
+                self.low[v] = self.low[v].min(self.index[w].unwrap());
+            }
+        }
+        if self.low[v] == self.index[v].unwrap() {
+            let mut comp = Vec::new();
+            loop {
+                let w = self.stack.pop().unwrap();
+                self.on_stack[w] = false;
+                comp.push(StmtId(w));
+                if w == v {
+                    break;
+                }
+            }
+            self.out.push(comp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_graph_topology() {
+        let g = DepGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(g.has_edge(StmtId(0), StmtId(1)));
+        assert!(!g.has_edge(StmtId(1), StmtId(0)));
+        assert_eq!(g.succs(StmtId(0)), vec![StmtId(1)]);
+        assert_eq!(g.preds(StmtId(2)), vec![StmtId(1)]);
+        let topo = g.sccs_topological();
+        assert_eq!(topo, vec![vec![StmtId(0)], vec![StmtId(1)], vec![StmtId(2)]]);
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_scc() {
+        let g = DepGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let topo = g.sccs_topological();
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo[0], vec![StmtId(0), StmtId(1)]);
+        assert_eq!(topo[1], vec![StmtId(2)]);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_scc() {
+        let g = DepGraph::from_edges(2, [(0, 0), (0, 1)]);
+        let topo = g.sccs_topological();
+        assert_eq!(topo.len(), 2);
+        assert_eq!(g.n_nodes(), 2);
+    }
+
+    #[test]
+    fn reachable_transitive() {
+        let g = DepGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let r = g.reachable(StmtId(0));
+        assert_eq!(r, [StmtId(1), StmtId(2), StmtId(3)].into_iter().collect());
+        assert!(g.reachable(StmtId(3)).is_empty());
+    }
+
+    #[test]
+    fn convexity_detects_bypass_paths() {
+        // 0 -> 1 -> 2 and 0 -> 2: grouping {0, 2} is non-convex (path
+        // through 1 leaves and re-enters).
+        let g = DepGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let bad: BTreeSet<StmtId> = [StmtId(0), StmtId(2)].into_iter().collect();
+        assert!(!g.is_convex(&bad));
+        let ok: BTreeSet<StmtId> = [StmtId(0), StmtId(1), StmtId(2)].into_iter().collect();
+        assert!(g.is_convex(&ok));
+        let pair: BTreeSet<StmtId> = [StmtId(1), StmtId(2)].into_iter().collect();
+        assert!(g.is_convex(&pair));
+    }
+
+    #[test]
+    fn diamond_is_two_middle_components() {
+        let g = DepGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let topo = g.sccs_topological();
+        assert_eq!(topo.len(), 4);
+        assert_eq!(topo[0], vec![StmtId(0)]);
+        assert_eq!(topo[3], vec![StmtId(3)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Polyhedral intermediate representation.
+//!
+//! A [`Program`] declares parameters, arrays and statements. Each statement
+//! carries its iteration domain (a [`tilefuse_presburger::Set`]), its
+//! position in the *initial* multi-dimensional affine schedule, and an
+//! executable [`Body`]. Access relations are derived from the body, so the
+//! dependences used for legality and the values computed by the interpreter
+//! can never disagree.
+//!
+//! # Example: the paper's running 2-D convolution (Fig. 1(a))
+//!
+//! ```
+//! use tilefuse_pir::{Program, ArrayKind, SchedTerm, Body, Expr, IdxExpr};
+//!
+//! let mut p = Program::new("conv2d").with_param("H", 6).with_param("W", 6);
+//! let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
+//! let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+//! // S0: A[h][w] = Quant(A[h][w])    — modelled here as A[h][w] * 0.5
+//! let s0 = p.add_stmt(
+//!     "{ S0[h, w] : 0 <= h < H and 0 <= w < W }",
+//!     vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+//!     Body {
+//!         target: a,
+//!         target_idx: vec![IdxExpr::dim(2, 0), IdxExpr::dim(2, 1)],
+//!         rhs: Expr::mul(
+//!             Expr::load(a, vec![IdxExpr::dim(2, 0), IdxExpr::dim(2, 1)]),
+//!             Expr::Const(0.5),
+//!         ),
+//!     },
+//! )?;
+//! assert_eq!(p.stmt(s0).name(), "S0");
+//! assert!(!p.is_live_out(s0));
+//! # let _ = c;
+//! # Ok::<(), tilefuse_pir::Error>(())
+//! ```
+
+mod deps;
+mod error;
+mod expr;
+mod graph;
+mod program;
+
+pub use deps::{compute_dependences, flow_edges, DepKind, Dependence};
+pub use error::{Error, Result};
+pub use expr::{ArrayId, BinOp, Body, Expr, IdxExpr, UnOp};
+pub use graph::DepGraph;
+pub use program::{ArrayDecl, ArrayKind, Extent, Program, SchedTerm, Statement, StmtId};

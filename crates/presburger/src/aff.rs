@@ -1,0 +1,374 @@
+//! Affine expressions and constraints over a [`Space`].
+//!
+//! An [`AffExpr`] is `Σ cᵖ·param + Σ cˣ·dim + c` with integer coefficients;
+//! a [`Constraint`] asserts that such an expression is zero (equality) or
+//! non-negative (inequality). These are the public building blocks from
+//! which [`BasicSet`](crate::BasicSet)s are assembled programmatically; most
+//! users will find the text parser more convenient.
+
+use crate::error::{Error, Result};
+use crate::lin;
+use crate::space::Space;
+use std::fmt;
+
+/// An integer affine expression over the parameters and dimensions of a
+/// [`Space`].
+///
+/// Internally a row `[params..., dims..., constant]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffExpr {
+    space: Space,
+    row: Vec<i64>,
+}
+
+impl AffExpr {
+    /// The zero expression in `space`.
+    pub fn zero(space: &Space) -> Self {
+        let n = space.n_param() + space.n_dim() + 1;
+        AffExpr {
+            space: space.clone(),
+            row: vec![0; n],
+        }
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(space: &Space, c: i64) -> Self {
+        let mut e = Self::zero(space);
+        *e.row.last_mut().unwrap() = c;
+        e
+    }
+
+    /// The expression `param_i` (by index into the parameter list).
+    ///
+    /// # Errors
+    /// Returns [`Error::DimOutOfBounds`] if `i` is not a parameter index.
+    pub fn param(space: &Space, i: usize) -> Result<Self> {
+        if i >= space.n_param() {
+            return Err(Error::DimOutOfBounds { index: i, len: space.n_param() });
+        }
+        let mut e = Self::zero(space);
+        e.row[i] = 1;
+        Ok(e)
+    }
+
+    /// The expression `dim_i` (absolute index over all tuple dimensions,
+    /// input dims first for a map).
+    ///
+    /// # Errors
+    /// Returns [`Error::DimOutOfBounds`] if `i` is not a dimension index.
+    pub fn dim(space: &Space, i: usize) -> Result<Self> {
+        if i >= space.n_dim() {
+            return Err(Error::DimOutOfBounds { index: i, len: space.n_dim() });
+        }
+        let mut e = Self::zero(space);
+        e.row[space.n_param() + i] = 1;
+        Ok(e)
+    }
+
+    /// The space this expression is defined over.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Coefficient of parameter `i`.
+    pub fn param_coeff(&self, i: usize) -> i64 {
+        self.row[i]
+    }
+
+    /// Coefficient of dimension `i` (absolute index).
+    pub fn dim_coeff(&self, i: usize) -> i64 {
+        self.row[self.space.n_param() + i]
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        *self.row.last().unwrap()
+    }
+
+    /// Sets the coefficient of dimension `i`, returning `self` for chaining.
+    #[must_use]
+    pub fn with_dim_coeff(mut self, i: usize, c: i64) -> Self {
+        self.row[self.space.n_param() + i] = c;
+        self
+    }
+
+    /// Sets the coefficient of parameter `i`, returning `self` for chaining.
+    #[must_use]
+    pub fn with_param_coeff(mut self, i: usize, c: i64) -> Self {
+        self.row[i] = c;
+        self
+    }
+
+    /// Sets the constant term, returning `self` for chaining.
+    #[must_use]
+    pub fn with_constant(mut self, c: i64) -> Self {
+        *self.row.last_mut().unwrap() = c;
+        self
+    }
+
+    /// `self + other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn checked_add(&self, other: &AffExpr) -> Result<AffExpr> {
+        self.space.check_compatible(&other.space, "AffExpr::add")?;
+        let row = self
+            .row
+            .iter()
+            .zip(other.row.iter())
+            .map(|(&a, &b)| lin::add(a, b))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AffExpr { space: self.space.clone(), row })
+    }
+
+    /// `self - other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn checked_sub(&self, other: &AffExpr) -> Result<AffExpr> {
+        self.space.check_compatible(&other.space, "AffExpr::sub")?;
+        let row = self
+            .row
+            .iter()
+            .zip(other.row.iter())
+            .map(|(&a, &b)| lin::add(a, lin::mul(-1, b)?))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AffExpr { space: self.space.clone(), row })
+    }
+
+    /// `k * self`.
+    ///
+    /// # Errors
+    /// Returns an error on overflow.
+    pub fn scale(&self, k: i64) -> Result<AffExpr> {
+        let row = self.row.iter().map(|&a| lin::mul(k, a)).collect::<Result<Vec<_>>>()?;
+        Ok(AffExpr { space: self.space.clone(), row })
+    }
+
+    /// The constraint `self = 0`.
+    pub fn eq_zero(self) -> Constraint {
+        Constraint { kind: ConstraintKind::Equality, expr: self }
+    }
+
+    /// The constraint `self >= 0`.
+    pub fn ge_zero(self) -> Constraint {
+        Constraint { kind: ConstraintKind::Inequality, expr: self }
+    }
+
+    /// The constraint `self = other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn eq(&self, other: &AffExpr) -> Result<Constraint> {
+        Ok(self.checked_sub(other)?.eq_zero())
+    }
+
+    /// The constraint `self >= other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn ge(&self, other: &AffExpr) -> Result<Constraint> {
+        Ok(self.checked_sub(other)?.ge_zero())
+    }
+
+    /// The constraint `self <= other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn le(&self, other: &AffExpr) -> Result<Constraint> {
+        Ok(other.checked_sub(self)?.ge_zero())
+    }
+
+    /// The constraint `self < other` (integer: `other - self - 1 >= 0`).
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn lt(&self, other: &AffExpr) -> Result<Constraint> {
+        let d = other.checked_sub(self)?;
+        Ok(d.checked_add(&AffExpr::constant(&self.space, -1))?.ge_zero())
+    }
+
+    /// The constraint `self > other`.
+    ///
+    /// # Errors
+    /// Returns an error on space mismatch or overflow.
+    pub fn gt(&self, other: &AffExpr) -> Result<Constraint> {
+        other.lt(self)
+    }
+
+    /// Evaluates the expression at a full assignment
+    /// `[params..., dims...]`.
+    ///
+    /// # Errors
+    /// Returns an error on overflow.
+    ///
+    /// # Panics
+    /// Panics if `values` has the wrong length.
+    pub fn eval(&self, values: &[i64]) -> Result<i64> {
+        assert_eq!(values.len(), self.row.len() - 1, "wrong number of values");
+        lin::eval_row(&self.row, values)
+    }
+
+    pub(crate) fn row(&self) -> &[i64] {
+        &self.row
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn from_row(space: Space, row: Vec<i64>) -> Self {
+        debug_assert_eq!(row.len(), space.n_param() + space.n_dim() + 1);
+        AffExpr { space, row }
+    }
+}
+
+impl fmt::Display for AffExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::fmt_affine_row(f, &self.row, &|i| self.space.var_name(i).to_owned())
+    }
+}
+
+/// Whether a [`Constraint`] is an equality (`= 0`) or inequality (`>= 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// The expression equals zero.
+    Equality,
+    /// The expression is non-negative.
+    Inequality,
+}
+
+/// An affine constraint: `expr = 0` or `expr >= 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    kind: ConstraintKind,
+    expr: AffExpr,
+}
+
+impl Constraint {
+    /// The constraint's kind.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// The underlying affine expression.
+    pub fn expr(&self) -> &AffExpr {
+        &self.expr
+    }
+
+    /// Whether the constraint holds at the assignment
+    /// `[params..., dims...]`.
+    ///
+    /// # Errors
+    /// Returns an error on overflow.
+    pub fn holds_at(&self, values: &[i64]) -> Result<bool> {
+        let v = self.expr.eval(values)?;
+        Ok(match self.kind {
+            ConstraintKind::Equality => v == 0,
+            ConstraintKind::Inequality => v >= 0,
+        })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.kind {
+            ConstraintKind::Equality => "=",
+            ConstraintKind::Inequality => ">=",
+        };
+        write!(f, "{} {op} 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Tuple;
+
+    fn space() -> Space {
+        Space::set(&["N"], Tuple::new(Some("S"), &["i", "j"]))
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let sp = space();
+        // 2i + j - N + 3
+        let e = AffExpr::zero(&sp)
+            .with_dim_coeff(0, 2)
+            .with_dim_coeff(1, 1)
+            .with_param_coeff(0, -1)
+            .with_constant(3);
+        // N=10, i=4, j=1 -> 8 + 1 - 10 + 3 = 2
+        assert_eq!(e.eval(&[10, 4, 1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let sp = space();
+        let i = AffExpr::dim(&sp, 0).unwrap();
+        let j = AffExpr::dim(&sp, 1).unwrap();
+        let s = i.checked_add(&j).unwrap();
+        assert_eq!(s.eval(&[0, 3, 4]).unwrap(), 7);
+        let d = i.checked_sub(&j).unwrap();
+        assert_eq!(d.eval(&[0, 3, 4]).unwrap(), -1);
+        let t = i.scale(5).unwrap();
+        assert_eq!(t.eval(&[0, 3, 4]).unwrap(), 15);
+    }
+
+    #[test]
+    fn comparisons_build_correct_constraints() {
+        let sp = space();
+        let i = AffExpr::dim(&sp, 0).unwrap();
+        let n = AffExpr::param(&sp, 0).unwrap();
+        // i < N holds at i=9, N=10 but not i=10.
+        let c = i.lt(&n).unwrap();
+        assert!(c.holds_at(&[10, 9, 0]).unwrap());
+        assert!(!c.holds_at(&[10, 10, 0]).unwrap());
+        // i >= 0
+        let z = AffExpr::zero(&sp);
+        let c2 = i.ge(&z).unwrap();
+        assert!(c2.holds_at(&[10, 0, 0]).unwrap());
+        assert!(!c2.holds_at(&[10, -1, 0]).unwrap());
+        // i = N
+        let c3 = i.eq(&n).unwrap();
+        assert!(c3.holds_at(&[7, 7, 0]).unwrap());
+        assert!(!c3.holds_at(&[7, 6, 0]).unwrap());
+        // i > N, i <= N
+        assert!(i.gt(&n).unwrap().holds_at(&[5, 6, 0]).unwrap());
+        assert!(i.le(&n).unwrap().holds_at(&[5, 5, 0]).unwrap());
+    }
+
+    #[test]
+    fn dim_and_param_bounds_checked() {
+        let sp = space();
+        assert!(AffExpr::dim(&sp, 2).is_err());
+        assert!(AffExpr::param(&sp, 1).is_err());
+    }
+
+    #[test]
+    fn display_renders_readable_expression() {
+        let sp = space();
+        let e = AffExpr::zero(&sp)
+            .with_dim_coeff(0, 2)
+            .with_dim_coeff(1, -1)
+            .with_constant(3);
+        assert_eq!(e.to_string(), "2i - j + 3");
+        let c = e.ge_zero();
+        assert_eq!(c.to_string(), "2i - j + 3 >= 0");
+    }
+
+    #[test]
+    fn constant_expression() {
+        let sp = space();
+        let e = AffExpr::constant(&sp, 42);
+        assert_eq!(e.eval(&[0, 0, 0]).unwrap(), 42);
+        assert_eq!(e.constant_term(), 42);
+    }
+
+    #[test]
+    fn accessors() {
+        let sp = space();
+        let e = AffExpr::zero(&sp).with_param_coeff(0, 7).with_dim_coeff(1, -2);
+        assert_eq!(e.param_coeff(0), 7);
+        assert_eq!(e.dim_coeff(0), 0);
+        assert_eq!(e.dim_coeff(1), -2);
+        assert!(e.space().is_set());
+    }
+}

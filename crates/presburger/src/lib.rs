@@ -1,0 +1,58 @@
+//! Integer sets and maps for polyhedral compilation.
+//!
+//! This crate is a from-scratch replacement for the subset of
+//! [isl](https://libisl.sourceforge.io/) that polyhedral tiling-and-fusion
+//! algorithms need: sets and maps of integer tuples defined by affine
+//! constraints (Presburger formulas without quantifier alternation), with
+//! *exact* integer semantics for the operations used by the MICRO 2020
+//! post-tiling fusion algorithms:
+//!
+//! * intersection, union, subtraction, emptiness, subset/equality tests,
+//! * map reversal, composition ("apply"), domain/range extraction,
+//! * exact projection of existentially quantified variables (the Omega
+//!   test's dark shadow + splinter decomposition, exact Fourier–Motzkin in
+//!   the unit-coefficient case),
+//! * lexicographic-order relations between schedule spaces,
+//! * point enumeration/scanning (also the basis for AST generation),
+//! * a text parser and printer using isl-like syntax.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tilefuse_presburger::{Set, Map};
+//!
+//! // The iteration domain of a 3x3 convolution statement, 6x6 image.
+//! let dom: Set = "{ S2[h,w,kh,kw] : 0 <= h <= 3 and 0 <= w <= 3 \
+//!                   and 0 <= kh <= 2 and 0 <= kw <= 2 }".parse()?;
+//! // Its read access to the input tensor.
+//! let read: Map = "{ S2[h,w,kh,kw] -> A[h+kh, w+kw] }".parse()?;
+//! // The memory footprint: all of A touched by the statement.
+//! let footprint = read.intersect_domain(&dom)?.range()?;
+//! let expected: Set = "{ A[i,j] : 0 <= i <= 5 and 0 <= j <= 5 }".parse()?;
+//! assert!(footprint.is_equal(&expected)?);
+//! # Ok::<(), tilefuse_presburger::Error>(())
+//! ```
+
+mod aff;
+mod bset;
+mod error;
+mod lin;
+mod map;
+mod omega;
+mod parse;
+mod point;
+mod print;
+mod scan;
+mod set;
+mod space;
+mod union;
+
+pub use aff::{AffExpr, Constraint, ConstraintKind};
+pub use bset::BasicSet;
+pub use error::{Error, Result};
+pub use map::Map;
+pub use point::Point;
+pub use scan::{LoopBounds, ScanLevel, Scanner};
+pub use set::Set;
+pub use space::{Space, Tuple};
+pub use union::{UnionMap, UnionSet};

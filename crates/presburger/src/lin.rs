@@ -1,0 +1,269 @@
+//! Exact integer linear-arithmetic helpers.
+//!
+//! All coefficient arithmetic in this crate goes through the checked helpers
+//! here so that an overflow is reported as [`Error::Overflow`] instead of
+//! silently wrapping. Coefficients in polyhedral compilation stay tiny in
+//! practice (tile sizes, stencil extents), but Fourier–Motzkin elimination
+//! multiplies coefficient pairs, so the checks are not free of purpose.
+
+use crate::error::{Error, Result};
+
+/// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// GCD of a whole slice (0 for an all-zero or empty slice).
+pub(crate) fn gcd_slice(v: &[i64]) -> i64 {
+    v.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Checked multiplication.
+pub(crate) fn mul(a: i64, b: i64) -> Result<i64> {
+    a.checked_mul(b).ok_or(Error::Overflow("multiplication"))
+}
+
+/// Checked addition.
+pub(crate) fn add(a: i64, b: i64) -> Result<i64> {
+    a.checked_add(b).ok_or(Error::Overflow("addition"))
+}
+
+/// `a + b * c`, checked.
+pub(crate) fn add_mul(a: i64, b: i64, c: i64) -> Result<i64> {
+    add(a, mul(b, c)?)
+}
+
+/// Floor division (rounds towards negative infinity). `d` must be nonzero.
+pub(crate) fn fdiv(n: i64, d: i64) -> i64 {
+    debug_assert!(d != 0);
+    let q = n / d;
+    if (n % d != 0) && ((n < 0) != (d < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division (rounds towards positive infinity). `d` must be nonzero.
+pub(crate) fn cdiv(n: i64, d: i64) -> i64 {
+    debug_assert!(d != 0);
+    let q = n / d;
+    if (n % d != 0) && ((n < 0) == (d < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical modulo with a non-negative result for positive modulus.
+pub(crate) fn fmod(n: i64, d: i64) -> i64 {
+    n - d * fdiv(n, d)
+}
+
+/// Pugh's "hat" rounding used in Omega-test equality elimination:
+/// `mod_hat(a, b)` is the representative of `a (mod b)` in
+/// `[-⌊b/2⌋, b − 1 − ⌊b/2⌋]`... specifically the symmetric residue
+/// `a - b*⌊a/b + 1/2⌋` per the Omega paper.
+pub(crate) fn mod_hat(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let r = fmod(a, b);
+    if 2 * r >= b {
+        r - b
+    } else {
+        r
+    }
+}
+
+/// Divide every entry of `row` by the GCD of all entries (no-op for zero
+/// rows). Used to keep coefficients small after combination steps.
+pub(crate) fn normalize_eq_row(row: &mut [i64]) {
+    let g = gcd_slice(row);
+    if g > 1 {
+        for x in row.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+/// Normalize an inequality row `expr >= 0`: divide coefficients (all but the
+/// final constant column) by their GCD `g` and replace the constant `c` by
+/// `⌊c / g⌋` — the integer tightening step that makes Fourier–Motzkin sound
+/// over the integers.
+pub(crate) fn normalize_ineq_row(row: &mut [i64]) {
+    let n = row.len();
+    if n < 2 {
+        return;
+    }
+    let g = gcd_slice(&row[..n - 1]);
+    if g > 1 {
+        for x in row[..n - 1].iter_mut() {
+            *x /= g;
+        }
+        row[n - 1] = fdiv(row[n - 1], g);
+    }
+}
+
+/// Reduces an `i128` row by the GCD of *all* entries (constant included —
+/// exactly equivalence-preserving for both equalities and inequalities),
+/// then narrows to `i64`.
+fn narrow_row(mut v: Vec<i128>) -> Result<Vec<i64>> {
+    let mut g: i128 = 0;
+    for &x in &v {
+        let mut a = g.unsigned_abs();
+        let mut b = x.unsigned_abs();
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        g = a as i128;
+    }
+    if g > 1 {
+        for x in &mut v {
+            *x /= g;
+        }
+    }
+    v.into_iter()
+        .map(|x| i64::try_from(x).map_err(|_| Error::Overflow("row combination")))
+        .collect()
+}
+
+/// `dst += k * src`, element-wise; computed in `i128` and gcd-reduced so
+/// transient coefficient growth does not overflow.
+pub(crate) fn row_add_mul(dst: &mut [i64], src: &[i64], k: i64) -> Result<()> {
+    debug_assert_eq!(dst.len(), src.len());
+    let wide: Vec<i128> = dst
+        .iter()
+        .zip(src.iter())
+        .map(|(&d, &s)| d as i128 + k as i128 * s as i128)
+        .collect();
+    let narrow = narrow_row(wide)?;
+    dst.copy_from_slice(&narrow);
+    Ok(())
+}
+
+/// `a*x + b*y` for full rows; computed in `i128` and gcd-reduced (used by
+/// Fourier–Motzkin combination, where coefficient products grow fast).
+pub(crate) fn row_combine(a: i64, x: &[i64], b: i64, y: &[i64]) -> Result<Vec<i64>> {
+    debug_assert_eq!(x.len(), y.len());
+    let wide: Vec<i128> = x
+        .iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| a as i128 * xi as i128 + b as i128 * yi as i128)
+        .collect();
+    narrow_row(wide)
+}
+
+/// `a*x + b*y` without any gcd reduction — required where an exact
+/// constant (e.g. the dark-shadow slack) is subtracted *after* combining.
+pub(crate) fn row_combine_raw(a: i64, x: &[i64], b: i64, y: &[i64]) -> Result<Vec<i64>> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| {
+            let v = a as i128 * xi as i128 + b as i128 * yi as i128;
+            i64::try_from(v).map_err(|_| Error::Overflow("row combination"))
+        })
+        .collect()
+}
+
+/// Dot product of a row (without its trailing constant column) with a point,
+/// plus the constant: evaluates the affine expression at `point`.
+pub(crate) fn eval_row(row: &[i64], point: &[i64]) -> Result<i64> {
+    debug_assert_eq!(row.len(), point.len() + 1);
+    let mut acc = row[row.len() - 1];
+    for (c, v) in row[..row.len() - 1].iter().zip(point.iter()) {
+        acc = add_mul(acc, *c, *v)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn gcd_slice_basics() {
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[-3, 9]), 3);
+    }
+
+    #[test]
+    fn floor_and_ceil_division() {
+        assert_eq!(fdiv(7, 2), 3);
+        assert_eq!(fdiv(-7, 2), -4);
+        assert_eq!(fdiv(7, -2), -4);
+        assert_eq!(fdiv(-7, -2), 3);
+        assert_eq!(cdiv(7, 2), 4);
+        assert_eq!(cdiv(-7, 2), -3);
+        assert_eq!(cdiv(6, 2), 3);
+        assert_eq!(cdiv(6, 3), 2);
+    }
+
+    #[test]
+    fn fmod_is_nonnegative_for_positive_modulus() {
+        assert_eq!(fmod(7, 3), 1);
+        assert_eq!(fmod(-7, 3), 2);
+        assert_eq!(fmod(6, 3), 0);
+    }
+
+    #[test]
+    fn mod_hat_symmetric_residue() {
+        // Examples from the Omega paper behaviour: residue in [-(b/2), b/2).
+        assert_eq!(mod_hat(5, 3), -1); // 5 mod 3 = 2, 2*2 >= 3 so 2-3 = -1
+        assert_eq!(mod_hat(4, 3), 1);
+        assert_eq!(mod_hat(-5, 3), 1);
+        assert_eq!(mod_hat(6, 4), -2); // 6 mod 4 = 2, 2*2 >= 4 so -2
+    }
+
+    #[test]
+    fn ineq_normalization_tightens_constant() {
+        // 2x - 5 >= 0  =>  x - 3 >= 0  (x >= 2.5 tightens to x >= 3)
+        let mut row = vec![2, -5];
+        normalize_ineq_row(&mut row);
+        assert_eq!(row, vec![1, -3]);
+    }
+
+    #[test]
+    fn eq_normalization() {
+        let mut row = vec![2, 4, -6];
+        normalize_eq_row(&mut row);
+        assert_eq!(row, vec![1, 2, -3]);
+    }
+
+    #[test]
+    fn eval_row_evaluates_affine_expr() {
+        // 2x + 3y - 1 at (2, 1) = 6
+        assert_eq!(eval_row(&[2, 3, -1], &[2, 1]).unwrap(), 6);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert!(mul(i64::MAX, 2).is_err());
+        assert!(add(i64::MAX, 1).is_err());
+        assert!(add_mul(1, i64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn row_combine_combines() {
+        let r = row_combine(2, &[1, 0, 3], 1, &[0, 1, -1]).unwrap();
+        assert_eq!(r, vec![2, 1, 5]);
+    }
+}

@@ -1,0 +1,754 @@
+//! Text parser for sets and maps, using isl-like syntax.
+//!
+//! ```text
+//! [H, W] -> { S0[h, w] : 0 <= h < H and 0 <= w < W }
+//! { S2[h,w,kh,kw] -> A[h+kh, w+kw] : 0 <= kh < 3 and 0 <= kw < 3 }
+//! { S[i] : 0 <= i <= 4; S[i] : 10 <= i <= 14 }        (union via ';')
+//! ```
+//!
+//! Supported constraint syntax: chains of `<`, `<=`, `>`, `>=`, `=`/`==`
+//! between affine expressions, joined with `and`. Affine expressions allow
+//! integer literals, names, unary minus, `+`, `-`, `*` by a constant, and
+//! parentheses.
+
+use crate::aff::{AffExpr, Constraint};
+use crate::bset::BasicSet;
+use crate::error::{Error, Result};
+use crate::map::Map;
+use crate::set::Set;
+use crate::space::{Space, Tuple};
+use std::str::FromStr;
+
+impl FromStr for Set {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Set> {
+        let parsed = Parser::new(s).parse()?;
+        if parsed.space().is_map() {
+            return Err(Error::KindMismatch { expected: "set" });
+        }
+        Ok(parsed)
+    }
+}
+
+impl FromStr for Map {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Map> {
+        let parsed = Parser::new(s).parse()?;
+        if !parsed.space().is_map() {
+            return Err(Error::KindMismatch { expected: "map" });
+        }
+        Map::from_wrapped_set(parsed)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Semi,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eq,
+    And,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokens(src: &'a str) -> Result<Vec<(Tok, usize)>> {
+        let mut lx = Lexer { src: src.as_bytes(), pos: 0 };
+        let mut out = Vec::new();
+        while let Some((t, at)) = lx.next_token()? {
+            out.push((t, at));
+        }
+        Ok(out)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Tok, usize)>> {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let at = self.pos;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBracket
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b':' => {
+                self.pos += 1;
+                Tok::Colon
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b'-' => {
+                if self.src.get(self.pos + 1) == Some(&b'>') {
+                    self.pos += 2;
+                    Tok::Arrow
+                } else {
+                    self.pos += 1;
+                    Tok::Minus
+                }
+            }
+            b'<' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Le
+                } else {
+                    self.pos += 1;
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Ge
+                } else {
+                    self.pos += 1;
+                    Tok::Gt
+                }
+            }
+            b'=' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+                Tok::Eq
+            }
+            b'&' => {
+                if self.src.get(self.pos + 1) == Some(&b'&') {
+                    self.pos += 2;
+                    Tok::And
+                } else {
+                    return Err(Error::Parse { message: "lone '&'".into(), offset: at });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| Error::Parse { message: "integer too large".into(), offset: at })?;
+                Tok::Int(v)
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric()
+                        || self.src[self.pos] == b'_'
+                        || self.src[self.pos] == b'\'')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+                if text == "and" {
+                    Tok::And
+                } else {
+                    Tok::Ident(text)
+                }
+            }
+            _ => {
+                return Err(Error::Parse {
+                    message: format!("unexpected character '{}'", c as char),
+                    offset: at,
+                })
+            }
+        };
+        Ok(Some((tok, at)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Self {
+        let end = src.len();
+        match Lexer::tokens(src) {
+            Ok(toks) => Parser { toks, pos: 0, end },
+            Err(e) => {
+                // Encode the lex error as a poisoned parser that fails at
+                // the first peek. Simpler: stash it.
+                Parser { toks: vec![(Tok::Ident(format!("\u{0}{e}")), 0)], pos: 0, end }
+            }
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        let offset = self.toks.get(self.pos).map_or(self.end, |(_, at)| *at);
+        Err(Error::Parse { message: message.into(), offset })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Entry point: parses a whole set or map (as a wrapped set).
+    fn parse(&mut self) -> Result<Set> {
+        // Poisoned lexer check.
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if let Some(msg) = s.strip_prefix('\u{0}') {
+                return Err(Error::Parse { message: msg.to_owned(), offset: 0 });
+            }
+        }
+        // Optional parameter list: [A, B] ->
+        let mut params: Vec<String> = Vec::new();
+        let save = self.pos;
+        if self.eat(&Tok::LBracket) {
+            let ok = loop {
+                match self.bump() {
+                    Some(Tok::Ident(name)) => {
+                        params.push(name);
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RBracket) => break true,
+                            _ => break false,
+                        }
+                    }
+                    Some(Tok::RBracket) if params.is_empty() => break true,
+                    _ => break false,
+                }
+            };
+            if !ok || !self.eat(&Tok::Arrow) {
+                // Not a parameter list after all.
+                self.pos = save;
+                params.clear();
+            }
+        }
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut space: Option<Space> = None;
+        let mut basics: Vec<BasicSet> = Vec::new();
+        loop {
+            let (sp, basic) = self.parse_disjunct(&params)?;
+            match &space {
+                None => space = Some(sp),
+                Some(existing) => {
+                    existing.check_compatible(&sp, "parse union")?;
+                }
+            }
+            basics.push(basic);
+            if !self.eat(&Tok::Semi) {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        if self.peek().is_some() {
+            return self.err("trailing input after '}'");
+        }
+        let space = space.expect("at least one disjunct");
+        // Cast all basics to the first disjunct's space (dim names may vary).
+        let basics = basics
+            .into_iter()
+            .map(|b| b.cast(space.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Set::from_basics(space, basics)
+    }
+
+    fn parse_disjunct(&mut self, params: &[String]) -> Result<(Space, BasicSet)> {
+        let first = self.parse_tuple()?;
+        let mut raw_tuples = vec![first];
+        if self.eat(&Tok::Arrow) {
+            raw_tuples.push(self.parse_tuple()?);
+        }
+        // Assign dimension names. A repeated name (isl semantics: the
+        // second occurrence equals the first) and an expression entry both
+        // become fresh dims pinned by an equality constraint.
+        let mut seen: Vec<String> = Vec::new();
+        let mut extra: Vec<(usize, RawExpr)> = Vec::new();
+        let mut tuples = Vec::new();
+        let mut abs = 0usize;
+        for (t_idx, (tname, entries)) in raw_tuples.iter().enumerate() {
+            let mut dim_names: Vec<String> = Vec::new();
+            for (i, d) in entries.iter().enumerate() {
+                match d {
+                    DimEntry::Name(n) if !seen.contains(n) => {
+                        seen.push(n.clone());
+                        dim_names.push(n.clone());
+                    }
+                    DimEntry::Name(n) => {
+                        // Repeated name: fresh primed name + equality.
+                        let mut fresh = format!("{n}'");
+                        while seen.contains(&fresh) {
+                            fresh.push('\'');
+                        }
+                        seen.push(fresh.clone());
+                        dim_names.push(fresh);
+                        extra.push((abs + i, RawExpr::var(n)));
+                    }
+                    DimEntry::Expr(e) => {
+                        let fresh = format!("_t{t_idx}_{i}");
+                        seen.push(fresh.clone());
+                        dim_names.push(fresh);
+                        extra.push((abs + i, e.clone()));
+                    }
+                }
+            }
+            let refs: Vec<&str> = dim_names.iter().map(String::as_str).collect();
+            tuples.push(Tuple::new(tname.as_deref(), &refs));
+            abs += entries.len();
+        }
+        let space = Space::from_parts(params.to_vec(), tuples);
+        let mut basic = BasicSet::universe(space.clone());
+        for (dim, raw) in &extra {
+            let lhs = AffExpr::dim(&space, *dim)?;
+            let rhs = raw.resolve(&space).map_err(|name| Error::Parse {
+                message: format!("unknown name '{name}'"),
+                offset: 0,
+            })?;
+            basic.add_constraint(&lhs.eq(&rhs)?)?;
+        }
+        if self.eat(&Tok::Colon) {
+            loop {
+                for c in self.parse_chain(&space)? {
+                    basic.add_constraint(&c)?;
+                }
+                if !self.eat(&Tok::And) {
+                    break;
+                }
+            }
+        }
+        Ok((space, basic))
+    }
+
+    /// Parses `Name[e0, e1, ...]` or `[e0, ...]` into the tuple name and
+    /// raw dim entries; name resolution happens in `parse_disjunct` once
+    /// all tuples of the disjunct are known.
+    fn parse_tuple(&mut self) -> Result<(Option<String>, Vec<DimEntry>)> {
+        let name = match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(n)) = self.bump() else { unreachable!() };
+                Some(n)
+            }
+            _ => None,
+        };
+        self.expect(&Tok::LBracket, "'['")?;
+        let mut dims: Vec<DimEntry> = Vec::new();
+        if !self.eat(&Tok::RBracket) {
+            loop {
+                dims.push(self.parse_dim_entry()?);
+                if self.eat(&Tok::RBracket) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "',' or ']'")?;
+            }
+        }
+        Ok((name, dims))
+    }
+
+    fn parse_dim_entry(&mut self) -> Result<DimEntry> {
+        // Lookahead: a single identifier followed by ',' or ']' is a name;
+        // anything else is an expression.
+        if let Some(Tok::Ident(n)) = self.peek() {
+            let n = n.clone();
+            if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Tok::Comma) | Some(Tok::RBracket))
+            {
+                self.pos += 1;
+                return Ok(DimEntry::Name(n));
+            }
+        }
+        Ok(DimEntry::Expr(self.parse_raw_expr()?))
+    }
+
+    /// Parses an affine expression into a name->coeff form, independent of
+    /// any space (resolved later).
+    fn parse_raw_expr(&mut self) -> Result<RawExpr> {
+        let mut e = self.parse_raw_term()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let t = self.parse_raw_term()?;
+                e = e.add(&t);
+            } else if self.eat(&Tok::Minus) {
+                let t = self.parse_raw_term()?;
+                e = e.add(&t.neg());
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_raw_term(&mut self) -> Result<RawExpr> {
+        match self.bump() {
+            Some(Tok::Int(v)) => {
+                // Optional `* name`, `name`, or `* (expr)`.
+                if self.eat(&Tok::Star) {
+                    let f = self.parse_raw_factor()?;
+                    Ok(f.scale(v))
+                } else if let Some(Tok::Ident(_)) = self.peek() {
+                    let Some(Tok::Ident(n)) = self.bump() else { unreachable!() };
+                    Ok(RawExpr::var(&n).scale(v))
+                } else {
+                    Ok(RawExpr::constant(v))
+                }
+            }
+            Some(Tok::Ident(n)) => {
+                if self.eat(&Tok::Star) {
+                    // name * const
+                    match self.bump() {
+                        Some(Tok::Int(v)) => Ok(RawExpr::var(&n).scale(v)),
+                        _ => self.err("expected integer after '*'"),
+                    }
+                } else {
+                    Ok(RawExpr::var(&n))
+                }
+            }
+            Some(Tok::Minus) => Ok(self.parse_raw_term()?.neg()),
+            Some(Tok::LParen) => {
+                let e = self.parse_raw_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+
+    fn parse_raw_factor(&mut self) -> Result<RawExpr> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(RawExpr::var(&n)),
+            Some(Tok::Int(v)) => Ok(RawExpr::constant(v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_raw_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => self.err("expected factor"),
+        }
+    }
+
+    /// Parses a chain `e0 op e1 op e2 ...` into constraints over `space`.
+    fn parse_chain(&mut self, space: &Space) -> Result<Vec<Constraint>> {
+        let mut exprs = vec![self.parse_expr(space)?];
+        let mut ops = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Le) => CmpOp::Le,
+                Some(Tok::Lt) => CmpOp::Lt,
+                Some(Tok::Ge) => CmpOp::Ge,
+                Some(Tok::Gt) => CmpOp::Gt,
+                Some(Tok::Eq) => CmpOp::Eq,
+                _ => break,
+            };
+            self.pos += 1;
+            ops.push(op);
+            exprs.push(self.parse_expr(space)?);
+        }
+        if ops.is_empty() {
+            return self.err("expected comparison operator");
+        }
+        let mut out = Vec::new();
+        for (k, op) in ops.iter().enumerate() {
+            let a = &exprs[k];
+            let b = &exprs[k + 1];
+            out.push(match op {
+                CmpOp::Le => a.le(b)?,
+                CmpOp::Lt => a.lt(b)?,
+                CmpOp::Ge => a.ge(b)?,
+                CmpOp::Gt => a.gt(b)?,
+                CmpOp::Eq => a.eq(b)?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn parse_expr(&mut self, space: &Space) -> Result<AffExpr> {
+        let raw = self.parse_raw_expr()?;
+        raw.resolve(space).map_err(|name| Error::Parse {
+            message: format!("unknown name '{name}'"),
+            offset: self.toks.get(self.pos.saturating_sub(1)).map_or(0, |(_, at)| *at),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum DimEntry {
+    Name(String),
+    Expr(RawExpr),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eq,
+}
+
+/// A space-independent affine expression: name -> coefficient + constant.
+#[derive(Debug, Clone, Default)]
+struct RawExpr {
+    terms: Vec<(String, i64)>,
+    constant: i64,
+}
+
+impl RawExpr {
+    fn var(name: &str) -> Self {
+        RawExpr { terms: vec![(name.to_owned(), 1)], constant: 0 }
+    }
+
+    fn constant(v: i64) -> Self {
+        RawExpr { terms: Vec::new(), constant: v }
+    }
+
+    fn add(&self, other: &RawExpr) -> RawExpr {
+        let mut out = self.clone();
+        for (n, c) in &other.terms {
+            if let Some(e) = out.terms.iter_mut().find(|(m, _)| m == n) {
+                e.1 += c;
+            } else {
+                out.terms.push((n.clone(), *c));
+            }
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    fn neg(&self) -> RawExpr {
+        self.scale(-1)
+    }
+
+    fn scale(&self, k: i64) -> RawExpr {
+        RawExpr {
+            terms: self.terms.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Resolves names against a space: tuple dims shadow parameters.
+    /// Returns the unresolved name on failure.
+    fn resolve(&self, space: &Space) -> std::result::Result<AffExpr, String> {
+        let mut e = AffExpr::constant(space, self.constant);
+        let n_dim = space.n_dim();
+        'terms: for (name, coeff) in &self.terms {
+            // Dims first (absolute index across tuples).
+            for d in 0..n_dim {
+                if space.var_name(space.n_param() + d) == name {
+                    let cur = e.dim_coeff(d);
+                    e = e.with_dim_coeff(d, cur + coeff);
+                    continue 'terms;
+                }
+            }
+            for p in 0..space.n_param() {
+                if space.params()[p] == *name {
+                    let cur = e.param_coeff(p);
+                    e = e.with_param_coeff(p, cur + coeff);
+                    continue 'terms;
+                }
+            }
+            return Err(name.clone());
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_set() {
+        let s: Set = "{ S[i] : 0 <= i <= 4 }".parse().unwrap();
+        assert_eq!(s.space().tuple().name(), Some("S"));
+        assert!(s.contains(&[0]).unwrap());
+        assert!(s.contains(&[4]).unwrap());
+        assert!(!s.contains(&[5]).unwrap());
+    }
+
+    #[test]
+    fn parse_with_params() {
+        let s: Set = "[N, M] -> { S[i, j] : 0 <= i < N and 0 <= j < M }".parse().unwrap();
+        assert_eq!(s.space().n_param(), 2);
+        assert!(s.contains(&[3, 2, 2, 1]).unwrap());
+        assert!(!s.contains(&[3, 2, 3, 0]).unwrap());
+    }
+
+    #[test]
+    fn parse_chained_comparison() {
+        let s: Set = "{ S[i] : 0 <= i < 10 }".parse().unwrap();
+        assert!(s.contains(&[9]).unwrap());
+        assert!(!s.contains(&[10]).unwrap());
+        assert!(!s.contains(&[-1]).unwrap());
+    }
+
+    #[test]
+    fn parse_union() {
+        let s: Set = "{ S[i] : 0 <= i <= 2; S[j] : 5 <= j <= 6 }".parse().unwrap();
+        assert_eq!(s.n_basic(), 2);
+        assert!(s.contains(&[6]).unwrap());
+        assert!(!s.contains(&[4]).unwrap());
+    }
+
+    #[test]
+    fn parse_map_with_access_exprs() {
+        let m: Map = "{ S[h, w] -> A[h+1, 2w - 3] }".parse().unwrap();
+        assert!(m.contains_pair(&[0, 5, 1, 7]).unwrap());
+        assert!(!m.contains_pair(&[0, 5, 1, 8]).unwrap());
+    }
+
+    #[test]
+    fn parse_coefficients_and_parens() {
+        let s: Set = "{ S[i, j] : 2i + 3*j - (i - 1) >= 0 and i <= 5 and j <= 5 and i >= -5 and j >= -5 }"
+            .parse()
+            .unwrap();
+        // i + 3j + 1 >= 0 at (0, 0): yes; at (-4, 1): 0 >= 0 yes; (-5, 1): -1 no.
+        assert!(s.contains(&[0, 0]).unwrap());
+        assert!(s.contains(&[-4, 1]).unwrap());
+        assert!(!s.contains(&[-5, 1]).unwrap());
+    }
+
+    #[test]
+    fn parse_anonymous_tuple() {
+        let s: Set = "{ [i, j] : i = j and 0 <= i <= 1 }".parse().unwrap();
+        assert_eq!(s.space().tuple().name(), None);
+        assert!(s.contains(&[1, 1]).unwrap());
+        assert!(!s.contains(&[1, 0]).unwrap());
+    }
+
+    #[test]
+    fn parse_double_eq() {
+        let s: Set = "{ S[i] : i == 3 }".parse().unwrap();
+        assert!(s.contains(&[3]).unwrap());
+        assert!(!s.contains(&[2]).unwrap());
+    }
+
+    #[test]
+    fn parse_and_amp_amp() {
+        let s: Set = "{ S[i] : i >= 0 && i <= 2 }".parse().unwrap();
+        assert!(s.contains(&[2]).unwrap());
+        assert!(!s.contains(&[3]).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!("{ S[i] ".parse::<Set>().is_err());
+        assert!("{ S[i] : }".parse::<Set>().is_err());
+        assert!("{ S[i] : q >= 0 }".parse::<Set>().is_err());
+        assert!("{ S[i] -> A[i] }".parse::<Set>().is_err()); // map, not set
+        assert!("{ S[i] : i >= 0 }".parse::<Map>().is_err()); // set, not map
+        assert!("{ S[i] : i >= 0 } extra".parse::<Set>().is_err());
+    }
+
+    #[test]
+    fn parse_union_space_mismatch_rejected() {
+        assert!("{ S[i] : i >= 0; T[i] : i >= 0 }".parse::<Set>().is_err());
+        assert!("{ S[i] : i >= 0; S[i, j] : i >= 0 }".parse::<Set>().is_err());
+    }
+
+    #[test]
+    fn parse_negative_constants() {
+        let s: Set = "{ S[i] : -3 <= i <= -1 }".parse().unwrap();
+        assert!(s.contains(&[-2]).unwrap());
+        assert!(!s.contains(&[0]).unwrap());
+    }
+
+    #[test]
+    fn parse_map_with_tiling_constraints() {
+        // Fixed tile size 4 (the paper notes tile sizes must be fixed
+        // integers; symbolic tile sizes would make constraints quadratic).
+        let m: Map = "{ O[o] -> S[i] : 4o <= i < 4o + 4 }".parse().unwrap();
+        assert!(m.contains_pair(&[1, 4]).unwrap());
+        assert!(m.contains_pair(&[1, 7]).unwrap());
+        assert!(!m.contains_pair(&[1, 8]).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_param_times_var() {
+        assert!("[T] -> { O[o] -> S[i] : T*o <= i }".parse::<Map>().is_err());
+    }
+
+    #[test]
+    fn parse_primed_names() {
+        let s: Set = "{ A[h', w'] : 0 <= h' <= 1 and w' = h' }".parse().unwrap();
+        assert!(s.contains(&[1, 1]).unwrap());
+        assert!(!s.contains(&[1, 0]).unwrap());
+    }
+}

@@ -1,0 +1,73 @@
+//! Integer points of a set space.
+
+use std::fmt;
+
+/// A concrete integer point: coordinates of one tuple instance, e.g. the
+/// statement instance `S2[1, 2, 0, 1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    name: Option<String>,
+    coords: Vec<i64>,
+}
+
+impl Point {
+    /// Creates a point with an optional tuple name.
+    pub fn new(name: Option<&str>, coords: Vec<i64>) -> Self {
+        Point { name: name.map(str::to_owned), coords }
+    }
+
+    /// The tuple name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The coordinates.
+    pub fn coords(&self) -> &[i64] {
+        &self.coords
+    }
+
+    /// Number of coordinates.
+    pub fn arity(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n}")?;
+        }
+        write!(
+            f,
+            "[{}]",
+            self.coords.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_named() {
+        let p = Point::new(Some("S2"), vec![1, 2, 0, 1]);
+        assert_eq!(p.to_string(), "S2[1, 2, 0, 1]");
+        assert_eq!(p.arity(), 4);
+        assert_eq!(p.name(), Some("S2"));
+    }
+
+    #[test]
+    fn display_anonymous() {
+        let p = Point::new(None, vec![-3]);
+        assert_eq!(p.to_string(), "[-3]");
+        assert_eq!(p.coords(), &[-3]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Point::new(Some("S"), vec![0, 5]);
+        let b = Point::new(Some("S"), vec![1, 0]);
+        assert!(a < b);
+    }
+}

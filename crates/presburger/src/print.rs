@@ -1,0 +1,182 @@
+//! Display implementations producing isl-like text.
+
+use crate::bset::BasicSet;
+use crate::map::Map;
+use crate::set::Set;
+use std::fmt;
+
+/// Formats an affine row `[coeffs..., const]` as e.g. `2i - j + 3`.
+/// `name` maps a coefficient index to a variable name.
+pub(crate) fn fmt_affine_row(
+    f: &mut fmt::Formatter<'_>,
+    row: &[i64],
+    name: &dyn Fn(usize) -> String,
+) -> fmt::Result {
+    let n = row.len() - 1;
+    let mut first = true;
+    for (i, &c) in row[..n].iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let v = name(i);
+        if first {
+            match c {
+                1 => write!(f, "{v}")?,
+                -1 => write!(f, "-{v}")?,
+                _ => write!(f, "{c}{v}")?,
+            }
+            first = false;
+        } else if c > 0 {
+            if c == 1 {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}{v}")?;
+            }
+        } else if c == -1 {
+            write!(f, " - {v}")?;
+        } else {
+            write!(f, " - {}{v}", -c)?;
+        }
+    }
+    let k = row[n];
+    if first {
+        write!(f, "{k}")?;
+    } else if k > 0 {
+        write!(f, " + {k}")?;
+    } else if k < 0 {
+        write!(f, " - {}", -k)?;
+    }
+    Ok(())
+}
+
+/// Writes the body of a basic set: `S[i, j] : constraints` (with an
+/// `exists(...)` wrapper when auxiliary variables are present).
+fn fmt_basic_body(f: &mut fmt::Formatter<'_>, b: &BasicSet) -> fmt::Result {
+    let space = b.space();
+    if space.is_map() {
+        write!(f, "{} -> {}", space.in_tuple(), space.out_tuple())?;
+    } else {
+        write!(f, "{}", space.tuple())?;
+    }
+    if b.n_constraint() == 0 {
+        return Ok(());
+    }
+    write!(f, " : ")?;
+    let np = space.n_param();
+    let nd = space.n_dim();
+    let name = |i: usize| -> String {
+        if i < np + nd {
+            space.var_name(i).to_owned()
+        } else {
+            format!("e{}", i - np - nd)
+        }
+    };
+    if b.n_div() > 0 {
+        let divs: Vec<String> = (0..b.n_div()).map(|i| format!("e{i}")).collect();
+        write!(f, "exists({}: ", divs.join(", "))?;
+    }
+    let mut first = true;
+    for r in b.eq_rows() {
+        if !first {
+            write!(f, " and ")?;
+        }
+        first = false;
+        fmt_affine_row(f, r, &name)?;
+        write!(f, " = 0")?;
+    }
+    for r in b.ineq_rows() {
+        if !first {
+            write!(f, " and ")?;
+        }
+        first = false;
+        fmt_affine_row(f, r, &name)?;
+        write!(f, " >= 0")?;
+    }
+    if b.n_div() > 0 {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn fmt_union(f: &mut fmt::Formatter<'_>, space: &crate::Space, basics: &[BasicSet]) -> fmt::Result {
+    if !space.params().is_empty() {
+        write!(f, "[{}] -> ", space.params().join(", "))?;
+    }
+    write!(f, "{{ ")?;
+    if basics.is_empty() {
+        // Render the empty set with an explicit false constraint.
+        if space.is_map() {
+            write!(f, "{} -> {}", space.in_tuple(), space.out_tuple())?;
+        } else {
+            write!(f, "{}", space.tuple())?;
+        }
+        write!(f, " : 1 = 0")?;
+    }
+    for (k, b) in basics.iter().enumerate() {
+        if k > 0 {
+            write!(f, "; ")?;
+        }
+        fmt_basic_body(f, b)?;
+    }
+    write!(f, " }}")
+}
+
+impl fmt::Display for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_union(f, self.space(), std::slice::from_ref(self))
+    }
+}
+
+impl fmt::Display for Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_union(f, self.space(), self.basics())
+    }
+}
+
+impl fmt::Display for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_union(f, self.space(), self.basics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Map, Set};
+
+    #[test]
+    fn set_roundtrips_through_text() {
+        let s: Set = "[N] -> { S[i, j] : 0 <= i < N and j = i + 1 }".parse().unwrap();
+        let printed = s.to_string();
+        let back: Set = printed.parse().unwrap();
+        assert!(s.is_equal(&back).unwrap(), "printed: {printed}");
+    }
+
+    #[test]
+    fn map_roundtrips_through_text() {
+        let m: Map = "{ S[h, w] -> A[h+1, w] : 0 <= h <= 3 }".parse().unwrap();
+        let printed = m.to_string();
+        let back: Map = printed.parse().unwrap();
+        assert!(m.is_equal(&back).unwrap(), "printed: {printed}");
+    }
+
+    #[test]
+    fn union_roundtrips() {
+        let s: Set = "{ S[i] : 0 <= i <= 2; S[i] : 7 <= i <= 9 }".parse().unwrap();
+        let back: Set = s.to_string().parse().unwrap();
+        assert!(s.is_equal(&back).unwrap());
+    }
+
+    #[test]
+    fn empty_set_prints_false() {
+        let s = Set::empty(crate::Space::set(&[], crate::Tuple::new(Some("S"), &["i"])));
+        assert_eq!(s.to_string(), "{ S[i] : 1 = 0 }");
+        let back: Set = s.to_string().parse().unwrap();
+        assert!(back.is_empty().unwrap());
+    }
+
+    #[test]
+    fn universe_prints_bare_tuple() {
+        let s: Set = "{ S[i] }".parse().unwrap();
+        assert_eq!(s.to_string(), "{ S[i] }");
+    }
+}

@@ -1,0 +1,353 @@
+//! Spaces: the typed universes that sets and maps live in.
+//!
+//! A [`Space`] records the symbolic parameters (e.g. problem sizes `H`, `W`)
+//! and one tuple (for a set) or two tuples (for a map, input and output). A
+//! [`Tuple`] has an optional name — statement names like `S0` or array names
+//! like `A` — and named dimensions.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A named tuple of dimensions, such as `S0[h, w]` or `A[i, j]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    name: Option<String>,
+    dims: Vec<String>,
+}
+
+impl Tuple {
+    /// Creates a tuple with the given name and dimension names.
+    pub fn new(name: Option<&str>, dims: &[&str]) -> Self {
+        Tuple {
+            name: name.map(str::to_owned),
+            dims: dims.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Creates an anonymous tuple with `n` dimensions named `i0..i{n-1}`.
+    pub fn anonymous(n: usize) -> Self {
+        Tuple {
+            name: None,
+            dims: (0..n).map(|i| format!("i{i}")).collect(),
+        }
+    }
+
+    /// Creates a named tuple with `n` dimensions named `i0..i{n-1}`.
+    pub fn named(name: &str, n: usize) -> Self {
+        Tuple {
+            name: Some(name.to_owned()),
+            dims: (0..n).map(|i| format!("i{i}")).collect(),
+        }
+    }
+
+    /// The tuple's name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension names.
+    pub fn dims(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// Whether two tuples are structurally compatible: same name and arity.
+    /// Dimension *names* are cosmetic and do not affect compatibility.
+    pub fn compatible(&self, other: &Tuple) -> bool {
+        self.name == other.name && self.dims.len() == other.dims.len()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            write!(f, "{name}")?;
+        }
+        write!(f, "[{}]", self.dims.join(", "))
+    }
+}
+
+/// The space of a set (one tuple) or map (two tuples) plus its parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Space {
+    params: Vec<String>,
+    tuples: Vec<Tuple>,
+}
+
+impl Space {
+    /// Creates a set space over `params` with one tuple.
+    pub fn set(params: &[&str], tuple: Tuple) -> Self {
+        Space {
+            params: params.iter().map(|s| (*s).to_owned()).collect(),
+            tuples: vec![tuple],
+        }
+    }
+
+    /// Creates a map space over `params` with input and output tuples.
+    pub fn map(params: &[&str], input: Tuple, output: Tuple) -> Self {
+        Space {
+            params: params.iter().map(|s| (*s).to_owned()).collect(),
+            tuples: vec![input, output],
+        }
+    }
+
+    pub(crate) fn from_parts(params: Vec<String>, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.len() == 1 || tuples.len() == 2);
+        Space { params, tuples }
+    }
+
+    /// Whether this is a set space (exactly one tuple).
+    pub fn is_set(&self) -> bool {
+        self.tuples.len() == 1
+    }
+
+    /// Whether this is a map space (two tuples).
+    pub fn is_map(&self) -> bool {
+        self.tuples.len() == 2
+    }
+
+    /// The parameter names.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn n_param(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of tuple dimensions (input + output for a map).
+    pub fn n_dim(&self) -> usize {
+        self.tuples.iter().map(Tuple::arity).sum()
+    }
+
+    /// Number of input dimensions (0 for a set).
+    pub fn n_in(&self) -> usize {
+        if self.is_map() {
+            self.tuples[0].arity()
+        } else {
+            0
+        }
+    }
+
+    /// Number of output dimensions (= set arity for a set).
+    pub fn n_out(&self) -> usize {
+        self.tuples.last().map_or(0, Tuple::arity)
+    }
+
+    /// The single tuple of a set space.
+    ///
+    /// # Panics
+    /// Panics if this is a map space.
+    pub fn tuple(&self) -> &Tuple {
+        assert!(self.is_set(), "tuple() called on a map space");
+        &self.tuples[0]
+    }
+
+    /// The input tuple of a map space.
+    ///
+    /// # Panics
+    /// Panics if this is a set space.
+    pub fn in_tuple(&self) -> &Tuple {
+        assert!(self.is_map(), "in_tuple() called on a set space");
+        &self.tuples[0]
+    }
+
+    /// The output tuple of a map space (or the set tuple of a set space).
+    pub fn out_tuple(&self) -> &Tuple {
+        self.tuples.last().expect("space has at least one tuple")
+    }
+
+    /// Whether two spaces are compatible for algebra: same parameters and
+    /// structurally compatible tuples.
+    pub fn compatible(&self, other: &Space) -> bool {
+        self.params == other.params
+            && self.tuples.len() == other.tuples.len()
+            && self
+                .tuples
+                .iter()
+                .zip(other.tuples.iter())
+                .all(|(a, b)| a.compatible(b))
+    }
+
+    /// Returns an error if `self` and `other` are incompatible for `op`.
+    pub(crate) fn check_compatible(&self, other: &Space, op: &'static str) -> Result<()> {
+        if self.compatible(other) {
+            Ok(())
+        } else {
+            Err(Error::SpaceMismatch {
+                op,
+                lhs: self.to_string(),
+                rhs: other.to_string(),
+            })
+        }
+    }
+
+    /// The map space `out -> in` (swapped tuples).
+    ///
+    /// # Panics
+    /// Panics if this is a set space.
+    pub fn reversed(&self) -> Space {
+        assert!(self.is_map(), "reversed() requires a map space");
+        Space {
+            params: self.params.clone(),
+            tuples: vec![self.tuples[1].clone(), self.tuples[0].clone()],
+        }
+    }
+
+    /// The set space of a map's input tuple.
+    pub fn domain_space(&self) -> Space {
+        assert!(self.is_map(), "domain_space() requires a map space");
+        Space {
+            params: self.params.clone(),
+            tuples: vec![self.tuples[0].clone()],
+        }
+    }
+
+    /// The set space of a map's output tuple (identity for a set space).
+    pub fn range_space(&self) -> Space {
+        Space {
+            params: self.params.clone(),
+            tuples: vec![self.tuples.last().unwrap().clone()],
+        }
+    }
+
+    /// The map space `self.tuple -> other.tuple` built from two set spaces.
+    pub fn join_map(&self, other: &Space) -> Result<Space> {
+        if !self.is_set() || !other.is_set() {
+            return Err(Error::KindMismatch { expected: "set" });
+        }
+        if self.params != other.params {
+            return Err(Error::SpaceMismatch {
+                op: "join_map",
+                lhs: self.to_string(),
+                rhs: other.to_string(),
+            });
+        }
+        Ok(Space {
+            params: self.params.clone(),
+            tuples: vec![self.tuples[0].clone(), other.tuples[0].clone()],
+        })
+    }
+
+    /// Name of the column at absolute variable index `i` (params first, then
+    /// tuple dims). Used for printing.
+    pub(crate) fn var_name(&self, i: usize) -> &str {
+        if i < self.params.len() {
+            &self.params[i]
+        } else {
+            let mut j = i - self.params.len();
+            for t in &self.tuples {
+                if j < t.arity() {
+                    return &t.dims[j];
+                }
+                j -= t.arity();
+            }
+            unreachable!("var index out of range")
+        }
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.params.is_empty() {
+            write!(f, "[{}] -> ", self.params.join(", "))?;
+        }
+        write!(f, "{{ ")?;
+        match self.tuples.as_slice() {
+            [t] => write!(f, "{t}")?,
+            [a, b] => write!(f, "{a} -> {b}")?,
+            _ => unreachable!(),
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_space_basics() {
+        let s = Space::set(&["N"], Tuple::new(Some("S0"), &["i", "j"]));
+        assert!(s.is_set());
+        assert!(!s.is_map());
+        assert_eq!(s.n_param(), 1);
+        assert_eq!(s.n_dim(), 2);
+        assert_eq!(s.n_in(), 0);
+        assert_eq!(s.n_out(), 2);
+        assert_eq!(s.tuple().name(), Some("S0"));
+        assert_eq!(s.to_string(), "[N] -> { S0[i, j] }");
+    }
+
+    #[test]
+    fn map_space_basics() {
+        let m = Space::map(
+            &[],
+            Tuple::new(Some("S"), &["i"]),
+            Tuple::new(Some("A"), &["a", "b"]),
+        );
+        assert!(m.is_map());
+        assert_eq!(m.n_in(), 1);
+        assert_eq!(m.n_out(), 2);
+        assert_eq!(m.n_dim(), 3);
+        assert_eq!(m.to_string(), "{ S[i] -> A[a, b] }");
+        let r = m.reversed();
+        assert_eq!(r.to_string(), "{ A[a, b] -> S[i] }");
+        assert_eq!(m.domain_space().to_string(), "{ S[i] }");
+        assert_eq!(m.range_space().to_string(), "{ A[a, b] }");
+    }
+
+    #[test]
+    fn compatibility_ignores_dim_names() {
+        let a = Space::set(&["N"], Tuple::new(Some("S"), &["i"]));
+        let b = Space::set(&["N"], Tuple::new(Some("S"), &["x"]));
+        assert!(a.compatible(&b));
+        let c = Space::set(&["N"], Tuple::new(Some("T"), &["i"]));
+        assert!(!a.compatible(&c));
+        let d = Space::set(&["M"], Tuple::new(Some("S"), &["i"]));
+        assert!(!a.compatible(&d));
+    }
+
+    #[test]
+    fn join_map_builds_map_space() {
+        let a = Space::set(&["N"], Tuple::new(Some("S"), &["i"]));
+        let b = Space::set(&["N"], Tuple::new(Some("A"), &["x"]));
+        let m = a.join_map(&b).unwrap();
+        assert_eq!(m.to_string(), "[N] -> { S[i] -> A[x] }");
+    }
+
+    #[test]
+    fn join_map_rejects_mismatched_params() {
+        let a = Space::set(&["N"], Tuple::new(Some("S"), &["i"]));
+        let b = Space::set(&["M"], Tuple::new(Some("A"), &["x"]));
+        assert!(a.join_map(&b).is_err());
+    }
+
+    #[test]
+    fn var_name_walks_params_then_tuples() {
+        let m = Space::map(
+            &["N"],
+            Tuple::new(Some("S"), &["i"]),
+            Tuple::new(Some("A"), &["a"]),
+        );
+        assert_eq!(m.var_name(0), "N");
+        assert_eq!(m.var_name(1), "i");
+        assert_eq!(m.var_name(2), "a");
+    }
+
+    #[test]
+    fn anonymous_and_named_constructors() {
+        let t = Tuple::anonymous(3);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.name(), None);
+        assert_eq!(t.dims(), &["i0", "i1", "i2"]);
+        let n = Tuple::named("S9", 2);
+        assert_eq!(n.name(), Some("S9"));
+        assert_eq!(n.to_string(), "S9[i0, i1]");
+    }
+}

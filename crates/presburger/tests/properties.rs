@@ -1,0 +1,171 @@
+//! Property-based tests of the set/map algebra.
+//!
+//! The Omega-test implementation is compared against brute-force
+//! enumeration on bounded random systems, and the algebra is checked
+//! against its laws.
+
+use proptest::prelude::*;
+use tilefuse_presburger::{AffExpr, BasicSet, Map, Set, Space, Tuple};
+
+/// A random bounded basic set over two dims: a box plus `extra` random
+/// affine inequalities.
+fn random_set(
+    ilo: i64,
+    ihi: i64,
+    jlo: i64,
+    jhi: i64,
+    extra: &[(i64, i64, i64)],
+) -> BasicSet {
+    let sp = Space::set(&[], Tuple::new(Some("S"), &["i", "j"]));
+    let i = AffExpr::dim(&sp, 0).unwrap();
+    let j = AffExpr::dim(&sp, 1).unwrap();
+    let mut b = BasicSet::universe(sp.clone());
+    b.add_constraint(&i.ge(&AffExpr::constant(&sp, ilo.min(ihi))).unwrap()).unwrap();
+    b.add_constraint(&i.le(&AffExpr::constant(&sp, ilo.max(ihi))).unwrap()).unwrap();
+    b.add_constraint(&j.ge(&AffExpr::constant(&sp, jlo.min(jhi))).unwrap()).unwrap();
+    b.add_constraint(&j.le(&AffExpr::constant(&sp, jlo.max(jhi))).unwrap()).unwrap();
+    for &(a, c, k) in extra {
+        // a*i + c*j + k >= 0
+        let e = AffExpr::zero(&sp)
+            .with_dim_coeff(0, a)
+            .with_dim_coeff(1, c)
+            .with_constant(k);
+        b.add_constraint(&e.ge_zero()).unwrap();
+    }
+    b
+}
+
+fn brute_points(b: &BasicSet, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    for i in lo..=hi {
+        for j in lo..=hi {
+            if b.contains(&[i, j]).unwrap() {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emptiness_matches_brute_force(
+        ilo in -6i64..6, ihi in -6i64..6, jlo in -6i64..6, jhi in -6i64..6,
+        extra in prop::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..3),
+    ) {
+        let b = random_set(ilo, ihi, jlo, jhi, &extra);
+        let brute = brute_points(&b, -8, 8);
+        prop_assert_eq!(b.is_empty().unwrap(), brute.is_empty());
+    }
+
+    #[test]
+    fn projection_is_exact(
+        ilo in -5i64..5, ihi in -5i64..5, jlo in -5i64..5, jhi in -5i64..5,
+        extra in prop::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..2),
+    ) {
+        let b = random_set(ilo, ihi, jlo, jhi, &extra);
+        let brute = brute_points(&b, -8, 8);
+        let projected = Set::from_basic(b).project_out_dims(1, 1).unwrap();
+        for i in -8..=8 {
+            let expect = brute.iter().any(|&(bi, _)| bi == i);
+            prop_assert_eq!(projected.contains(&[i]).unwrap(), expect,
+                "i = {} projected = {}", i, projected);
+        }
+    }
+
+    #[test]
+    fn subtraction_laws(
+        a_lo in -5i64..5, a_hi in -5i64..5,
+        b_lo in -5i64..5, b_hi in -5i64..5,
+    ) {
+        let a = Set::from_basic(random_set(a_lo, a_hi, 0, 0, &[]));
+        let b = Set::from_basic(random_set(b_lo, b_hi, 0, 0, &[]));
+        let diff = a.subtract(&b).unwrap();
+        // (A - B) ∩ B = ∅
+        prop_assert!(diff.intersect(&b).unwrap().is_empty().unwrap());
+        // (A - B) ∪ (A ∩ B) = A
+        let back = diff.union(&a.intersect(&b).unwrap()).unwrap();
+        prop_assert!(back.is_equal(&a).unwrap());
+        // A - A = ∅
+        prop_assert!(a.subtract(&a).unwrap().is_empty().unwrap());
+    }
+
+    #[test]
+    fn union_and_intersection_bounds(
+        a_lo in -5i64..5, a_hi in -5i64..5,
+        b_lo in -5i64..5, b_hi in -5i64..5,
+    ) {
+        let a = Set::from_basic(random_set(a_lo, a_hi, 0, 0, &[]));
+        let b = Set::from_basic(random_set(b_lo, b_hi, 0, 0, &[]));
+        let u = a.union(&b).unwrap();
+        let i = a.intersect(&b).unwrap();
+        prop_assert!(a.is_subset(&u).unwrap());
+        prop_assert!(b.is_subset(&u).unwrap());
+        prop_assert!(i.is_subset(&a).unwrap());
+        prop_assert!(i.is_subset(&b).unwrap());
+    }
+
+    #[test]
+    fn scanner_agrees_with_contains(
+        ilo in -4i64..4, ihi in -4i64..4, jlo in -4i64..4, jhi in -4i64..4,
+        extra in prop::collection::vec((-2i64..3, -2i64..3, -5i64..6), 0..2),
+    ) {
+        let b = random_set(ilo, ihi, jlo, jhi, &extra);
+        let brute = brute_points(&b, -8, 8);
+        let set = Set::from_basic(b);
+        let scanner = tilefuse_presburger::Scanner::new(&set, &[]).unwrap();
+        let mut scanned = Vec::new();
+        scanner.for_each(&mut |p| { scanned.push((p[0], p[1])); true }).unwrap();
+        prop_assert_eq!(scanned, brute);
+    }
+
+    #[test]
+    fn map_reverse_involution(shift in -5i64..6, lo in -5i64..5, hi in -5i64..5) {
+        let m: Map = format!(
+            "{{ S[i] -> A[i + {shift}] : {} <= i <= {} }}", lo.min(hi), lo.max(hi)
+        ).parse().unwrap();
+        prop_assert!(m.reverse().reverse().is_equal(&m).unwrap());
+        // domain(reverse) = range, range(reverse) = domain.
+        prop_assert!(m.reverse().domain().unwrap()
+            .is_equal(&m.range().unwrap().cast(m.reverse().space().domain_space()).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn compose_respects_images(
+        s1 in -3i64..4, s2 in -3i64..4, lo in 0i64..3, hi in 3i64..7, x in 0i64..3,
+    ) {
+        let f: Map = format!("{{ S[i] -> T[i + {s1}] : {lo} <= i <= {hi} }}").parse().unwrap();
+        let g: Map = format!("{{ T[j] -> U[j + {s2}] }}").parse().unwrap();
+        let fg = f.compose(&g).unwrap();
+        // (g ∘ f)(x) = g(f(x)) pointwise.
+        let img = fg.image_of(&[x]).unwrap();
+        let expect: Set = if (lo..=hi).contains(&x) {
+            format!("{{ U[v] : v = {} }}", x + s1 + s2).parse().unwrap()
+        } else {
+            Set::empty(img.space().clone())
+        };
+        prop_assert!(img.is_equal(&expect).unwrap(), "x={} img={}", x, img);
+    }
+
+    #[test]
+    fn rect_hull_contains_all_points(
+        ilo in -4i64..4, ihi in -4i64..4, jlo in -4i64..4, jhi in -4i64..4,
+        extra in prop::collection::vec((-2i64..3, -2i64..3, -4i64..5), 0..2),
+    ) {
+        let b = random_set(ilo, ihi, jlo, jhi, &extra);
+        let brute = brute_points(&b, -8, 8);
+        let hull = Set::from_basic(b).rect_hull(&[]).unwrap();
+        match hull {
+            None => prop_assert!(brute.is_empty()),
+            Some(h) => {
+                for (i, j) in brute {
+                    prop_assert!(h[0].0 <= i && i <= h[0].1);
+                    prop_assert!(h[1].0 <= j && j <= h[1].1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Band nodes: partial multi-dimensional schedules with tilability and
+//! parallelism attributes.
+//!
+//! A band represents a loop nest. Its `sched` maps each statement's
+//! instances into an anonymous band space of `n_member` dimensions; the
+//! `permutable` flag says the loops may be freely interchanged (and hence
+//! tiled), and `coincident[k]` says loop `k` carries no dependence (is
+//! parallel) — exactly the two attributes the paper attaches to band nodes
+//! (Section II-B).
+
+use crate::error::{Error, Result};
+use tilefuse_presburger::{BasicSet, Map, Space, Tuple, UnionMap};
+
+/// A band node's payload.
+#[derive(Debug, Clone)]
+pub struct Band {
+    sched: UnionMap,
+    n_member: usize,
+    permutable: bool,
+    coincident: Vec<bool>,
+}
+
+impl Band {
+    /// Creates a band from per-statement partial schedules.
+    ///
+    /// # Errors
+    /// Returns an error if the parts disagree on member count or
+    /// `coincident` has the wrong length.
+    pub fn new(sched: UnionMap, permutable: bool, coincident: Vec<bool>) -> Result<Self> {
+        let n_member = sched
+            .parts()
+            .first()
+            .map(|m| m.space().n_out())
+            .ok_or_else(|| Error::Structure("band must have at least one part".into()))?;
+        for part in sched.parts() {
+            if part.space().n_out() != n_member {
+                return Err(Error::Structure(format!(
+                    "band parts disagree on member count: {} vs {n_member}",
+                    part.space().n_out()
+                )));
+            }
+        }
+        if coincident.len() != n_member {
+            return Err(Error::Structure(format!(
+                "coincident has {} entries for a {n_member}-member band",
+                coincident.len()
+            )));
+        }
+        Ok(Band { sched, n_member, permutable, coincident })
+    }
+
+    /// The per-statement partial schedules.
+    pub fn sched(&self) -> &UnionMap {
+        &self.sched
+    }
+
+    /// Number of band members (loop depth).
+    pub fn n_member(&self) -> usize {
+        self.n_member
+    }
+
+    /// Whether the band is permutable (tilable).
+    pub fn permutable(&self) -> bool {
+        self.permutable
+    }
+
+    /// Per-member parallelism flags.
+    pub fn coincident(&self) -> &[bool] {
+        &self.coincident
+    }
+
+    /// Number of leading parallel members (the `m` of Algorithm 1/2).
+    pub fn n_outer_parallel(&self) -> usize {
+        self.coincident.iter().take_while(|&&c| c).count()
+    }
+
+    /// Splits the band into a *tile band* and a *point band* using fixed
+    /// integer `sizes` (one per member): the tile band maps instances to
+    /// their tile coordinates `o` with `size·o ≤ b < size·o + size`, the
+    /// point band keeps the original schedule (Section IV-A).
+    ///
+    /// # Errors
+    /// Returns an error if `sizes` has the wrong length, a size is not
+    /// positive, or the band is not permutable.
+    pub fn tile(&self, sizes: &[i64]) -> Result<(Band, Band)> {
+        if !self.permutable {
+            return Err(Error::Structure("cannot tile a non-permutable band".into()));
+        }
+        if sizes.len() != self.n_member {
+            return Err(Error::Structure(format!(
+                "{} tile sizes for a {}-member band",
+                sizes.len(),
+                self.n_member
+            )));
+        }
+        if sizes.iter().any(|&s| s <= 0) {
+            return Err(Error::Structure("tile sizes must be positive".into()));
+        }
+        let mut tile_parts = Vec::new();
+        for part in self.sched.parts() {
+            let tr = tiling_relation(part.space(), sizes)?;
+            tile_parts.push(part.compose(&tr)?);
+        }
+        let tile_band = Band {
+            sched: UnionMap::from_parts(tile_parts)?,
+            n_member: self.n_member,
+            permutable: true,
+            coincident: self.coincident.clone(),
+        };
+        let point_band = self.clone();
+        Ok((tile_band, point_band))
+    }
+
+    /// Keeps only the first `k` members (used to model the `m` cap when
+    /// targeting CPUs/GPUs).
+    ///
+    /// # Errors
+    /// Returns an error if `k` is zero or exceeds the member count.
+    pub fn truncate_members(&self, k: usize) -> Result<Band> {
+        if k == 0 || k > self.n_member {
+            return Err(Error::Structure(format!(
+                "cannot truncate {}-member band to {k}",
+                self.n_member
+            )));
+        }
+        let parts = self
+            .sched
+            .parts()
+            .iter()
+            .map(|part| project_out_map_range(part, k))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Band {
+            sched: UnionMap::from_parts(parts)?,
+            n_member: k,
+            permutable: self.permutable,
+            coincident: self.coincident[..k].to_vec(),
+        })
+    }
+}
+
+/// Builds `{ [b0..bk] -> [o0..ok] : size_j * o_j <= b_j < size_j*o_j + size_j }`
+/// for a band part's range space.
+fn tiling_relation(part_space: &Space, sizes: &[i64]) -> Result<Map> {
+    let k = sizes.len();
+    let params: Vec<&str> = part_space.params().iter().map(String::as_str).collect();
+    let space = Space::map(&params, Tuple::anonymous(k), Tuple::anonymous(k));
+    let mut b = BasicSet::universe(space.clone());
+    for (j, &size) in sizes.iter().enumerate() {
+        let bj = tilefuse_presburger::AffExpr::dim(&space, j)?;
+        let oj = tilefuse_presburger::AffExpr::dim(&space, k + j)?;
+        let t_oj = oj.scale(size)?;
+        b.add_constraint(&t_oj.le(&bj)?)?;
+        let upper = t_oj.checked_add(&tilefuse_presburger::AffExpr::constant(&space, size))?;
+        b.add_constraint(&bj.lt(&upper)?)?;
+    }
+    Ok(Map::from_basic(b)?)
+}
+
+/// Restricts a map `X -> [n]` to its first `k` output dims.
+fn project_out_map_range(part: &Map, k: usize) -> Result<Map> {
+    let n = part.space().n_out();
+    let wrapped = part.as_wrapped_set();
+    let n_in = part.space().n_in();
+    let projected = wrapped.project_out_dims(n_in + k, n - k)?;
+    let params: Vec<&str> = part.space().params().iter().map(String::as_str).collect();
+    let space = Space::map(&params, part.space().in_tuple().clone(), Tuple::anonymous(k));
+    Ok(Map::from_wrapped_set(projected.cast(space)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_band() -> Band {
+        let m: Map = "[H] -> { S[h, w] -> [h, w] : 0 <= h < H }".parse().unwrap();
+        Band::new(UnionMap::from_parts([m]).unwrap(), true, vec![true, true]).unwrap()
+    }
+
+    #[test]
+    fn band_accessors() {
+        let b = simple_band();
+        assert_eq!(b.n_member(), 2);
+        assert!(b.permutable());
+        assert_eq!(b.coincident(), &[true, true]);
+        assert_eq!(b.n_outer_parallel(), 2);
+    }
+
+    #[test]
+    fn outer_parallel_counts_prefix() {
+        let m: Map = "{ S[h, w] -> [h, w] }".parse().unwrap();
+        let b = Band::new(UnionMap::from_parts([m]).unwrap(), true, vec![false, true]).unwrap();
+        assert_eq!(b.n_outer_parallel(), 0);
+    }
+
+    #[test]
+    fn tile_produces_tile_coordinates() {
+        let b = simple_band();
+        let (tile, point) = b.tile(&[2, 2]).unwrap();
+        assert_eq!(tile.n_member(), 2);
+        assert_eq!(point.n_member(), 2);
+        let part = &tile.sched().parts()[0];
+        // S[5, 3] -> tile (2, 1) for 2x2 tiles (H large enough: H=8).
+        assert!(part.contains_pair(&[8, 5, 3, 2, 1]).unwrap());
+        assert!(!part.contains_pair(&[8, 5, 3, 2, 2]).unwrap());
+    }
+
+    #[test]
+    fn tile_rejects_bad_inputs() {
+        let b = simple_band();
+        assert!(b.tile(&[2]).is_err());
+        assert!(b.tile(&[2, 0]).is_err());
+        let m: Map = "{ S[h] -> [h] }".parse().unwrap();
+        let np = Band::new(UnionMap::from_parts([m]).unwrap(), false, vec![true]).unwrap();
+        assert!(np.tile(&[4]).is_err());
+    }
+
+    #[test]
+    fn mismatched_members_rejected() {
+        let a: Map = "{ S[h] -> [h] }".parse().unwrap();
+        let c: Map = "{ T[h, w] -> [h, w] }".parse().unwrap();
+        assert!(Band::new(UnionMap::from_parts([a, c]).unwrap(), true, vec![true]).is_err());
+    }
+
+    #[test]
+    fn coincident_length_checked() {
+        let m: Map = "{ S[h] -> [h] }".parse().unwrap();
+        assert!(Band::new(UnionMap::from_parts([m]).unwrap(), true, vec![true, false]).is_err());
+    }
+
+    #[test]
+    fn truncate_members_keeps_prefix() {
+        let b = simple_band();
+        let t = b.truncate_members(1).unwrap();
+        assert_eq!(t.n_member(), 1);
+        let part = &t.sched().parts()[0];
+        // S[5, 3] -> [5]
+        assert!(part.contains_pair(&[8, 5, 3, 5]).unwrap());
+        assert!(!part.contains_pair(&[8, 5, 3, 3]).unwrap());
+        assert!(b.truncate_members(0).is_err());
+        assert!(b.truncate_members(3).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for schedule trees.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from schedule-tree construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Structural problem (bad path, wrong node kind, arity mismatch).
+    Structure(String),
+    /// An underlying set/map operation failed.
+    Presburger(tilefuse_presburger::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Structure(msg) => write!(f, "schedule tree error: {msg}"),
+            Error::Presburger(e) => write!(f, "set operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Presburger(e) => Some(e),
+            Error::Structure(_) => None,
+        }
+    }
+}
+
+impl From<tilefuse_presburger::Error> for Error {
+    fn from(e: tilefuse_presburger::Error) -> Self {
+        Error::Presburger(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Error::Structure("bad path".into()).to_string(),
+            "schedule tree error: bad path"
+        );
+        let p = Error::from(tilefuse_presburger::Error::Overflow("add"));
+        assert!(p.to_string().contains("overflow"));
+    }
+}

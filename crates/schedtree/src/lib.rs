@@ -1,0 +1,29 @@
+//! Schedule trees for polyhedral compilation.
+//!
+//! This crate implements the schedule-tree representation of Grosser,
+//! Verdoolaege & Cohen (TOPLAS 2015) as used by the MICRO 2020 post-tiling
+//! fusion paper: [`Node::Domain`], [`Node::Band`] (with `permutable` and
+//! `coincident` attributes), [`Node::Sequence`]/[`Node::Filter`],
+//! [`Node::Mark`], and — crucially — [`Node::Extension`], whose
+//! expressiveness the paper extends to schedule *additional statement
+//! instances under a filter*, enabling tile-wise fusion after tiling.
+//!
+//! Besides the tree structure this crate provides:
+//! * [`Band::tile`] — splitting a band into tile and point bands with fixed
+//!   integer tile sizes;
+//! * [`flatten`] — lowering a tree to per-statement schedule relations (the
+//!   form consumed by the interpreter and the cost models), honouring
+//!   `"skipped"` marks and extension-node recomputation semantics;
+//! * [`render`] — ASCII rendering matching the paper's figures.
+
+mod band;
+mod error;
+mod flatten;
+mod render;
+mod tree;
+
+pub use band::Band;
+pub use error::{Error, Result};
+pub use flatten::{flatten, FlatEntry};
+pub use render::render;
+pub use tree::{band, extension, filter, mark, sequence, Node, ScheduleTree, MARK_SKIPPED};

@@ -1,0 +1,135 @@
+//! ASCII rendering of schedule trees (for examples and debugging; compare
+//! with the paper's Fig. 2 and Fig. 5).
+
+use crate::band::Band;
+use crate::tree::{Node, ScheduleTree};
+use std::fmt::Write;
+
+/// Renders the tree as indented ASCII, one node per line.
+pub fn render(tree: &ScheduleTree) -> String {
+    let mut out = String::new();
+    render_node(tree.root(), "", true, &mut out);
+    out
+}
+
+fn band_label(b: &Band) -> String {
+    let parts: Vec<String> = b.sched().parts().iter().map(|m| m.to_string()).collect();
+    let coincident: Vec<&str> =
+        b.coincident().iter().map(|&c| if c { "1" } else { "0" }).collect();
+    format!(
+        "band: {} permutable={} coincident=[{}]",
+        parts.join(" ∪ "),
+        u8::from(b.permutable()),
+        coincident.join(", ")
+    )
+}
+
+fn node_label(node: &Node) -> String {
+    match node {
+        Node::Domain { domain, .. } => format!("domain: {domain}"),
+        Node::Band { band, .. } => band_label(band),
+        Node::Sequence { .. } => "sequence".to_owned(),
+        Node::Filter { filter, .. } => format!("filter: {filter}"),
+        Node::Mark { mark, .. } => format!("mark: \"{mark}\""),
+        Node::Extension { extension, .. } => format!("extension: {extension}"),
+        Node::Leaf => "leaf".to_owned(),
+    }
+}
+
+fn render_node(node: &Node, prefix: &str, is_last: bool, out: &mut String) {
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    let _ = writeln!(out, "{prefix}{connector}{}", node_label(node));
+    let children = node.children();
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else if is_last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    };
+    // Skip rendering bare leaves to keep output close to the paper's
+    // figures (leaves are implicit).
+    let visible: Vec<&Node> = children.into_iter().collect();
+    for (i, c) in visible.iter().enumerate() {
+        if matches!(c, Node::Leaf) {
+            continue;
+        }
+        let last = i == visible.len() - 1
+            || visible[i + 1..].iter().all(|n| matches!(n, Node::Leaf));
+        let p = if prefix.is_empty() { "  ".to_owned() } else { child_prefix.clone() };
+        render_node(c, &p, last, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::Band;
+    use crate::tree::{band, filter, sequence};
+    use tilefuse_presburger::{Map, Set, UnionMap, UnionSet};
+
+    #[test]
+    fn renders_paper_like_structure() {
+        let dom = UnionSet::from_parts([
+            "{ S0[h, w] : 0 <= h <= 5 }".parse::<Set>().unwrap(),
+            "{ S1[h, w] : 0 <= h <= 3 }".parse::<Set>().unwrap(),
+        ])
+        .unwrap();
+        let b0 = Band::new(
+            UnionMap::from_parts(["{ S0[h, w] -> [h, w] }".parse::<Map>().unwrap()]).unwrap(),
+            true,
+            vec![true, true],
+        )
+        .unwrap();
+        let b1 = Band::new(
+            UnionMap::from_parts(["{ S1[h, w] -> [h, w] }".parse::<Map>().unwrap()]).unwrap(),
+            true,
+            vec![true, true],
+        )
+        .unwrap();
+        let t = ScheduleTree::new(
+            dom,
+            sequence(vec![
+                filter(
+                    UnionSet::from_parts(["{ S0[h, w] }".parse::<Set>().unwrap()]).unwrap(),
+                    band(b0, crate::tree::Node::Leaf),
+                ),
+                filter(
+                    UnionSet::from_parts(["{ S1[h, w] }".parse::<Set>().unwrap()]).unwrap(),
+                    band(b1, crate::tree::Node::Leaf),
+                ),
+            ]),
+        );
+        let text = render(&t);
+        assert!(text.contains("domain"), "{text}");
+        assert!(text.contains("sequence"), "{text}");
+        assert!(text.contains("filter: { S0[h, w] }"), "{text}");
+        assert!(text.contains("permutable=1"), "{text}");
+        assert!(text.contains("coincident=[1, 1]"), "{text}");
+        // Two bands rendered.
+        assert_eq!(text.matches("band:").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn renders_mark_and_extension() {
+        let dom = UnionSet::from_parts(["{ S[i] : 0 <= i <= 3 }".parse::<Set>().unwrap()]).unwrap();
+        let ext = UnionMap::from_parts(["{ [o] -> P[p] : o <= p <= o + 1 }".parse::<Map>().unwrap()])
+            .unwrap();
+        let t = ScheduleTree::new(
+            dom,
+            crate::tree::mark(
+                "kernel",
+                crate::tree::extension(ext, crate::tree::Node::Leaf),
+            ),
+        );
+        let text = render(&t);
+        assert!(text.contains("mark: \"kernel\""), "{text}");
+        assert!(text.contains("extension:"), "{text}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Schedule trees: nodes, navigation, and the structural transformations
+//! used by the post-tiling fusion pass.
+
+use crate::band::Band;
+use crate::error::{Error, Result};
+use tilefuse_presburger::{UnionMap, UnionSet};
+
+/// The mark string that instructs code generation to bypass a subtree
+/// (Section IV-A: the fused statement's original schedule is skipped).
+pub const MARK_SKIPPED: &str = "skipped";
+
+/// A schedule-tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Root: all statement instances.
+    Domain {
+        /// The iteration domains of every statement.
+        domain: UnionSet,
+        /// The scheduled child.
+        child: Box<Node>,
+    },
+    /// A loop nest (partial schedule).
+    Band {
+        /// The band payload.
+        band: Band,
+        /// The child scheduled within each band point.
+        child: Box<Node>,
+    },
+    /// Ordered composition; children are (conventionally) filters.
+    Sequence {
+        /// The ordered children.
+        children: Vec<Node>,
+    },
+    /// Restricts the statement instances that reach the subtree.
+    Filter {
+        /// The kept instances.
+        filter: UnionSet,
+        /// The child.
+        child: Box<Node>,
+    },
+    /// Attaches information for code generation (e.g. `"skipped"`,
+    /// `"kernel"`, `"thread"`).
+    Mark {
+        /// The mark string.
+        mark: String,
+        /// The child.
+        child: Box<Node>,
+    },
+    /// Introduces additional statement instances as a function of the outer
+    /// schedule dimensions — the paper's key device for post-tiling fusion.
+    Extension {
+        /// `{ [outer sched dims] -> Stmt[instance] }`.
+        extension: UnionMap,
+        /// The child, which schedules both original and added statements.
+        child: Box<Node>,
+    },
+    /// End of schedule: instances reaching here execute in an unspecified
+    /// (parallel) order relative to each other.
+    Leaf,
+}
+
+impl Node {
+    /// The children of this node (0 or 1 for most kinds).
+    pub fn children(&self) -> Vec<&Node> {
+        match self {
+            Node::Domain { child, .. }
+            | Node::Band { child, .. }
+            | Node::Filter { child, .. }
+            | Node::Mark { child, .. }
+            | Node::Extension { child, .. } => vec![child],
+            Node::Sequence { children } => children.iter().collect(),
+            Node::Leaf => Vec::new(),
+        }
+    }
+
+    /// Mutable child access by index.
+    pub fn child_mut(&mut self, i: usize) -> Result<&mut Node> {
+        match self {
+            Node::Domain { child, .. }
+            | Node::Band { child, .. }
+            | Node::Filter { child, .. }
+            | Node::Mark { child, .. }
+            | Node::Extension { child, .. } => {
+                if i == 0 {
+                    Ok(child)
+                } else {
+                    Err(Error::Structure(format!("node has one child, asked for {i}")))
+                }
+            }
+            Node::Sequence { children } => children
+                .get_mut(i)
+                .ok_or_else(|| Error::Structure(format!("sequence child {i} out of range"))),
+            Node::Leaf => Err(Error::Structure("leaf has no children".into())),
+        }
+    }
+
+    /// A short label for rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Node::Domain { .. } => "domain",
+            Node::Band { .. } => "band",
+            Node::Sequence { .. } => "sequence",
+            Node::Filter { .. } => "filter",
+            Node::Mark { .. } => "mark",
+            Node::Extension { .. } => "extension",
+            Node::Leaf => "leaf",
+        }
+    }
+}
+
+/// A complete schedule tree (a [`Node::Domain`] root).
+#[derive(Debug, Clone)]
+pub struct ScheduleTree {
+    root: Node,
+}
+
+impl ScheduleTree {
+    /// Creates a tree from the iteration domain and the scheduled child.
+    pub fn new(domain: UnionSet, child: Node) -> Self {
+        ScheduleTree { root: Node::Domain { domain, child: Box::new(child) } }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// The root's domain.
+    pub fn domain(&self) -> &UnionSet {
+        match &self.root {
+            Node::Domain { domain, .. } => domain,
+            _ => unreachable!("root is always a domain node"),
+        }
+    }
+
+    /// The node at `path` (a sequence of child indices from the root).
+    ///
+    /// # Errors
+    /// Returns an error if the path is invalid.
+    pub fn node_at(&self, path: &[usize]) -> Result<&Node> {
+        let mut cur = &self.root;
+        for &i in path {
+            cur = *cur
+                .children()
+                .get(i)
+                .ok_or_else(|| Error::Structure(format!("bad path step {i}")))?;
+        }
+        Ok(cur)
+    }
+
+    /// Mutable access to the node at `path`.
+    ///
+    /// # Errors
+    /// Returns an error if the path is invalid.
+    pub fn node_at_mut(&mut self, path: &[usize]) -> Result<&mut Node> {
+        let mut cur = &mut self.root;
+        for &i in path {
+            cur = cur.child_mut(i)?;
+        }
+        Ok(cur)
+    }
+
+    /// Replaces the node at `path`, returning the old node.
+    ///
+    /// # Errors
+    /// Returns an error if the path is invalid.
+    pub fn replace_at(&mut self, path: &[usize], new: Node) -> Result<Node> {
+        let slot = self.node_at_mut(path)?;
+        Ok(std::mem::replace(slot, new))
+    }
+
+    /// Wraps the node at `path` in a mark node.
+    ///
+    /// # Errors
+    /// Returns an error if the path is invalid.
+    pub fn mark_at(&mut self, path: &[usize], mark: &str) -> Result<()> {
+        let slot = self.node_at_mut(path)?;
+        let old = std::mem::replace(slot, Node::Leaf);
+        *slot = Node::Mark { mark: mark.to_owned(), child: Box::new(old) };
+        Ok(())
+    }
+
+    /// Finds the path of the first node satisfying `pred` (pre-order).
+    pub fn find(&self, pred: &dyn Fn(&Node) -> bool) -> Option<Vec<usize>> {
+        fn walk(node: &Node, pred: &dyn Fn(&Node) -> bool, path: &mut Vec<usize>) -> bool {
+            if pred(node) {
+                return true;
+            }
+            for (i, c) in node.children().into_iter().enumerate() {
+                path.push(i);
+                if walk(c, pred, path) {
+                    return true;
+                }
+                path.pop();
+            }
+            false
+        }
+        let mut path = Vec::new();
+        if walk(&self.root, pred, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// All paths of nodes satisfying `pred` (pre-order).
+    pub fn find_all(&self, pred: &dyn Fn(&Node) -> bool) -> Vec<Vec<usize>> {
+        fn walk(
+            node: &Node,
+            pred: &dyn Fn(&Node) -> bool,
+            path: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if pred(node) {
+                out.push(path.clone());
+            }
+            for (i, c) in node.children().into_iter().enumerate() {
+                path.push(i);
+                walk(c, pred, path, out);
+                path.pop();
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, pred, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Structural sanity checks: sequence children are filters, domain is
+    /// the root only, bands are non-empty.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        fn walk(node: &Node, is_root: bool) -> Result<()> {
+            match node {
+                Node::Domain { child, .. } => {
+                    if !is_root {
+                        return Err(Error::Structure("domain node below the root".into()));
+                    }
+                    walk(child, false)
+                }
+                Node::Sequence { children } => {
+                    if children.is_empty() {
+                        return Err(Error::Structure("empty sequence".into()));
+                    }
+                    for c in children {
+                        if !matches!(c, Node::Filter { .. }) {
+                            return Err(Error::Structure(format!(
+                                "sequence child is a {} node, expected filter",
+                                c.kind()
+                            )));
+                        }
+                        walk(c, false)?;
+                    }
+                    Ok(())
+                }
+                Node::Band { band, child } => {
+                    if band.n_member() == 0 {
+                        return Err(Error::Structure("zero-member band".into()));
+                    }
+                    walk(child, false)
+                }
+                Node::Filter { child, .. }
+                | Node::Mark { child, .. }
+                | Node::Extension { child, .. } => walk(child, false),
+                Node::Leaf => Ok(()),
+            }
+        }
+        walk(&self.root, true)
+    }
+}
+
+/// Builds a filter node.
+pub fn filter(filter: UnionSet, child: Node) -> Node {
+    Node::Filter { filter, child: Box::new(child) }
+}
+
+/// Builds a band node.
+pub fn band(band: Band, child: Node) -> Node {
+    Node::Band { band, child: Box::new(child) }
+}
+
+/// Builds a sequence node.
+pub fn sequence(children: Vec<Node>) -> Node {
+    Node::Sequence { children }
+}
+
+/// Builds a mark node.
+pub fn mark(mark: &str, child: Node) -> Node {
+    Node::Mark { mark: mark.to_owned(), child: Box::new(child) }
+}
+
+/// Builds an extension node.
+pub fn extension(extension: UnionMap, child: Node) -> Node {
+    Node::Extension { extension, child: Box::new(child) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_presburger::{Map, Set, UnionMap, UnionSet};
+
+    fn uset(s: &str) -> UnionSet {
+        UnionSet::from_parts([s.parse::<Set>().unwrap()]).unwrap()
+    }
+
+    fn simple_band() -> Band {
+        let m: Map = "{ S[i] -> [i] }".parse().unwrap();
+        Band::new(UnionMap::from_parts([m]).unwrap(), true, vec![true]).unwrap()
+    }
+
+    fn simple_tree() -> ScheduleTree {
+        ScheduleTree::new(
+            uset("{ S[i] : 0 <= i <= 9 }"),
+            sequence(vec![
+                filter(uset("{ S[i] : i <= 4 }"), band(simple_band(), Node::Leaf)),
+                filter(uset("{ S[i] : i >= 5 }"), Node::Leaf),
+            ]),
+        )
+    }
+
+    #[test]
+    fn navigation_by_path() {
+        let t = simple_tree();
+        assert_eq!(t.root().kind(), "domain");
+        assert_eq!(t.node_at(&[0]).unwrap().kind(), "sequence");
+        assert_eq!(t.node_at(&[0, 0]).unwrap().kind(), "filter");
+        assert_eq!(t.node_at(&[0, 0, 0]).unwrap().kind(), "band");
+        assert_eq!(t.node_at(&[0, 1, 0]).unwrap().kind(), "leaf");
+        assert!(t.node_at(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(simple_tree().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nonfilter_sequence_child() {
+        let t = ScheduleTree::new(
+            uset("{ S[i] }"),
+            sequence(vec![band(simple_band(), Node::Leaf)]),
+        );
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_sequence() {
+        let t = ScheduleTree::new(uset("{ S[i] }"), sequence(vec![]));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn mark_at_wraps_subtree() {
+        let mut t = simple_tree();
+        t.mark_at(&[0, 0], MARK_SKIPPED).unwrap();
+        match t.node_at(&[0, 0]).unwrap() {
+            Node::Mark { mark, child } => {
+                assert_eq!(mark, MARK_SKIPPED);
+                assert_eq!(child.kind(), "filter");
+            }
+            other => panic!("expected mark, got {}", other.kind()),
+        }
+        assert!(t.validate().is_err()); // mark between sequence and filter
+    }
+
+    #[test]
+    fn replace_at_swaps_node() {
+        let mut t = simple_tree();
+        let old = t.replace_at(&[0, 1, 0], band(simple_band(), Node::Leaf)).unwrap();
+        assert_eq!(old.kind(), "leaf");
+        assert_eq!(t.node_at(&[0, 1, 0]).unwrap().kind(), "band");
+    }
+
+    #[test]
+    fn find_locates_first_band() {
+        let t = simple_tree();
+        let p = t.find(&|n| matches!(n, Node::Band { .. })).unwrap();
+        assert_eq!(p, vec![0, 0, 0]);
+        assert!(t.find(&|n| matches!(n, Node::Extension { .. })).is_none());
+    }
+
+    #[test]
+    fn find_all_locates_filters() {
+        let t = simple_tree();
+        let ps = t.find_all(&|n| matches!(n, Node::Filter { .. }));
+        assert_eq!(ps, vec![vec![0, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn domain_accessor() {
+        let t = simple_tree();
+        assert!(t.domain().part_named("S").is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! Dependence-distance analysis for band legality, parallelism and shifts.
+
+use crate::error::{Error, Result};
+use tilefuse_pir::{Dependence, Program, SchedTerm, StmtId};
+use tilefuse_presburger::{AffExpr, Map, Set, Space, Tuple};
+
+/// The ordered loop (variable) dimensions of a statement's initial
+/// schedule — e.g. `S2(h,w,kh,kw) -> (1,h,w,1,kh,kw)` has loop vars
+/// `[0, 1, 2, 3]`.
+pub fn loop_vars(program: &Program, stmt: StmtId) -> Vec<usize> {
+    program
+        .stmt(stmt)
+        .sched()
+        .iter()
+        .filter_map(|t| match t {
+            SchedTerm::Var(d) => Some(*d),
+            SchedTerm::Cst(_) => None,
+        })
+        .collect()
+}
+
+/// The comparison tested on one aligned band dimension of a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimCheck {
+    /// Violated when `dst_var < src_var` somewhere (breaks permutability).
+    NonNegative,
+    /// Violated when `dst_var != src_var` somewhere (breaks coincidence).
+    Zero,
+}
+
+/// Whether dependence `dep`, aligned positionally at band level `j`
+/// (the `j`-th loop var of source vs. destination, with optional constant
+/// shifts), satisfies `check` for **all** pairs. Exact and parametric.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn dim_satisfies(
+    program: &Program,
+    dep: &Dependence,
+    j: usize,
+    src_shift: i64,
+    dst_shift: i64,
+    check: DimCheck,
+) -> Result<bool> {
+    let src_vars = loop_vars(program, dep.src);
+    let dst_vars = loop_vars(program, dep.dst);
+    let (Some(&sv), Some(&dv)) = (src_vars.get(j), dst_vars.get(j)) else {
+        return Err(Error::Internal(format!("band level {j} out of range for dependence")));
+    };
+    let space = dep.map.space().clone();
+    let n_in = space.n_in();
+    let src = AffExpr::dim(&space, sv)?
+        .checked_add(&AffExpr::constant(&space, src_shift))?;
+    let dst = AffExpr::dim(&space, n_in + dv)?
+        .checked_add(&AffExpr::constant(&space, dst_shift))?;
+    let violating: Vec<tilefuse_presburger::Constraint> = match check {
+        DimCheck::NonNegative => vec![dst.lt(&src)?],
+        DimCheck::Zero => {
+            // dst != src: two branches.
+            let lt = dst.lt(&src)?;
+            let gt = dst.gt(&src)?;
+            // Check each branch separately below.
+            for c in [lt, gt] {
+                let mut any = Map::empty(space.clone())?;
+                let b = tilefuse_presburger::BasicSet::universe(space.clone()).constrain(&c)?;
+                any = any.union(&Map::from_basic(b)?)?;
+                if !dep.map.intersect(&any)?.is_empty()? {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+    };
+    for c in violating {
+        let b = tilefuse_presburger::BasicSet::universe(space.clone()).constrain(&c)?;
+        let bad = dep.map.intersect(&Map::from_basic(b)?)?;
+        if !bad.is_empty()? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The numeric range of `dst_var − src_var` over all pairs of `dep` at band
+/// level `j`, with parameters fixed to `param_values`. Returns `None` when
+/// the dependence is empty under those parameters.
+///
+/// # Errors
+/// Returns an error if the range is unbounded or on overflow.
+pub fn distance_range(
+    program: &Program,
+    dep: &Dependence,
+    j: usize,
+    param_values: &[i64],
+) -> Result<Option<(i64, i64)>> {
+    let src_vars = loop_vars(program, dep.src);
+    let dst_vars = loop_vars(program, dep.dst);
+    let (Some(&sv), Some(&dv)) = (src_vars.get(j), dst_vars.get(j)) else {
+        return Err(Error::Internal(format!("band level {j} out of range for dependence")));
+    };
+    let map_space = dep.map.space();
+    let n_in = map_space.n_in();
+    let n_all = map_space.n_dim();
+    // View the relation as a set over one flat anonymous tuple, then map it
+    // through [pair] -> [dst_var - src_var].
+    let params: Vec<&str> = map_space.params().iter().map(String::as_str).collect();
+    let flat_space = Space::set(&params, Tuple::anonymous(n_all));
+    let wrapped = dep.map.as_wrapped_set().cast(flat_space.clone())?;
+    let delta_space = flat_space.join_map(&Space::set(&params, Tuple::anonymous(1)))?;
+    let expr = AffExpr::dim(&delta_space, n_in + dv)?
+        .checked_sub(&AffExpr::dim(&delta_space, sv)?)?;
+    let delta_map = Map::from_affine(delta_space, &[expr])?;
+    let deltas: Set = delta_map.apply(&wrapped)?;
+    let hull = deltas.rect_hull(param_values)?;
+    Ok(hull.map(|h| h[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_pir::{
+        compute_dependences, ArrayKind, Body, DepKind, Expr, IdxExpr, Program,
+    };
+
+    /// S0: A[i] = i ; S1: B[i] = A[i] + A[i+2]  (stencil offset 0..2).
+    fn stencil_program() -> (Program, Vec<Dependence>) {
+        let mut p = Program::new("t").with_param("N", 16);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        (p, deps)
+    }
+
+    fn flow01(deps: &[Dependence]) -> &Dependence {
+        deps.iter()
+            .find(|d| d.kind == DepKind::Flow && d.src == StmtId(0) && d.dst == StmtId(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn loop_vars_extracted_in_order() {
+        let (p, _) = stencil_program();
+        assert_eq!(loop_vars(&p, StmtId(0)), vec![0]);
+        assert_eq!(loop_vars(&p, StmtId(1)), vec![0]);
+    }
+
+    #[test]
+    fn stencil_dep_is_not_nonnegative_unshifted() {
+        // Producer S0[i+2] feeds consumer S1[i]: distance i - (i+2) = -2..0.
+        let (p, deps) = stencil_program();
+        let d = flow01(&deps);
+        assert!(!dim_satisfies(&p, d, 0, 0, 0, DimCheck::NonNegative).unwrap());
+        assert!(!dim_satisfies(&p, d, 0, 0, 0, DimCheck::Zero).unwrap());
+    }
+
+    #[test]
+    fn shifting_consumer_restores_legality() {
+        let (p, deps) = stencil_program();
+        let d = flow01(&deps);
+        // Shift the destination by +2: distances become 0..2 >= 0.
+        assert!(dim_satisfies(&p, d, 0, 0, 2, DimCheck::NonNegative).unwrap());
+        // Still not coincident (distance not identically zero).
+        assert!(!dim_satisfies(&p, d, 0, 0, 2, DimCheck::Zero).unwrap());
+    }
+
+    #[test]
+    fn pointwise_dep_is_coincident() {
+        // B[i] = A[i] only: distance identically zero.
+        let mut p = Program::new("pw").with_param("N", 8);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec!["N".into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let d = flow01(&deps);
+        assert!(dim_satisfies(&p, d, 0, 0, 0, DimCheck::NonNegative).unwrap());
+        assert!(dim_satisfies(&p, d, 0, 0, 0, DimCheck::Zero).unwrap());
+    }
+
+    #[test]
+    fn distance_range_of_stencil() {
+        let (p, deps) = stencil_program();
+        let d = flow01(&deps);
+        let r = distance_range(&p, d, 0, &[16]).unwrap().unwrap();
+        assert_eq!(r, (-2, 0));
+    }
+
+    #[test]
+    fn distance_range_empty_dep_under_params() {
+        let (p, deps) = stencil_program();
+        let d = flow01(&deps);
+        // With N = 2 the consumer domain 0 <= i < N-2 is empty.
+        let r = distance_range(&p, d, 0, &[2]).unwrap();
+        assert_eq!(r, None);
+    }
+}

@@ -1,0 +1,694 @@
+//! Fusion heuristics: minfuse, smartfuse, maxfuse, hybridfuse.
+//!
+//! These model the baseline strategies the paper compares against
+//! (Section VI): isl/PPCG's `minfuse` (no fusion), `smartfuse` (maximize
+//! fusion without hampering parallelism or tilability), `maxfuse`
+//! (maximize fusion regardless, using shifting to restore legality), and
+//! Pluto's `hybridfuse`. The post-tiling strategy of the paper itself lives
+//! in `tilefuse-core` and *starts from* a conservative result produced
+//! here.
+
+use crate::checks::{dim_satisfies, distance_range, loop_vars, DimCheck};
+use crate::error::{Error, Result};
+use tilefuse_pir::{DepGraph, Dependence, Program, StmtId};
+use std::collections::BTreeSet;
+
+/// The fusion strategies of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionHeuristic {
+    /// No fusion: each strongly connected component is its own group.
+    MinFuse,
+    /// Fuse greedily while preserving outer parallelism and tilability
+    /// (isl's default).
+    SmartFuse,
+    /// Fuse as much as legality allows, shifting statements to repair
+    /// negative dependence distances; parallelism may be lost. Performs an
+    /// exhaustive partition search (the source of the paper's compile-time
+    /// explosion), subject to [`FuseBudget`].
+    MaxFuse,
+    /// Pluto's hybrid: conservative at outer levels, aggressive inside.
+    /// Modeled after the paper's Table II, including its failure on
+    /// non-rectangular (triangular) domains.
+    HybridFuse,
+}
+
+/// A fusion group: statements sharing one outer band.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Member statements, in original program order.
+    pub stmts: Vec<StmtId>,
+    /// Shared (permutable) band depth.
+    pub depth: usize,
+    /// Per-statement, per-band-dim schedule shifts (all zero unless the
+    /// heuristic applied shifting).
+    pub shifts: Vec<Vec<i64>>,
+    /// Per-band-dim parallelism.
+    pub coincident: Vec<bool>,
+    /// Whether every member's *innermost* loop is parallel (no
+    /// self-dependence carried there) — the auto-vectorization criterion
+    /// the cost model uses.
+    pub innermost_parallel: bool,
+}
+
+impl Group {
+    /// Number of leading parallel band dimensions.
+    pub fn n_outer_parallel(&self) -> usize {
+        self.coincident.iter().take_while(|&&c| c).count()
+    }
+
+    /// The shift vector of `stmt` within this group.
+    pub fn shift_of(&self, stmt: StmtId) -> Option<&[i64]> {
+        self.stmts
+            .iter()
+            .position(|&s| s == stmt)
+            .map(|k| self.shifts[k].as_slice())
+    }
+}
+
+/// Work budget for the exhaustive `maxfuse` search.
+#[derive(Debug, Clone)]
+pub struct FuseBudget {
+    /// Maximum number of candidate partitions to evaluate.
+    pub max_steps: u64,
+    /// Steps consumed so far.
+    pub steps: u64,
+}
+
+impl FuseBudget {
+    /// A budget of `max_steps` partition evaluations.
+    pub fn new(max_steps: u64) -> Self {
+        FuseBudget { max_steps, steps: 0 }
+    }
+
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        self.steps <= self.max_steps
+    }
+}
+
+impl Default for FuseBudget {
+    fn default() -> Self {
+        FuseBudget::new(2_000)
+    }
+}
+
+/// The result of running a fusion heuristic.
+#[derive(Debug, Clone)]
+pub struct Fusion {
+    /// The fusion groups in execution order.
+    pub groups: Vec<Group>,
+    /// Whether the maxfuse search ran out of budget (reported like the
+    /// paper's `>24h` entries).
+    pub budget_exhausted: bool,
+    /// Partition evaluations performed.
+    pub steps: u64,
+}
+
+/// Runs `heuristic` on `program` given its dependences.
+///
+/// # Errors
+/// Returns [`Error::Unsupported`] when hybridfuse meets a non-rectangular
+/// domain (the modeled ✗ of Table II), or set-operation errors.
+pub fn fuse(
+    program: &Program,
+    deps: &[Dependence],
+    heuristic: FusionHeuristic,
+    budget: &mut FuseBudget,
+) -> Result<Fusion> {
+    let graph = DepGraph::new(program.stmts().len(), deps);
+    let sccs = graph.sccs_topological();
+    match heuristic {
+        FusionHeuristic::MinFuse => {
+            let groups = sccs
+                .iter()
+                .map(|scc| analyze_group(program, deps, scc, false))
+                .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .flatten()
+                .collect();
+            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+        }
+        FusionHeuristic::SmartFuse => {
+            let groups = greedy_fuse(program, deps, &graph, &sccs, false)?;
+            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+        }
+        FusionHeuristic::MaxFuse => maxfuse(program, deps, &graph, &sccs, budget),
+        FusionHeuristic::HybridFuse => {
+            reject_nonrectangular(program)?;
+            let groups = greedy_fuse(program, deps, &graph, &sccs, false)?;
+            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+        }
+    }
+}
+
+/// Analyzes one candidate group: shared permutable band depth, shifts and
+/// per-dim parallelism. Returns `None` if a multi-statement group has no
+/// shared band at all.
+pub fn analyze_group(
+    program: &Program,
+    deps: &[Dependence],
+    stmts: &[StmtId],
+    allow_shift: bool,
+) -> Result<Option<Group>> {
+    let members: BTreeSet<StmtId> = stmts.iter().copied().collect();
+    let max_depth = stmts
+        .iter()
+        .map(|&s| loop_vars(program, s).len())
+        .min()
+        .unwrap_or(0);
+    let deps_in: Vec<&Dependence> = deps
+        .iter()
+        .filter(|d| members.contains(&d.src) && members.contains(&d.dst))
+        .collect();
+    let param_values = program.param_values(&[]);
+    let mut shifts: Vec<Vec<i64>> = vec![Vec::new(); stmts.len()];
+    let mut coincident = Vec::new();
+    let mut depth = 0;
+    'dims: for j in 0..max_depth {
+        // Solve for per-statement shifts at this dimension.
+        let dim_shift = if allow_shift {
+            match solve_shifts(program, &deps_in, stmts, j, &param_values)? {
+                Some(s) => s,
+                None => break 'dims,
+            }
+        } else {
+            vec![0; stmts.len()]
+        };
+        // Legality: every intra-group dependence non-negative at j.
+        for d in &deps_in {
+            let si = stmts.iter().position(|&s| s == d.src).unwrap();
+            let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+            if !dim_satisfies(program, d, j, dim_shift[si], dim_shift[di], DimCheck::NonNegative)? {
+                break 'dims;
+            }
+        }
+        // Parallelism: distance identically zero.
+        let mut coin = true;
+        for d in &deps_in {
+            let si = stmts.iter().position(|&s| s == d.src).unwrap();
+            let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+            if !dim_satisfies(program, d, j, dim_shift[si], dim_shift[di], DimCheck::Zero)? {
+                coin = false;
+                break;
+            }
+        }
+        coincident.push(coin);
+        for (k, s) in shifts.iter_mut().enumerate() {
+            s.push(dim_shift[k]);
+        }
+        depth = j + 1;
+    }
+    let innermost_parallel = innermost_parallel(program, &deps_in, stmts)?;
+    if depth == 0 && stmts.len() > 1 {
+        if !allow_shift {
+            return Ok(None);
+        }
+        // maxfuse fuses even without a shared band: the loop nests are
+        // merged serially (interchange/skewing in the real tool), losing
+        // all parallelism — the degradation Table II shows for gemver and
+        // covariance.
+        return Ok(Some(Group {
+            stmts: stmts.to_vec(),
+            depth: 0,
+            shifts: vec![Vec::new(); stmts.len()],
+            coincident: Vec::new(),
+            innermost_parallel: false,
+        }));
+    }
+    Ok(Some(Group { stmts: stmts.to_vec(), depth, shifts, coincident, innermost_parallel }))
+}
+
+/// Whether every member statement's innermost loop is free of carried
+/// self-dependences (vectorizable).
+fn innermost_parallel(
+    program: &Program,
+    deps_in: &[&Dependence],
+    stmts: &[StmtId],
+) -> Result<bool> {
+    for &s in stmts {
+        let n_levels = loop_vars(program, s).len();
+        if n_levels == 0 {
+            continue;
+        }
+        let level = n_levels - 1;
+        for d in deps_in.iter().filter(|d| d.src == s && d.dst == s) {
+            if !dim_satisfies(program, d, level, 0, 0, DimCheck::Zero)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Longest-path shift solving at band dimension `j`: find `δ` per statement
+/// with `δ_dst − δ_src ≥ −min_distance(dep)` for every dependence; `None`
+/// if infeasible (self-dependence with negative distance or positive
+/// cycle).
+fn solve_shifts(
+    program: &Program,
+    deps_in: &[&Dependence],
+    stmts: &[StmtId],
+    j: usize,
+    param_values: &[i64],
+) -> Result<Option<Vec<i64>>> {
+    let n = stmts.len();
+    let mut edges: Vec<(usize, usize, i64)> = Vec::new(); // δ[d] >= δ[s] + w
+    for d in deps_in {
+        let Some((lo, _hi)) = distance_range(program, d, j, param_values)? else {
+            continue;
+        };
+        let w = -lo;
+        let si = stmts.iter().position(|&s| s == d.src).unwrap();
+        let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+        if si == di {
+            if w > 0 {
+                return Ok(None); // self-dependence cannot be shifted away
+            }
+            continue;
+        }
+        // Every edge participates — zero-weight edges still propagate
+        // shifts down producer chains (δ_dst ≥ δ_src).
+        edges.push((si, di, w));
+    }
+    // Bellman-Ford longest path from implicit source (δ = 0 everywhere).
+    let mut delta = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for &(s, d, w) in &edges {
+            if delta[s] + w > delta[d] {
+                delta[d] = delta[s] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(Some(delta));
+        }
+    }
+    Ok(None) // positive cycle
+}
+
+/// Greedy chain fusion: walk SCCs in topological order, merging each into
+/// the current group when legal and (for smartfuse semantics) parallelism-
+/// preserving.
+fn greedy_fuse(
+    program: &Program,
+    deps: &[Dependence],
+    graph: &DepGraph,
+    sccs: &[Vec<StmtId>],
+    allow_shift: bool,
+) -> Result<Vec<Group>> {
+    let mut groups: Vec<Group> = Vec::new();
+    for scc in sccs {
+        let candidate_prev = groups.last();
+        if let Some(prev) = candidate_prev {
+            let mut merged: Vec<StmtId> = prev.stmts.clone();
+            merged.extend(scc.iter().copied());
+            merged.sort();
+            // smartfuse only fuses along producer-consumer (proximity)
+            // edges; fusing unrelated loop nests brings no locality.
+            let connected = allow_shift
+                || deps.iter().any(|d| {
+                    prev.stmts.contains(&d.src) && scc.contains(&d.dst)
+                        || prev.stmts.contains(&d.dst) && scc.contains(&d.src)
+                });
+            // smartfuse balks at deep band-depth mismatches (a 6-D
+            // convolution vs. a 3-D batchnorm): the band split it would
+            // need is beyond the heuristic — the paper's observation that
+            // isl's smartfuse "failed to fuse convolutions and batch
+            // normalizations" (Section VI-C).
+            let depth_gap = {
+                let max_prev = prev
+                    .stmts
+                    .iter()
+                    .map(|&s| loop_vars(program, s).len())
+                    .max()
+                    .unwrap_or(0);
+                let min_new = scc
+                    .iter()
+                    .map(|&s| loop_vars(program, s).len())
+                    .min()
+                    .unwrap_or(0);
+                max_prev.saturating_sub(min_new)
+            };
+            let compatible_depth = allow_shift || depth_gap <= 2;
+            let connected = connected && compatible_depth;
+            let convex = graph.is_convex(&merged.iter().copied().collect());
+            if connected && convex {
+                if let Some(g) = analyze_group(program, deps, &merged, allow_shift)? {
+                    let ok = if allow_shift {
+                        true
+                    } else {
+                        // smartfuse: keep outer parallelism AND tilability
+                        // (fusion must not shrink the shared permutable
+                        // band below what the parts had).
+                        let scc_depth = analyze_group(program, deps, scc, false)?
+                            .map_or(0, |s| s.depth);
+                        g.depth >= 1
+                            && g.depth >= prev.depth.min(scc_depth)
+                            && g.n_outer_parallel() >= 1
+                            && g.n_outer_parallel()
+                                >= prev.n_outer_parallel().min(g.depth)
+                    };
+                    if ok {
+                        *groups.last_mut().unwrap() = g;
+                        continue;
+                    }
+                }
+            }
+        }
+        let g = analyze_group(program, deps, scc, false)?
+            .ok_or_else(|| Error::Internal("SCC group has no band".into()))?;
+        groups.push(g);
+    }
+    Ok(groups)
+}
+
+/// maxfuse: exhaustive search over contiguous partitions of the SCC chain,
+/// maximizing fusion (fewest groups), with shifting enabled. Exponential in
+/// the number of SCCs — exactly the compile-time behaviour Table I reports
+/// — so it runs under a [`FuseBudget`] and falls back to greedy when
+/// exhausted.
+fn maxfuse(
+    program: &Program,
+    deps: &[Dependence],
+    graph: &DepGraph,
+    sccs: &[Vec<StmtId>],
+    budget: &mut FuseBudget,
+) -> Result<Fusion> {
+    let n = sccs.len();
+    let mut best: Option<Vec<Group>> = None;
+    let mut exhausted = false;
+    // Enumerate partitions via binary cut masks (cut after SCC i when bit i
+    // is set), in increasing cut count (fewest groups first). The masks are
+    // streamed with Gosper's hack — the full space is 2^(n-1), which is
+    // exactly the exponential exploration whose budget exhaustion the
+    // paper's Table I reports as ">24h".
+    if n <= 1 || n > 60 {
+        let groups = greedy_fuse(program, deps, graph, sccs, true)?;
+        return Ok(Fusion { groups, budget_exhausted: n > 60, steps: budget.steps });
+    }
+    let bits = (n - 1) as u32;
+    let limit = 1u64 << bits;
+    let candidates = (0..=bits).flat_map(move |cuts| {
+        // All masks with exactly `cuts` bits, in increasing value.
+        let first: u64 = if cuts == 0 { 0 } else { (1u64 << cuts) - 1 };
+        std::iter::successors(Some(first), move |&m| {
+            if cuts == 0 {
+                return None;
+            }
+            let c = m & m.wrapping_neg();
+            let r = m + c;
+            let next = (((r ^ m) >> 2) / c) | r;
+            (next < limit).then_some(next)
+        })
+    });
+    'search: for mask in candidates {
+        if !budget.tick() {
+            exhausted = true;
+            break;
+        }
+        // Build the partition.
+        let mut parts: Vec<Vec<StmtId>> = Vec::new();
+        let mut cur: Vec<StmtId> = Vec::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            cur.extend(scc.iter().copied());
+            if i + 1 == n || (mask >> i) & 1 == 1 {
+                parts.push(std::mem::take(&mut cur));
+            }
+        }
+        if let Some(best_groups) = &best {
+            if parts.len() >= best_groups.len() {
+                continue;
+            }
+        }
+        let mut groups = Vec::new();
+        for p in &parts {
+            let convex = graph.is_convex(&p.iter().copied().collect());
+            if !convex {
+                continue 'search;
+            }
+            match analyze_group(program, deps, p, true)? {
+                Some(g) => groups.push(g),
+                None => continue 'search,
+            }
+        }
+        match &best {
+            None => best = Some(groups),
+            Some(b) if groups.len() < b.len() => best = Some(groups),
+            _ => {}
+        }
+    }
+    let groups = match best {
+        Some(g) => g,
+        None => greedy_fuse(program, deps, graph, sccs, true)?,
+    };
+    Ok(Fusion { groups, budget_exhausted: exhausted, steps: budget.steps })
+}
+
+/// hybridfuse's modeled limitation: crashes (✗ in Table II) on programs
+/// with non-rectangular iteration domains.
+fn reject_nonrectangular(program: &Program) -> Result<()> {
+    for s in program.stmts() {
+        for b in s.domain().basics() {
+            let np = s.domain().space().n_param();
+            let nd = s.domain().space().n_dim();
+            let coupled = b
+                .eq_rows()
+                .iter()
+                .chain(b.ineq_rows())
+                .any(|r| r[np..np + nd].iter().filter(|&&c| c != 0).count() >= 2);
+            if coupled {
+                return Err(Error::Unsupported(format!(
+                    "hybridfuse: non-rectangular domain in {}",
+                    s.name()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_pir::{compute_dependences, ArrayKind, Body, Expr, IdxExpr, SchedTerm};
+
+    /// Pointwise 3-stage pipeline: fully fusable with parallelism.
+    fn pointwise3() -> (Program, Vec<Dependence>) {
+        let mut p = Program::new("pw3").with_param("N", 16);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec!["N".into()], ArrayKind::Temp);
+        let c = p.add_array("C", vec!["N".into()], ArrayKind::Output);
+        let idx = || vec![IdxExpr::dim(1, 0)];
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: idx(), rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body { target: b, target_idx: idx(), rhs: Expr::load(a, idx()) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+            Body { target: c, target_idx: idx(), rhs: Expr::load(b, idx()) },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        (p, deps)
+    }
+
+    /// Stencil pipeline: producer feeds a 3-point stencil consumer.
+    fn stencil2() -> (Program, Vec<Dependence>) {
+        let mut p = Program::new("st2").with_param("N", 16);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        (p, deps)
+    }
+
+    #[test]
+    fn minfuse_keeps_statements_apart() {
+        let (p, deps) = pointwise3();
+        let f = fuse(&p, &deps, FusionHeuristic::MinFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 3);
+        assert!(f.groups.iter().all(|g| g.stmts.len() == 1));
+        assert!(f.groups.iter().all(|g| g.coincident == vec![true]));
+    }
+
+    #[test]
+    fn smartfuse_fuses_pointwise_chain() {
+        let (p, deps) = pointwise3();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 1);
+        assert_eq!(f.groups[0].stmts.len(), 3);
+        assert_eq!(f.groups[0].coincident, vec![true]); // parallel preserved
+    }
+
+    #[test]
+    fn smartfuse_refuses_stencil_fusion() {
+        // Fusing would lose parallelism (distance -2..0), so smartfuse
+        // keeps the stages apart — the Fig. 1(b) behaviour.
+        let (p, deps) = stencil2();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 2);
+    }
+
+    #[test]
+    fn maxfuse_fuses_stencil_with_shift() {
+        let (p, deps) = stencil2();
+        let f = fuse(&p, &deps, FusionHeuristic::MaxFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 1, "maxfuse should fuse via shifting");
+        let g = &f.groups[0];
+        // Consumer shifted by +2 relative to producer.
+        let s0 = g.shift_of(StmtId(0)).unwrap();
+        let s1 = g.shift_of(StmtId(1)).unwrap();
+        assert_eq!(s1[0] - s0[0], 2);
+        // Parallelism lost: the fused dim is not coincident.
+        assert_eq!(g.coincident, vec![false]);
+    }
+
+    #[test]
+    fn shifts_propagate_down_chains() {
+        // S0 -> S1 (stencil, needs +2) -> S2 (pointwise): the zero-distance
+        // S1 -> S2 edge must carry S1's shift through to S2.
+        let mut p = Program::new("chain").with_param("N", 16);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Temp);
+        let c = p.add_array("C", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+            Body {
+                target: c,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::load(b, vec![IdxExpr::dim(1, 0)]),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let g = analyze_group(&p, &deps, &[StmtId(0), StmtId(1), StmtId(2)], true)
+            .unwrap()
+            .unwrap();
+        assert_eq!(g.depth, 1, "shifted fusion must find a band");
+        let s0 = g.shift_of(StmtId(0)).unwrap()[0];
+        let s1 = g.shift_of(StmtId(1)).unwrap()[0];
+        let s2 = g.shift_of(StmtId(2)).unwrap()[0];
+        assert_eq!(s1 - s0, 2);
+        assert!(s2 >= s1, "zero-distance edge must propagate the shift");
+    }
+
+    #[test]
+    fn maxfuse_counts_steps() {
+        let (p, deps) = pointwise3();
+        let mut budget = FuseBudget::default();
+        let f = fuse(&p, &deps, FusionHeuristic::MaxFuse, &mut budget).unwrap();
+        assert!(f.steps > 0);
+        assert!(!f.budget_exhausted);
+        assert_eq!(f.groups.len(), 1);
+    }
+
+    #[test]
+    fn maxfuse_budget_exhaustion_falls_back() {
+        let (p, deps) = pointwise3();
+        let mut budget = FuseBudget::new(1);
+        let f = fuse(&p, &deps, FusionHeuristic::MaxFuse, &mut budget).unwrap();
+        assert!(f.budget_exhausted);
+        assert!(!f.groups.is_empty());
+    }
+
+    #[test]
+    fn hybridfuse_rejects_triangular_domains() {
+        let mut p = Program::new("tri").with_param("N", 8);
+        let a = p.add_array("A", vec!["N".into(), "N".into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i, j] : 0 <= i < N and 0 <= j <= i }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(2, 0), IdxExpr::dim(2, 1)],
+                rhs: Expr::Const(1.0),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let r = fuse(&p, &deps, FusionHeuristic::HybridFuse, &mut FuseBudget::default());
+        assert!(matches!(r, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn hybridfuse_accepts_rectangular() {
+        let (p, deps) = pointwise3();
+        let f = fuse(&p, &deps, FusionHeuristic::HybridFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 1);
+    }
+
+    #[test]
+    fn analyze_group_reduction_keeps_outer_parallel() {
+        // A reduction statement alone: C[i] += over j — i parallel, j not.
+        let mut p = Program::new("red").with_param("N", 8);
+        let c = p.add_array("C", vec!["N".into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i, j] : 0 <= i < N and 0 <= j < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+            Body {
+                target: c,
+                target_idx: vec![IdxExpr::dim(2, 0)],
+                rhs: Expr::add(
+                    Expr::load(c, vec![IdxExpr::dim(2, 0)]),
+                    Expr::Iter(1),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let g = analyze_group(&p, &deps, &[StmtId(0)], false).unwrap().unwrap();
+        assert!(g.depth >= 1);
+        assert!(g.coincident[0], "outer dim of a row-reduction is parallel");
+        if g.depth > 1 {
+            assert!(!g.coincident[1], "reduction dim must not be parallel");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Full-schedule legality verification.
+//!
+//! Given the flattened schedule relations of a tree, checks that every
+//! dependence pair executes in order. This is the safety net behind all
+//! heuristics: a fusion decision that slipped through the per-dimension
+//! analysis is caught here.
+
+use crate::error::Result;
+use tilefuse_pir::Dependence;
+use tilefuse_presburger::{Map, Space, Tuple};
+use tilefuse_schedtree::FlatEntry;
+
+/// The outcome of checking a schedule against the dependences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalityReport {
+    /// Whether all checked dependences are respected.
+    pub legal: bool,
+    /// Dependences verified exactly.
+    pub checked: usize,
+    /// Dependences skipped because a statement has several schedule
+    /// occurrences (extension-node recomputation); those are validated
+    /// end-to-end by the interpreter instead.
+    pub skipped: usize,
+    /// Human-readable descriptions of violations found.
+    pub violations: Vec<String>,
+}
+
+/// Checks that `entries` (a flattened schedule) respects `deps`.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn check_schedule(deps: &[Dependence], entries: &[FlatEntry]) -> Result<LegalityReport> {
+    let mut report =
+        LegalityReport { legal: true, checked: 0, skipped: 0, violations: Vec::new() };
+    for dep in deps {
+        let src_name = dep
+            .map
+            .space()
+            .in_tuple()
+            .name()
+            .unwrap_or_default()
+            .to_owned();
+        let dst_name = dep
+            .map
+            .space()
+            .out_tuple()
+            .name()
+            .unwrap_or_default()
+            .to_owned();
+        let src_entries: Vec<&FlatEntry> =
+            entries.iter().filter(|e| e.stmt == src_name).collect();
+        let dst_entries: Vec<&FlatEntry> =
+            entries.iter().filter(|e| e.stmt == dst_name).collect();
+        if src_entries.len() != 1 || dst_entries.len() != 1 {
+            report.skipped += 1;
+            continue;
+        }
+        let src = src_entries[0];
+        let dst = dst_entries[0];
+        // Restrict the dependence to instances that actually execute.
+        let active = dep
+            .map
+            .intersect_domain(&src.domain)?
+            .intersect_range(&dst.domain)?;
+        if active.is_empty()? {
+            report.checked += 1;
+            continue;
+        }
+        let l = src.schedule.space().n_out();
+        let params: Vec<&str> =
+            src.schedule.space().params().iter().map(String::as_str).collect();
+        let sched_space = Space::map(&params, Tuple::anonymous(l), Tuple::anonymous(l));
+        let lex_lt = Map::lex_lt(sched_space.clone())?;
+        let ident = {
+            let set_sp = Space::set(&params, Tuple::anonymous(l));
+            Map::identity(&set_sp)?
+        };
+        let lex_ge = lex_lt.reverse().union(&ident.cast(sched_space)?)?;
+        // Violating pairs: src scheduled at-or-after dst.
+        let bad = src
+            .schedule
+            .compose(&lex_ge)?
+            .compose(&dst.schedule.reverse())?
+            .intersect(&active)?;
+        report.checked += 1;
+        if !bad.is_empty()? {
+            report.legal = false;
+            report.violations.push(format!(
+                "dependence {src_name} -> {dst_name} violated: {bad}"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{fuse, FuseBudget, FusionHeuristic};
+    use crate::treebuild::build_tree;
+    use tilefuse_pir::{
+        compute_dependences, ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm,
+    };
+    use tilefuse_schedtree::flatten;
+
+    fn stencil2() -> (Program, Vec<Dependence>) {
+        let mut p = Program::new("st2").with_param("N", 12);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        (p, deps)
+    }
+
+    #[test]
+    fn every_heuristic_produces_legal_schedules() {
+        let (p, deps) = stencil2();
+        for h in [
+            FusionHeuristic::MinFuse,
+            FusionHeuristic::SmartFuse,
+            FusionHeuristic::MaxFuse,
+        ] {
+            let f = fuse(&p, &deps, h, &mut FuseBudget::default()).unwrap();
+            let tree = build_tree(&p, &f.groups).unwrap();
+            let flat = flatten(&tree).unwrap();
+            let report = check_schedule(&deps, &flat).unwrap();
+            assert!(report.legal, "{h:?}: {:?}", report.violations);
+            assert!(report.checked > 0);
+        }
+    }
+
+    #[test]
+    fn illegal_fusion_is_detected() {
+        // Force an (illegal) unshifted fusion of the stencil pair.
+        let (p, deps) = stencil2();
+        let g = crate::fusion::Group {
+            stmts: vec![tilefuse_pir::StmtId(0), tilefuse_pir::StmtId(1)],
+            depth: 1,
+            shifts: vec![vec![0], vec![0]],
+            coincident: vec![false],
+            innermost_parallel: false,
+        };
+        let tree = build_tree(&p, &[g]).unwrap();
+        let flat = flatten(&tree).unwrap();
+        let report = check_schedule(&deps, &flat).unwrap();
+        assert!(!report.legal);
+        assert!(!report.violations.is_empty());
+    }
+
+    #[test]
+    fn shifted_fusion_is_legal() {
+        let (p, deps) = stencil2();
+        let g = crate::fusion::Group {
+            stmts: vec![tilefuse_pir::StmtId(0), tilefuse_pir::StmtId(1)],
+            depth: 1,
+            shifts: vec![vec![0], vec![2]],
+            coincident: vec![false],
+            innermost_parallel: false,
+        };
+        let tree = build_tree(&p, &[g]).unwrap();
+        let flat = flatten(&tree).unwrap();
+        let report = check_schedule(&deps, &flat).unwrap();
+        assert!(report.legal, "{:?}", report.violations);
+    }
+}

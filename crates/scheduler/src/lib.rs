@@ -1,0 +1,57 @@
+//! Fusion heuristics and band construction for the tilefuse optimizer.
+//!
+//! This crate reproduces the *baseline* scheduling strategies the MICRO
+//! 2020 paper evaluates against — isl/PPCG's `minfuse`, `smartfuse` and
+//! `maxfuse` options and Pluto's `hybridfuse` — as dependence-graph
+//! clustering with exact legality and parallelism analysis:
+//!
+//! * [`fuse`] runs a [`FusionHeuristic`] over a program's dependences and
+//!   returns fusion [`Group`]s with shared band depth, per-dimension
+//!   `coincident` (parallelism) flags and, for `maxfuse`, the shifts used
+//!   to repair negative dependence distances;
+//! * [`build_tree`] lowers fusion groups to a schedule tree (the shape of
+//!   the paper's Fig. 2(b));
+//! * [`check_schedule`] verifies any flattened schedule against the exact
+//!   dependences — the safety net behind every transformation in this
+//!   repository;
+//! * [`schedule`] is the one-call façade combining all of the above.
+
+mod checks;
+mod error;
+mod fusion;
+mod legality;
+mod treebuild;
+
+pub use checks::{dim_satisfies, distance_range, loop_vars, DimCheck};
+pub use error::{Error, Result};
+pub use fusion::{analyze_group, fuse, FuseBudget, Fusion, FusionHeuristic, Group};
+pub use legality::{check_schedule, LegalityReport};
+pub use treebuild::{band_part, build_tree, group_subtree};
+
+use tilefuse_pir::{compute_dependences, Dependence, Program};
+use tilefuse_schedtree::ScheduleTree;
+
+/// A scheduled program: fusion decision, schedule tree and the dependences
+/// used to validate it.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    /// The fusion result.
+    pub fusion: Fusion,
+    /// The schedule tree (pre-tiling).
+    pub tree: ScheduleTree,
+    /// The program's dependences.
+    pub deps: Vec<Dependence>,
+}
+
+/// Computes dependences, runs `heuristic`, and builds the schedule tree.
+///
+/// # Errors
+/// Returns an error if the heuristic rejects the program (hybridfuse on
+/// non-rectangular domains) or a set operation fails.
+pub fn schedule(program: &Program, heuristic: FusionHeuristic) -> Result<Scheduled> {
+    let deps = compute_dependences(program)?;
+    let mut budget = FuseBudget::default();
+    let fusion = fuse(program, &deps, heuristic, &mut budget)?;
+    let tree = build_tree(program, &fusion.groups)?;
+    Ok(Scheduled { fusion, tree, deps })
+}

@@ -1,0 +1,241 @@
+//! Building schedule trees from fusion groups.
+
+use crate::checks::loop_vars;
+use crate::error::Result;
+use crate::fusion::Group;
+use tilefuse_pir::{Program, StmtId};
+use tilefuse_presburger::{AffExpr, Map, Space, Tuple, UnionMap, UnionSet};
+use tilefuse_schedtree::{band, filter, sequence, Band, Node, ScheduleTree};
+
+/// The partial-schedule part `{ S[i] -> [vars + shifts] }` of one statement,
+/// restricted to its domain.
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn band_part(
+    program: &Program,
+    stmt: StmtId,
+    vars: &[usize],
+    shifts: &[i64],
+) -> Result<Map> {
+    let s = program.stmt(stmt);
+    let dom_space = s.domain().space();
+    let params: Vec<&str> = dom_space.params().iter().map(String::as_str).collect();
+    let out_space = Space::set(&params, Tuple::anonymous(vars.len()));
+    let space = dom_space.join_map(&out_space)?;
+    let exprs: Vec<AffExpr> = vars
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| {
+            let shift = shifts.get(k).copied().unwrap_or(0);
+            Ok(AffExpr::dim(&space, v)?.checked_add(&AffExpr::constant(&space, shift))?)
+        })
+        .collect::<Result<_>>()?;
+    Ok(Map::from_affine(space, &exprs)?.intersect_domain(s.domain())?)
+}
+
+/// Builds the subtree of one fusion group (band over the shared dims, then
+/// per-statement inner bands for the private dims).
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn group_subtree(program: &Program, group: &Group) -> Result<Node> {
+    let inner = |stmt: StmtId, from: usize| -> Result<Node> {
+        let vars = loop_vars(program, stmt);
+        let rest = &vars[from.min(vars.len())..];
+        if rest.is_empty() {
+            return Ok(Node::Leaf);
+        }
+        let part = band_part(program, stmt, rest, &vec![0; rest.len()])?;
+        let b = Band::new(
+            UnionMap::from_parts([part])?,
+            false,
+            vec![false; rest.len()],
+        )?;
+        Ok(band(b, Node::Leaf))
+    };
+    let child = if group.stmts.len() == 1 {
+        inner(group.stmts[0], group.depth)?
+    } else {
+        let mut kids = Vec::new();
+        for &s in &group.stmts {
+            let f = UnionSet::from_parts([program.stmt(s).domain().clone()])?;
+            kids.push(filter(f, inner(s, group.depth)?));
+        }
+        sequence(kids)
+    };
+    if group.depth == 0 {
+        // No shared band: a singleton gets its private dims directly; a
+        // maxfuse serial merge becomes a plain sequence of the members'
+        // own loop nests (all parallelism lost).
+        if group.stmts.len() == 1 {
+            return inner(group.stmts[0], 0);
+        }
+        let mut kids = Vec::new();
+        for &s in &group.stmts {
+            let f = UnionSet::from_parts([program.stmt(s).domain().clone()])?;
+            kids.push(filter(f, inner(s, 0)?));
+        }
+        return Ok(sequence(kids));
+    }
+    let mut parts = Vec::new();
+    for (k, &s) in group.stmts.iter().enumerate() {
+        let vars = loop_vars(program, s);
+        let shifts = &group.shifts[k];
+        parts.push(band_part(program, s, &vars[..group.depth], &shifts[..group.depth])?);
+    }
+    let b = Band::new(UnionMap::from_parts(parts)?, true, group.coincident.clone())?;
+    Ok(band(b, child))
+}
+
+/// Builds the schedule tree for a fusion result: a top-level sequence over
+/// group subtrees (the shape of the paper's Fig. 2(b)).
+///
+/// # Errors
+/// Returns an error on set-operation failure.
+pub fn build_tree(program: &Program, groups: &[Group]) -> Result<ScheduleTree> {
+    let mut domain = UnionSet::new();
+    for s in program.stmts() {
+        domain.add(s.domain().clone())?;
+    }
+    let mut kids = Vec::new();
+    for g in groups {
+        let mut f = UnionSet::new();
+        for &s in &g.stmts {
+            f.add(program.stmt(s).domain().clone())?;
+        }
+        kids.push(filter(f, group_subtree(program, g)?));
+    }
+    let child = if kids.len() == 1 {
+        // Single group: no ordering needed.
+        match kids.pop().unwrap() {
+            Node::Filter { child, .. } => *child,
+            other => other,
+        }
+    } else {
+        sequence(kids)
+    };
+    let tree = ScheduleTree::new(domain, child);
+    tree.validate()?;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{fuse, FuseBudget, FusionHeuristic};
+    use tilefuse_pir::{compute_dependences, ArrayKind, Body, Expr, IdxExpr, SchedTerm};
+    use tilefuse_schedtree::flatten;
+
+    fn conv_like() -> Program {
+        let mut p = Program::new("conv").with_param("H", 6).with_param("W", 6);
+        let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
+        let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+        let d2 = |d| IdxExpr::dim(2, d);
+        let d4 = |d| IdxExpr::dim(4, d);
+        p.add_stmt(
+            "{ S0[h, w] : 0 <= h < H and 0 <= w < W }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+            Body {
+                target: a,
+                target_idx: vec![d2(0), d2(1)],
+                rhs: Expr::mul(Expr::load(a, vec![d2(0), d2(1)]), Expr::Const(0.5)),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+            vec![
+                SchedTerm::Cst(1),
+                SchedTerm::Var(0),
+                SchedTerm::Var(1),
+                SchedTerm::Cst(0),
+            ],
+            Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[h, w, kh, kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }",
+            vec![
+                SchedTerm::Cst(1),
+                SchedTerm::Var(0),
+                SchedTerm::Var(1),
+                SchedTerm::Cst(1),
+                SchedTerm::Var(2),
+                SchedTerm::Var(3),
+            ],
+            Body {
+                target: c,
+                target_idx: vec![d4(0), d4(1)],
+                rhs: Expr::add(
+                    Expr::load(c, vec![d4(0), d4(1)]),
+                    Expr::load(a, vec![d4(0).plus(&d4(2)), d4(1).plus(&d4(3))]),
+                ),
+            },
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn smartfuse_tree_matches_fig2b_shape() {
+        let p = conv_like();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        // Conservative heuristic: ({S0}, {S1, S2}) as in the paper.
+        assert_eq!(f.groups.len(), 2);
+        assert_eq!(f.groups[1].stmts, vec![StmtId(1), StmtId(2)]);
+        assert_eq!(f.groups[1].depth, 2);
+        assert_eq!(f.groups[1].coincident, vec![true, true]);
+        let tree = build_tree(&p, &f.groups).unwrap();
+        tree.validate().unwrap();
+        let text = tilefuse_schedtree::render(&tree);
+        assert!(text.contains("sequence"), "{text}");
+        // S2's private (kh, kw) dims form an inner band.
+        assert_eq!(text.matches("band:").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn flattened_tree_orders_execution_correctly() {
+        let p = conv_like();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let tree = build_tree(&p, &f.groups).unwrap();
+        let flat = flatten(&tree).unwrap();
+        assert_eq!(flat.len(), 3);
+        let s0 = flat.iter().find(|e| e.stmt == "S0").unwrap();
+        let s2 = flat.iter().find(|e| e.stmt == "S2").unwrap();
+        // S0 scheduled in sequence slot 0, S2 in slot 1.
+        // params (6,6), S0[0,0] -> [0, 0, 0, pad...]
+        let l = s0.schedule.space().n_out();
+        let probe: Vec<i64> = [6, 6, 0, 0, 0, 0, 0]
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(0))
+            .take(2 + 2 + l)
+            .collect();
+        assert!(s0.schedule.contains_pair(&probe).unwrap());
+        assert_eq!(s0.schedule.space().n_out(), s2.schedule.space().n_out());
+    }
+
+    #[test]
+    fn band_part_applies_shift() {
+        let p = conv_like();
+        let m = band_part(&p, StmtId(0), &[0, 1], &[2, 0]).unwrap();
+        // S0[1, 3] -> [3, 3]
+        assert!(m.contains_pair(&[6, 6, 1, 3, 3, 3]).unwrap());
+        assert!(!m.contains_pair(&[6, 6, 1, 3, 1, 3]).unwrap());
+    }
+
+    #[test]
+    fn minfuse_tree_has_three_groups() {
+        let p = conv_like();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(&p, &deps, FusionHeuristic::MinFuse, &mut FuseBudget::default()).unwrap();
+        assert_eq!(f.groups.len(), 3);
+        let tree = build_tree(&p, &f.groups).unwrap();
+        tree.validate().unwrap();
+        let flat = flatten(&tree).unwrap();
+        assert_eq!(flat.len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! SPEC CPU2000 `equake` (Fig. 9): a finite-element method built around a
+//! 3-D sparse matrix-vector product with a dynamic (`while`-loop) inner
+//! dimension, followed by affine loop nests updating the global mesh.
+//!
+//! The sparse structure and the `while` loop are simulated per the
+//! substitution rule: the irregular reduction becomes a banded SpMV
+//! (`K[i][j]` for `j ∈ [i−B, i+B]`) whose statement carries
+//! `dynamic = true` and a `work_scale` modeling the average trip count of
+//! the data-dependent `while` loop. The paper's observation that PPCG's
+//! heuristics need a locality-hurting manual permutation of the `while`
+//! loop is modeled by [`equake`]'s `permuted` flag, which inflates the
+//! reduction's work (strided accesses) exactly when the baseline
+//! heuristics need it.
+
+use crate::Workload;
+use tilefuse_pir::{ArrayKind, Body, Expr, IdxExpr, Program, Result, SchedTerm};
+
+/// Problem sizes matching SPEC's `test`/`train`/`ref` inputs (scaled to
+/// simulation-friendly node counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquakeSize {
+    /// Small validation input.
+    Test,
+    /// Medium input.
+    Train,
+    /// Full reference input.
+    Ref,
+}
+
+impl EquakeSize {
+    /// Mesh node count for the size class.
+    pub fn nodes(self) -> i64 {
+        match self {
+            EquakeSize::Test => 4096,
+            EquakeSize::Train => 16384,
+            EquakeSize::Ref => 65536,
+        }
+    }
+
+    /// All sizes, with their display names.
+    pub fn all() -> [(EquakeSize, &'static str); 3] {
+        [
+            (EquakeSize::Test, "test"),
+            (EquakeSize::Train, "train"),
+            (EquakeSize::Ref, "ref"),
+        ]
+    }
+}
+
+/// Builds the equake program.
+///
+/// `permuted` models the manual `while`-loop permutation the baseline
+/// heuristics require before they can fuse at all (Section VI-A): the
+/// reduction's `work_scale` grows because the permuted loop order breaks
+/// spatial locality.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn equake(size: EquakeSize, permuted: bool) -> Result<Workload> {
+    let n = size.nodes();
+    let band = 10i64;
+    let mut p = Program::new("equake").with_param("N", n);
+    let k = p.add_array("K", vec!["N".into(), (2 * band + 1).into()], ArrayKind::Input);
+    let v = p.add_array("v", vec!["N".into()], ArrayKind::Input);
+    let disp = p.add_array("disp", vec!["N".into()], ArrayKind::Temp);
+    // The mesh is internal simulation state; the live-out results are the
+    // updated velocities.
+    let mesh = p.add_array("mesh", vec!["N".into()], ArrayKind::Temp);
+    let vel = p.add_array("vel", vec!["N".into()], ArrayKind::Output);
+    let d1 = |i| IdxExpr::dim(1, i);
+    let d2 = |i| IdxExpr::dim(2, i);
+    // S0: disp[i] = 0  (initialize the reduction array)
+    p.add_stmt(
+        "{ S0[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(0)],
+        Body { target: disp, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+    )?;
+    // S1: disp[i] += K[i][j+B] * v[i+j-B], j in [0, 2B]  — the banded SpMV
+    // whose real counterpart iterates a data-dependent while loop.
+    // The while loop iterates ~2.5x the nominal band on average; the
+    // manual permutation additionally hurts spatial locality.
+    let work = if permuted { 3.6 } else { 2.5 };
+    p.add_stmt_full(
+        &format!(
+            "{{ S1[i, j] : {band} <= i < N - {band} and 0 <= j <= {} }}",
+            2 * band
+        ),
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        Body {
+            target: disp,
+            target_idx: vec![d2(0)],
+            rhs: Expr::add(
+                Expr::load(disp, vec![d2(0)]),
+                Expr::mul(
+                    Expr::load(k, vec![d2(0), d2(1)]),
+                    Expr::load(v, vec![d2(0).plus(&d2(1)).offset(-band)]),
+                ),
+            ),
+        },
+        true, // the dynamic condition remains even after permutation
+        work,
+    )?;
+    // S2: gather — mesh[i] = disp[i] * scale
+    p.add_stmt(
+        "{ S2[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: mesh,
+            target_idx: vec![d1(0)],
+            rhs: Expr::mul(Expr::load(disp, vec![d1(0)]), Expr::Const(0.98)),
+        },
+    )?;
+    // S3..S4: follow-up elementary loop nests on the mesh (velocity and
+    // smoothing updates).
+    p.add_stmt(
+        "{ S3[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+        Body {
+            target: vel,
+            target_idx: vec![d1(0)],
+            rhs: Expr::add(
+                Expr::mul(Expr::load(mesh, vec![d1(0)]), Expr::Const(0.5)),
+                Expr::load(v, vec![d1(0)]),
+            ),
+        },
+    )?;
+    p.add_stmt(
+        "{ S4[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(3), SchedTerm::Var(0)],
+        Body {
+            target: vel,
+            target_idx: vec![d1(0)],
+            rhs: Expr::relu(Expr::load(vel, vec![d1(0)])),
+        },
+    )?;
+    Ok(Workload {
+        name: "equake",
+        program: p,
+        tile_sizes: vec![], // only the outer loop is tilable: fusion-only
+        gpu_grid: vec![],
+        stages: 5,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_codegen::{check_outputs_match, execute_tree, reference_execute};
+    use tilefuse_scheduler::{schedule, FusionHeuristic};
+
+    #[test]
+    fn sizes_scale() {
+        assert!(EquakeSize::Test.nodes() < EquakeSize::Train.nodes());
+        assert!(EquakeSize::Train.nodes() < EquakeSize::Ref.nodes());
+        assert_eq!(EquakeSize::all().len(), 3);
+    }
+
+    #[test]
+    fn dynamic_flag_and_permutation_penalty() {
+        let w = equake(EquakeSize::Test, false).unwrap();
+        assert!(w.program.stmt_named("S1").unwrap().is_dynamic());
+        let wp = equake(EquakeSize::Test, true).unwrap();
+        // The dynamic condition remains; permutation costs locality.
+        assert!(wp.program.stmt_named("S1").unwrap().is_dynamic());
+        assert!(
+            wp.program.stmt_named("S1").unwrap().work_scale()
+                > w.program.stmt_named("S1").unwrap().work_scale()
+        );
+    }
+
+    #[test]
+    fn heuristics_and_ours_compute_same_outputs() {
+        let w = equake(EquakeSize::Test, true).unwrap();
+        // Shrink N for interpretation.
+        let overrides = [("N", 64)];
+        let (r, _) = reference_execute(&w.program, &overrides).unwrap();
+        for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse, FusionHeuristic::MaxFuse]
+        {
+            let s = schedule(&w.program, h).unwrap();
+            let (t, _) =
+                execute_tree(&w.program, &s.tree, &overrides, &Default::default()).unwrap();
+            check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn fusion_without_tiling_matches_reference() {
+        // Our approach on the unpermuted program: extension schedules with
+        // zero tile dimensions (the paper's "empty domain" case).
+        let w = equake(EquakeSize::Test, false).unwrap();
+        let overrides = [("N", 64)];
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![],
+            parallel_cap: Some(1),
+            startup: FusionHeuristic::SmartFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
+        let (r, _) = reference_execute(&w.program, &overrides).unwrap();
+        let (t, _) =
+            execute_tree(&w.program, &o.tree, &overrides, &o.report.scratch_scopes).unwrap();
+        check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+    }
+}

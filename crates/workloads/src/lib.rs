@@ -1,0 +1,30 @@
+//! Benchmark programs for the tilefuse evaluation.
+//!
+//! Everything the paper's Section VI evaluates, re-expressed in the
+//! polyhedral IR: the six PolyMage image pipelines (Table I, Figs. 8/10),
+//! SPEC equake (Fig. 9), three PolyBench kernels (Table II), and the
+//! ResNet-50 convolution blocks (Table III).
+
+pub mod equake;
+pub mod pipeline;
+pub mod polybench;
+pub mod polymage;
+pub mod resnet;
+
+use tilefuse_pir::Program;
+
+/// A benchmark: a program plus the evaluation configuration the paper
+/// used for it (auto-tuned tile sizes, GPU grid).
+#[derive(Debug)]
+pub struct Workload {
+    /// The paper's benchmark name.
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Auto-tuned tile sizes from Table I (or the PolyBench default).
+    pub tile_sizes: Vec<i64>,
+    /// Auto-tuned GPU grid parameters from Table I (reporting only).
+    pub gpu_grid: Vec<i64>,
+    /// Pipeline stage count as the paper counts it.
+    pub stages: usize,
+}

@@ -1,0 +1,333 @@
+//! PolyBench kernels of Table II: `2mm`, `gemver`, `covariance`.
+
+use crate::Workload;
+use tilefuse_pir::{ArrayKind, Body, Expr, IdxExpr, Program, Result, SchedTerm};
+
+/// `2mm`: `tmp = alpha·A·B`, `D = tmp·C + beta·D` — two chained
+/// matrix-matrix products (4 statements: 2 inits, 2 reductions).
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn two_mm(n: i64) -> Result<Workload> {
+    let mut p = Program::new("2mm")
+        .with_param("NI", n)
+        .with_param("NJ", n)
+        .with_param("NK", n)
+        .with_param("NL", n);
+    let a = p.add_array("A", vec!["NI".into(), "NK".into()], ArrayKind::Input);
+    let b = p.add_array("B", vec!["NK".into(), "NJ".into()], ArrayKind::Input);
+    let c = p.add_array("C", vec!["NJ".into(), "NL".into()], ArrayKind::Input);
+    let tmp = p.add_array("tmp", vec!["NI".into(), "NJ".into()], ArrayKind::Temp);
+    let d = p.add_array("D", vec!["NI".into(), "NL".into()], ArrayKind::Output);
+    let d2 = |k| IdxExpr::dim(2, k);
+    let d3 = |k| IdxExpr::dim(3, k);
+    // S0: tmp[i][j] = 0
+    p.add_stmt(
+        "{ S0[i, j] : 0 <= i < NI and 0 <= j < NJ }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
+        Body { target: tmp, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+    )?;
+    // S1: tmp[i][j] += alpha * A[i][k] * B[k][j]
+    p.add_stmt(
+        "{ S1[i, j, k] : 0 <= i < NI and 0 <= j < NJ and 0 <= k < NK }",
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(2),
+        ],
+        Body {
+            target: tmp,
+            target_idx: vec![d3(0), d3(1)],
+            rhs: Expr::add(
+                Expr::load(tmp, vec![d3(0), d3(1)]),
+                Expr::mul(
+                    Expr::mul(Expr::Const(1.5), Expr::load(a, vec![d3(0), d3(2)])),
+                    Expr::load(b, vec![d3(2), d3(1)]),
+                ),
+            ),
+        },
+    )?;
+    // S2: D[i][l] *= beta
+    p.add_stmt(
+        "{ S2[i, l] : 0 <= i < NI and 0 <= l < NL }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
+        Body {
+            target: d,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::mul(Expr::load(d, vec![d2(0), d2(1)]), Expr::Const(1.2)),
+        },
+    )?;
+    // S3: D[i][l] += tmp[i][j] * C[j][l]
+    p.add_stmt(
+        "{ S3[i, l, j] : 0 <= i < NI and 0 <= l < NL and 0 <= j < NJ }",
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(2),
+        ],
+        Body {
+            target: d,
+            target_idx: vec![d3(0), d3(1)],
+            rhs: Expr::add(
+                Expr::load(d, vec![d3(0), d3(1)]),
+                Expr::mul(Expr::load(tmp, vec![d3(0), d3(2)]), Expr::load(c, vec![d3(2), d3(1)])),
+            ),
+        },
+    )?;
+    Ok(Workload {
+        name: "2mm",
+        program: p,
+        tile_sizes: vec![32, 32],
+        gpu_grid: vec![32, 32],
+        stages: 2,
+    })
+}
+
+/// `gemver`: `A_hat = A + u1·v1ᵀ + u2·v2ᵀ; x = beta·A_hatᵀ·y + z;
+/// w = alpha·A_hat·x` — four loop nests.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn gemver(n: i64) -> Result<Workload> {
+    let mut p = Program::new("gemver").with_param("N", n);
+    let a = p.add_array("A", vec!["N".into(), "N".into()], ArrayKind::Input);
+    let u1 = p.add_array("u1", vec!["N".into()], ArrayKind::Input);
+    let v1 = p.add_array("v1", vec!["N".into()], ArrayKind::Input);
+    let u2 = p.add_array("u2", vec!["N".into()], ArrayKind::Input);
+    let v2 = p.add_array("v2", vec!["N".into()], ArrayKind::Input);
+    let y = p.add_array("y", vec!["N".into()], ArrayKind::Input);
+    let z = p.add_array("z", vec!["N".into()], ArrayKind::Input);
+    let ah = p.add_array("Ahat", vec!["N".into(), "N".into()], ArrayKind::Temp);
+    let x = p.add_array("x", vec!["N".into()], ArrayKind::Output);
+    let w = p.add_array("w", vec!["N".into()], ArrayKind::Output);
+    let d1 = |k| IdxExpr::dim(1, k);
+    let d2 = |k| IdxExpr::dim(2, k);
+    // S0: Ahat[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j]
+    p.add_stmt(
+        "{ S0[i, j] : 0 <= i < N and 0 <= j < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: ah,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::add(
+                Expr::load(a, vec![d2(0), d2(1)]),
+                Expr::add(
+                    Expr::mul(Expr::load(u1, vec![d2(0)]), Expr::load(v1, vec![d2(1)])),
+                    Expr::mul(Expr::load(u2, vec![d2(0)]), Expr::load(v2, vec![d2(1)])),
+                ),
+            ),
+        },
+    )?;
+    // S1: x[i] = z[i]
+    p.add_stmt(
+        "{ S1[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Cst(0)],
+        Body { target: x, target_idx: vec![d1(0)], rhs: Expr::load(z, vec![d1(0)]) },
+    )?;
+    // S2: x[i] += beta * Ahat[j][i] * y[j]
+    p.add_stmt(
+        "{ S2[i, j] : 0 <= i < N and 0 <= j < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        Body {
+            target: x,
+            target_idx: vec![d2(0)],
+            rhs: Expr::add(
+                Expr::load(x, vec![d2(0)]),
+                Expr::mul(
+                    Expr::mul(Expr::Const(1.2), Expr::load(ah, vec![d2(1), d2(0)])),
+                    Expr::load(y, vec![d2(1)]),
+                ),
+            ),
+        },
+    )?;
+    // S3: w[i] = 0
+    p.add_stmt(
+        "{ S3[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Cst(0)],
+        Body { target: w, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+    )?;
+    // S4: w[i] += alpha * Ahat[i][j] * x[j]
+    p.add_stmt(
+        "{ S4[i, j] : 0 <= i < N and 0 <= j < N }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        Body {
+            target: w,
+            target_idx: vec![d2(0)],
+            rhs: Expr::add(
+                Expr::load(w, vec![d2(0)]),
+                Expr::mul(
+                    Expr::mul(Expr::Const(1.5), Expr::load(ah, vec![d2(0), d2(1)])),
+                    Expr::load(x, vec![d2(1)]),
+                ),
+            ),
+        },
+    )?;
+    Ok(Workload {
+        name: "gemver",
+        program: p,
+        tile_sizes: vec![32, 32],
+        gpu_grid: vec![32, 32],
+        stages: 4,
+    })
+}
+
+/// `covariance`: column means, centering, and the triangular covariance
+/// reduction (the non-rectangular domain that crashes hybridfuse —
+/// Table II's ✗).
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn covariance(n: i64, m: i64) -> Result<Workload> {
+    let mut p = Program::new("covariance").with_param("N", n).with_param("M", m);
+    let data = p.add_array("data", vec!["N".into(), "M".into()], ArrayKind::Input);
+    let centered = p.add_array("centered", vec!["N".into(), "M".into()], ArrayKind::Temp);
+    let mean = p.add_array("mean", vec!["M".into()], ArrayKind::Temp);
+    let cov = p.add_array("cov", vec!["M".into(), "M".into()], ArrayKind::Output);
+    let d1 = |k| IdxExpr::dim(1, k);
+    let d2 = |k| IdxExpr::dim(2, k);
+    let d3 = |k| IdxExpr::dim(3, k);
+    // S0: mean[j] = 0
+    p.add_stmt(
+        "{ S0[j] : 0 <= j < M }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(0)],
+        Body { target: mean, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+    )?;
+    // S1: mean[j] += data[i][j] / N
+    p.add_stmt(
+        "{ S1[j, i] : 0 <= j < M and 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        Body {
+            target: mean,
+            target_idx: vec![d2(0)],
+            rhs: Expr::add(
+                Expr::load(mean, vec![d2(0)]),
+                Expr::mul(Expr::load(data, vec![d2(1), d2(0)]), Expr::Const(1.0 / 64.0)),
+            ),
+        },
+    )?;
+    // S2: centered[i][j] = data[i][j] - mean[j]
+    p.add_stmt(
+        "{ S2[i, j] : 0 <= i < N and 0 <= j < M }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: centered,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::sub(Expr::load(data, vec![d2(0), d2(1)]), Expr::load(mean, vec![d2(1)])),
+        },
+    )?;
+    // S3: cov[i][j] = 0 for the triangular j >= i
+    p.add_stmt(
+        "{ S3[i, j] : 0 <= i < M and i <= j < M }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
+        Body { target: cov, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+    )?;
+    // S4: cov[i][j] += centered[k][i] * centered[k][j], j >= i
+    p.add_stmt(
+        "{ S4[i, j, k] : 0 <= i < M and i <= j < M and 0 <= k < N }",
+        vec![
+            SchedTerm::Cst(2),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(2),
+        ],
+        Body {
+            target: cov,
+            target_idx: vec![d3(0), d3(1)],
+            rhs: Expr::add(
+                Expr::load(cov, vec![d3(0), d3(1)]),
+                Expr::mul(
+                    Expr::load(centered, vec![d3(2), d3(0)]),
+                    Expr::load(centered, vec![d3(2), d3(1)]),
+                ),
+            ),
+        },
+    )?;
+    Ok(Workload {
+        name: "covariance",
+        program: p,
+        tile_sizes: vec![32, 32],
+        gpu_grid: vec![32, 32],
+        stages: 3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_codegen::{check_outputs_match, execute_tree, reference_execute};
+    use tilefuse_scheduler::{schedule, FusionHeuristic};
+
+    #[test]
+    fn two_mm_all_heuristics_correct() {
+        let w = two_mm(8).unwrap();
+        let (r, _) = reference_execute(&w.program, &[]).unwrap();
+        for h in [
+            FusionHeuristic::MinFuse,
+            FusionHeuristic::SmartFuse,
+            FusionHeuristic::MaxFuse,
+            FusionHeuristic::HybridFuse,
+        ] {
+            let s = schedule(&w.program, h).unwrap();
+            let (t, _) = execute_tree(&w.program, &s.tree, &[], &Default::default()).unwrap();
+            check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn gemver_heuristics_correct() {
+        let w = gemver(10).unwrap();
+        let (r, _) = reference_execute(&w.program, &[]).unwrap();
+        for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse, FusionHeuristic::MaxFuse] {
+            let s = schedule(&w.program, h).unwrap();
+            let (t, _) = execute_tree(&w.program, &s.tree, &[], &Default::default()).unwrap();
+            check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn covariance_crashes_hybridfuse_only() {
+        let w = covariance(8, 8).unwrap();
+        let r = schedule(&w.program, FusionHeuristic::HybridFuse);
+        assert!(matches!(r, Err(tilefuse_scheduler::Error::Unsupported(_))));
+        // Other heuristics handle it.
+        let (reference, _) = reference_execute(&w.program, &[]).unwrap();
+        let s = schedule(&w.program, FusionHeuristic::SmartFuse).unwrap();
+        let (t, _) = execute_tree(&w.program, &s.tree, &[], &Default::default()).unwrap();
+        check_outputs_match(&w.program, &reference, &t, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn two_mm_post_tiling_fusion_correct() {
+        let w = two_mm(8).unwrap();
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![4, 4],
+            parallel_cap: None,
+            startup: FusionHeuristic::MinFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
+        let (r, _) = reference_execute(&w.program, &[]).unwrap();
+        let (t, _) = execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+        check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn gemver_post_tiling_fusion_correct() {
+        let w = gemver(10).unwrap();
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![4, 4],
+            parallel_cap: None,
+            startup: FusionHeuristic::MinFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
+        let (r, _) = reference_execute(&w.program, &[]).unwrap();
+        let (t, _) = execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+        check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,320 @@
+//! The six PolyMage image-processing pipelines of Table I.
+//!
+//! Each generator reproduces the *dependence structure* of the original
+//! benchmark — stage count, stencil halos, pyramid depth, fan-out — using
+//! the [`crate::pipeline::PipelineBuilder`]. Stage counts match Table I
+//! (Bilateral Grid 7, Camera Pipeline 32, Harris 11, Local Laplacian 99,
+//! Multiscale Interpolation 49, Unsharp Mask 4); the arithmetic inside a
+//! stage is representative, not identical, which is irrelevant to the
+//! fusion/tiling decisions under study.
+
+use crate::pipeline::{PipelineBuilder, Stage};
+use crate::Workload;
+use tilefuse_pir::Result;
+
+/// Counts pipeline *stages* (arrays produced), as the paper counts them.
+fn count_stages(p: &tilefuse_pir::Program) -> usize {
+    p.arrays()
+        .iter()
+        .filter(|a| a.kind() != tilefuse_pir::ArrayKind::Input)
+        .count()
+}
+
+/// Unsharp Mask: blur_x → blur_y → sharpen(+input) → mask. 4 stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn unsharp_mask(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("unsharp_mask", h, w);
+    let bx = b.stencil_x(input, 2)?; // 5-tap Gaussian blur
+    let by = b.stencil_y(bx, 2)?;
+    let sharp = b.combine(input, by)?;
+    let program = b.output(sharp)?;
+    Ok(Workload {
+        name: "Unsharp Mask",
+        stages: count_stages(&program),
+        tile_sizes: vec![8, 512],
+        gpu_grid: vec![8, 32, 3],
+        program,
+    })
+}
+
+/// Harris Corner Detection: gradients, products, box blurs, response.
+/// 11 stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn harris(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("harris", h, w);
+    let ix = b.stencil_x(input, 1)?; // Ix
+    let iy = b.stencil_y(input, 1)?; // Iy
+    let ixx = b.pointwise(ix)?; // Ix*Ix
+    let iyy = b.pointwise(iy)?; // Iy*Iy
+    let ixy = b.combine(ix, iy)?; // Ix*Iy
+    let sxx = b.stencil_box(ixx, 1)?; // box(Ixx), one stage
+    let syy = b.stencil_box(iyy, 1)?;
+    let sxy = b.stencil_box(ixy, 1)?;
+    let det = b.combine(sxx, syy)?; // det-ish
+    let resp = b.combine(det, sxy)?; // response
+    let program = b.output(resp)?;
+    Ok(Workload {
+        name: "Harris Corner Detection",
+        stages: count_stages(&program),
+        tile_sizes: vec![32, 256],
+        gpu_grid: vec![16, 32],
+        program,
+    })
+}
+
+/// Bilateral Grid: grid build (downsample), 3 grid blurs, slice
+/// (upsample), two pointwise stages. 7 main stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn bilateral_grid(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("bilateral_grid", h, w);
+    let grid = b.downsample(input)?; // scatter into the grid
+    let bx = b.stencil_x(grid, 1)?; // blur grid x
+    let by = b.stencil_y(bx, 1)?; // blur grid y
+    let bz = b.pointwise(by)?; // blur grid z (modelled pointwise)
+    let sliced = b.upsample(bz)?; // slice
+    let interp = b.combine(sliced, input)?; // trilinear interpolation
+    let program = b.output(interp)?;
+    Ok(Workload {
+        name: "Bilateral Grid",
+        stages: count_stages(&program),
+        tile_sizes: vec![8, 128],
+        gpu_grid: vec![8, 64],
+        program,
+    })
+}
+
+/// Camera Pipeline: denoise, demosaic (stencil-heavy), color correction
+/// and tone mapping (pointwise-heavy). 32 stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn camera_pipeline(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("camera_pipeline", h, w);
+    // Hot-pixel suppression + denoise: two stencils.
+    let mut cur = b.stencil3x3(input)?; // 2 stages
+    cur = b.pointwise(cur)?;
+    // Demosaic: interpolate channels — a fan of stencils recombined.
+    let g = b.stencil_x(cur, 1)?;
+    let r = b.stencil_y(cur, 1)?;
+    let bl = b.stencil3x3(cur)?; // 2 stages
+    let rg = b.combine(r, g)?;
+    let rgb = b.combine(rg, bl)?;
+    cur = rgb;
+    // Color correction: matrix multiply as 3 pointwise stages + combines.
+    for _ in 0..6 {
+        cur = b.pointwise(cur)?;
+    }
+    // Curve application (tone mapping) + gamma: pointwise chain.
+    for _ in 0..8 {
+        cur = b.pointwise(cur)?;
+    }
+    // Sharpen: blur + combine.
+    let blur = b.stencil3x3(cur)?; // 2 stages
+    cur = b.combine(cur, blur)?;
+    // Final chroma denoise + dither.
+    for _ in 0..5 {
+        cur = b.pointwise(cur)?;
+    }
+    let program = b.output(cur)?;
+    Ok(Workload {
+        name: "Camera Pipeline",
+        stages: count_stages(&program),
+        tile_sizes: vec![64, 256],
+        gpu_grid: vec![16, 32],
+        program,
+    })
+}
+
+/// Multiscale Interpolation: a 4-level pyramid — downsample chain,
+/// per-level processing, upsample-and-combine chain. 49 stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn multiscale_interpolation(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("multiscale_interp", h, w);
+    let levels = 4;
+    // Downsample chain with pre-filters.
+    let mut downs: Vec<Stage> = vec![input];
+    let mut cur = input;
+    for _ in 0..levels {
+        cur = b.stencil_x(cur, 2)?; // separable pre-filter
+        cur = b.stencil_y(cur, 2)?;
+        cur = b.downsample(cur)?;
+        downs.push(cur);
+    }
+    // Per-level processing (mask, interpolation weights, normalization).
+    let mut processed = Vec::new();
+    for &d in &downs {
+        let mut s = b.pointwise(d)?;
+        s = b.pointwise(s)?;
+        s = b.pointwise(s)?;
+        let m = b.combine(s, d)?;
+        processed.push(m);
+    }
+    // Upsample-and-combine from coarsest to finest.
+    let mut acc = processed[levels];
+    for lvl in (0..levels).rev() {
+        let up = b.upsample(acc)?; // 4 statements, 1 stage
+        acc = b.combine(up, processed[lvl])?;
+        acc = b.pointwise(acc)?;
+        acc = b.pointwise(acc)?;
+    }
+    let program = b.output(acc)?;
+    Ok(Workload {
+        name: "Multiscale Interpolation",
+        stages: count_stages(&program),
+        tile_sizes: vec![32, 128],
+        gpu_grid: vec![32, 16],
+        program,
+    })
+}
+
+/// Local Laplacian Filter: an 8-level Gaussian pyramid, per-level Laplacian
+/// remapping, and collapse. 99 stages.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn local_laplacian(h: i64, w: i64) -> Result<Workload> {
+    let (mut b, input) = PipelineBuilder::new("local_laplacian", h, w);
+    let levels = 7;
+    // Gaussian pyramid of the input.
+    let mut gauss: Vec<Stage> = vec![input];
+    let mut cur = input;
+    for _ in 0..levels {
+        cur = b.stencil_x(cur, 2)?; // 5-tap Gaussian pre-filter
+        cur = b.downsample(cur)?;
+        gauss.push(cur);
+    }
+    // Remapped (tone-adjusted) copies at each level: 3 pointwise stages
+    // per level (the remapping function applied at several intensities).
+    let mut remapped = Vec::new();
+    for &g in gauss.iter().take(levels + 1) {
+        let r0 = b.pointwise(g)?;
+        let r1 = b.pointwise(r0)?;
+        let r2 = b.pointwise(r1)?;
+        let r3 = b.combine(r2, g)?;
+        remapped.push(r3);
+    }
+    // Laplacian pyramid: difference between level and upsampled coarser,
+    // then blend with the remapped copy.
+    let mut lap = Vec::new();
+    for lvl in 0..levels {
+        let up = b.upsample(remapped[lvl + 1])?;
+        let diff = b.combine(remapped[lvl], up)?;
+        let weight = b.pointwise(gauss[lvl])?;
+        let blend = b.combine(diff, weight)?;
+        lap.push(blend);
+    }
+    // Collapse: from coarsest Laplacian back to full resolution.
+    let mut acc = remapped[levels];
+    for lvl in (0..levels).rev() {
+        let up = b.upsample(acc)?;
+        acc = b.combine(up, lap[lvl])?;
+        acc = b.pointwise(acc)?;
+    }
+    // Final tone normalization.
+    acc = b.pointwise(acc)?;
+    acc = b.pointwise(acc)?;
+    acc = b.pointwise(acc)?;
+    let program = b.output(acc)?;
+    Ok(Workload {
+        name: "Local Laplacian Filter",
+        stages: count_stages(&program),
+        tile_sizes: vec![8, 256],
+        gpu_grid: vec![8, 64],
+        program,
+    })
+}
+
+/// All six pipelines with default (simulation-friendly) sizes.
+///
+/// # Errors
+/// Returns an error if any program fails to build.
+pub fn all(h: i64, w: i64) -> Result<Vec<Workload>> {
+    Ok(vec![
+        bilateral_grid(h, w)?,
+        camera_pipeline(h, w)?,
+        harris(h, w)?,
+        local_laplacian(h, w)?,
+        multiscale_interpolation(h, w)?,
+        unsharp_mask(h, w)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_match_table1() {
+        assert_eq!(unsharp_mask(64, 64).unwrap().stages, 4);
+        assert_eq!(harris(64, 64).unwrap().stages, 11);
+        assert_eq!(bilateral_grid(64, 64).unwrap().stages, 7);
+        assert_eq!(camera_pipeline(64, 64).unwrap().stages, 32);
+        assert_eq!(multiscale_interpolation(256, 256).unwrap().stages, 49);
+        assert_eq!(local_laplacian(256, 256).unwrap().stages, 99);
+    }
+
+    #[test]
+    fn all_builds() {
+        let ws = all(256, 256).unwrap();
+        assert_eq!(ws.len(), 6);
+        for w in &ws {
+            assert!(w.program.stmts().len() >= w.stages, "{}", w.name);
+            assert!(
+                w.program
+                    .stmts()
+                    .iter()
+                    .any(|s| w.program.is_live_out(s.id())),
+                "{} has no live-out",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn unsharp_runs_correctly_under_all_heuristics() {
+        let w = unsharp_mask(16, 16).unwrap();
+        let (r, _) = tilefuse_codegen::reference_execute(&w.program, &[]).unwrap();
+        for h in [
+            tilefuse_scheduler::FusionHeuristic::MinFuse,
+            tilefuse_scheduler::FusionHeuristic::SmartFuse,
+            tilefuse_scheduler::FusionHeuristic::MaxFuse,
+        ] {
+            let s = tilefuse_scheduler::schedule(&w.program, h).unwrap();
+            let (t, _) =
+                tilefuse_codegen::execute_tree(&w.program, &s.tree, &[], &Default::default())
+                    .unwrap();
+            tilefuse_codegen::check_outputs_match(&w.program, &r, &t, 1e-10).unwrap();
+        }
+    }
+
+    #[test]
+    fn harris_post_tiling_fusion_correct() {
+        let w = harris(18, 18).unwrap();
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![4, 4],
+            parallel_cap: None,
+            startup: tilefuse_scheduler::FusionHeuristic::MinFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
+        let (r, _) = tilefuse_codegen::reference_execute(&w.program, &[]).unwrap();
+        let (t, stats) = tilefuse_codegen::execute_tree(
+            &w.program,
+            &o.tree,
+            &[],
+            &o.report.scratch_scopes,
+        )
+        .unwrap();
+        tilefuse_codegen::check_outputs_match(&w.program, &r, &t, 1e-10).unwrap();
+        assert!(stats.scratch_hits > 0);
+        assert!(o.report.n_final_groups() < o.report.groups.len());
+    }
+}

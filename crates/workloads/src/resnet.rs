@@ -1,0 +1,191 @@
+//! ResNet-50 forward convolution + batch-normalization blocks (Table III).
+//!
+//! Each block is one `conv → batchnorm → ReLU` triple as a polyhedral
+//! program (NCHW, 6-D convolution statement). The layer table follows the
+//! ResNet-50 architecture (He et al., CVPR'16): a 7×7 stem and four
+//! bottleneck groups of 1×1/3×3/1×1 convolutions.
+
+use crate::Workload;
+use tilefuse_pir::{ArrayKind, Body, Expr, IdxExpr, Program, Result, SchedTerm};
+
+/// One convolution layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvBlock {
+    /// Human-readable layer name.
+    pub name: &'static str,
+    /// Input channels.
+    pub c_in: i64,
+    /// Output channels.
+    pub c_out: i64,
+    /// Input spatial size (square).
+    pub hw: i64,
+    /// Kernel size (square).
+    pub k: i64,
+    /// How many times this configuration occurs in ResNet-50.
+    pub repeat: usize,
+}
+
+/// The distinct convolution configurations of ResNet-50's forward pass.
+pub fn blocks() -> Vec<ConvBlock> {
+    vec![
+        ConvBlock { name: "conv1 7x7", c_in: 3, c_out: 64, hw: 224, k: 7, repeat: 1 },
+        ConvBlock { name: "res2 1x1a", c_in: 64, c_out: 64, hw: 56, k: 1, repeat: 3 },
+        ConvBlock { name: "res2 3x3", c_in: 64, c_out: 64, hw: 56, k: 3, repeat: 3 },
+        ConvBlock { name: "res2 1x1b", c_in: 64, c_out: 256, hw: 56, k: 1, repeat: 3 },
+        ConvBlock { name: "res3 1x1a", c_in: 256, c_out: 128, hw: 28, k: 1, repeat: 4 },
+        ConvBlock { name: "res3 3x3", c_in: 128, c_out: 128, hw: 28, k: 3, repeat: 4 },
+        ConvBlock { name: "res3 1x1b", c_in: 128, c_out: 512, hw: 28, k: 1, repeat: 4 },
+        ConvBlock { name: "res4 1x1a", c_in: 512, c_out: 256, hw: 14, k: 1, repeat: 6 },
+        ConvBlock { name: "res4 3x3", c_in: 256, c_out: 256, hw: 14, k: 3, repeat: 6 },
+        ConvBlock { name: "res4 1x1b", c_in: 256, c_out: 1024, hw: 14, k: 1, repeat: 6 },
+        ConvBlock { name: "res5 1x1a", c_in: 1024, c_out: 512, hw: 7, k: 1, repeat: 3 },
+        ConvBlock { name: "res5 3x3", c_in: 512, c_out: 512, hw: 7, k: 3, repeat: 3 },
+        ConvBlock { name: "res5 1x1b", c_in: 512, c_out: 2048, hw: 7, k: 1, repeat: 3 },
+    ]
+}
+
+/// Builds the `conv → batchnorm → ReLU` program of one block.
+///
+/// # Errors
+/// Returns an error if program construction fails.
+pub fn conv_bn_program(b: &ConvBlock) -> Result<Workload> {
+    let out_hw = b.hw - b.k + 1;
+    let mut p = Program::new("conv_bn")
+        .with_param("CO", b.c_out)
+        .with_param("CI", b.c_in)
+        .with_param("HW", b.hw)
+        .with_param("K", b.k);
+    let input = p.add_array("input", vec![b.c_in.into(), b.hw.into(), b.hw.into()], ArrayKind::Input);
+    let weight = p.add_array(
+        "weight",
+        vec![b.c_out.into(), b.c_in.into(), b.k.into(), b.k.into()],
+        ArrayKind::Input,
+    );
+    let gamma = p.add_array("gamma", vec![b.c_out.into()], ArrayKind::Input);
+    let beta = p.add_array("beta", vec![b.c_out.into()], ArrayKind::Input);
+    let conv = p.add_array("conv", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Temp);
+    let bn = p.add_array("bn", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Temp);
+    let out = p.add_array("out", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Output);
+    let d3 = |k| IdxExpr::dim(3, k);
+    let d6 = |k| IdxExpr::dim(6, k);
+    // S0: conv[co][h][w] = 0
+    p.add_stmt(
+        &format!("{{ S0[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2), SchedTerm::Cst(0)],
+        Body { target: conv, target_idx: vec![d3(0), d3(1), d3(2)], rhs: Expr::Const(0.0) },
+    )?;
+    // S1: conv[co][h][w] += input[ci][h+kh][w+kw] * weight[co][ci][kh][kw]
+    p.add_stmt(
+        &format!(
+            "{{ S1[co, h, w, ci, kh, kw] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} \
+               and 0 <= ci < CI and 0 <= kh < K and 0 <= kw < K }}",
+            o = out_hw - 1
+        ),
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Var(2),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(3),
+            SchedTerm::Var(4),
+            SchedTerm::Var(5),
+        ],
+        Body {
+            target: conv,
+            target_idx: vec![d6(0), d6(1), d6(2)],
+            rhs: Expr::add(
+                Expr::load(conv, vec![d6(0), d6(1), d6(2)]),
+                Expr::mul(
+                    Expr::load(input, vec![d6(3), d6(1).plus(&d6(4)), d6(2).plus(&d6(5))]),
+                    Expr::load(weight, vec![d6(0), d6(3), d6(4), d6(5)]),
+                ),
+            ),
+        },
+    )?;
+    // S2: bn[co][h][w] = gamma[co] * conv[co][h][w] + beta[co]
+    p.add_stmt(
+        &format!("{{ S2[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2)],
+        Body {
+            target: bn,
+            target_idx: vec![d3(0), d3(1), d3(2)],
+            rhs: Expr::add(
+                Expr::mul(Expr::load(gamma, vec![d3(0)]), Expr::load(conv, vec![d3(0), d3(1), d3(2)])),
+                Expr::load(beta, vec![d3(0)]),
+            ),
+        },
+    )?;
+    // S3: out[co][h][w] = relu(bn[co][h][w])
+    p.add_stmt(
+        &format!("{{ S3[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2)],
+        Body {
+            target: out,
+            target_idx: vec![d3(0), d3(1), d3(2)],
+            rhs: Expr::relu(Expr::load(bn, vec![d3(0), d3(1), d3(2)])),
+        },
+    )?;
+    Ok(Workload {
+        name: "resnet conv+bn",
+        program: p,
+        tile_sizes: vec![16, 14, 14],
+        gpu_grid: vec![],
+        stages: 3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilefuse_codegen::{check_outputs_match, execute_tree, reference_execute};
+    use tilefuse_scheduler::{schedule, FusionHeuristic};
+
+    #[test]
+    fn table_covers_resnet50() {
+        let bs = blocks();
+        // 1 stem + 3×3 + 4×3 + 6×3 + 3×3 = 49 convs in the main path.
+        let total: usize = bs.iter().map(|b| b.repeat).sum();
+        assert_eq!(total, 49);
+    }
+
+    #[test]
+    fn smartfuse_fails_to_fuse_conv_and_bn() {
+        // The paper: "The smartfuse heuristic of isl failed to fuse
+        // convolutions and batch normalizations."
+        let b = ConvBlock { name: "t", c_in: 4, c_out: 4, hw: 8, k: 3, repeat: 1 };
+        let w = conv_bn_program(&b).unwrap();
+        let s = schedule(&w.program, FusionHeuristic::SmartFuse).unwrap();
+        let conv_group = s
+            .fusion
+            .groups
+            .iter()
+            .find(|g| g.stmts.contains(&tilefuse_pir::StmtId(1)))
+            .unwrap();
+        assert!(
+            !conv_group.stmts.contains(&tilefuse_pir::StmtId(2)),
+            "smartfuse must keep bn out of the conv group: {:?}",
+            s.fusion.groups.iter().map(|g| &g.stmts).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn post_tiling_fusion_fuses_conv_into_bn_tiles_correctly() {
+        let b = ConvBlock { name: "t", c_in: 3, c_out: 4, hw: 8, k: 3, repeat: 1 };
+        let w = conv_bn_program(&b).unwrap();
+        let opts = tilefuse_core::Options {
+            tile_sizes: vec![2, 3, 3],
+            parallel_cap: None,
+            startup: FusionHeuristic::SmartFuse,
+        ..Default::default()
+    };
+        let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
+        assert!(
+            !o.report.scratch_arrays.is_empty(),
+            "conv output should become tile-local"
+        );
+        let (r, _) = reference_execute(&w.program, &[]).unwrap();
+        let (t, _) = execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+        check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Tile-size auto-tuning (the paper's Section VII notes auto-tuners as a
+//! complementary optimization; Table I lists the auto-tuned sizes).
+//!
+//! Sweeps the PolyMage auto-tuner's candidate set over the Unsharp Mask
+//! pipeline with the post-tiling optimizer at every point and reports the
+//! cheapest configuration under the CPU cost model.
+//!
+//! Run with `cargo run --release --example autotune`.
+
+use tilefuse::bench::tune::{sweep_2d, Objective};
+use tilefuse::workloads::polymage::unsharp_mask;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let w = unsharp_mask(2048, 2048)?;
+    println!("auto-tuning {} (candidates per dim: 8..512)\n", w.name);
+    let result = sweep_2d(&w, Objective::Cpu, 5)?;
+    println!("{:>12} {:>10}", "tile", "time (ms)");
+    for p in result.points.iter().take(10) {
+        println!(
+            "{:>12} {:>10.4}",
+            format!("{}x{}", p.tile_sizes[0], p.tile_sizes[1]),
+            p.time * 1e3
+        );
+    }
+    let best = result.best();
+    println!(
+        "\nbest: {}x{}  (paper's auto-tuned choice for Unsharp Mask: 8x512)",
+        best.tile_sizes[0], best.tile_sizes[1]
+    );
+    Ok(())
+}

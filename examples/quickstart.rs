@@ -1,0 +1,85 @@
+//! Quickstart: build a small producer/consumer pipeline, optimize it with
+//! post-tiling fusion, inspect the schedule tree and generated code, and
+//! validate the transformed program against the reference execution.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tilefuse::codegen::{check_outputs_match, execute_tree, generate, print, reference_execute, Target};
+use tilefuse::core::{optimize, Options};
+use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
+use tilefuse::scheduler::FusionHeuristic;
+use tilefuse::schedtree::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1-D pipeline: blur (3-point stencil) then brighten, 64 elements.
+    //   S0: B[i] = (A[i] + A[i+1] + A[i+2]) / 3
+    //   S1: C[i] = B[i] * 1.1 + 5        (C is live-out)
+    let mut p = Program::new("quickstart").with_param("N", 64);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Input);
+    let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Temp);
+    let c = p.add_array("C", vec![("N", -2).into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ S0[i] : 0 <= i < N - 2 }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body {
+            target: b,
+            target_idx: vec![i1(0)],
+            rhs: Expr::mul(
+                Expr::add(
+                    Expr::load(a, vec![i1(0)]),
+                    Expr::add(
+                        Expr::load(a, vec![i1(0).offset(1)]),
+                        Expr::load(a, vec![i1(0).offset(2)]),
+                    ),
+                ),
+                Expr::Const(1.0 / 3.0),
+            ),
+        },
+    )?;
+    p.add_stmt(
+        "{ S1[i] : 0 <= i < N - 2 }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: c,
+            target_idx: vec![i1(0)],
+            rhs: Expr::add(
+                Expr::mul(Expr::load(b, vec![i1(0)]), Expr::Const(1.1)),
+                Expr::Const(5.0),
+            ),
+        },
+    )?;
+
+    // Optimize: tile the live-out space by 16, fuse the blur into the
+    // tiles via an extension schedule.
+    let opts = Options {
+        tile_sizes: vec![16],
+        parallel_cap: Some(1),
+        startup: FusionHeuristic::MinFuse,
+    ..Default::default()
+};
+    let optimized = optimize(&p, &opts)?;
+
+    println!("=== Schedule tree after post-tiling fusion ===\n");
+    println!("{}", render(&optimized.tree));
+
+    println!("=== Generated OpenMP-style code ===\n");
+    let ast = generate(&optimized.tree)?;
+    println!("{}", print(&ast, Target::OpenMp));
+
+    // Validate: execute both schedules and compare the output array.
+    let (reference, ref_stats) = reference_execute(&p, &[])?;
+    let (transformed, stats) =
+        execute_tree(&p, &optimized.tree, &[], &optimized.report.scratch_scopes)?;
+    check_outputs_match(&p, &reference, &transformed, 1e-12)?;
+
+    println!("=== Validation ===\n");
+    println!("reference instances:   {}", ref_stats.total_instances());
+    println!("transformed instances: {} (tile-halo recomputation)", stats.total_instances());
+    println!("scratch hits:          {} (producer values read tile-locally)", stats.scratch_hits);
+    println!("\noutputs match bit-for-bit ✓");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! tilefuse — post-tiling fusion for the memory hierarchy.
+//!
+//! A from-scratch Rust reproduction of *"Optimizing the Memory Hierarchy by
+//! Compositing Automatic Transformations on Computations and Data"*
+//! (MICRO 2020): a polyhedral optimizer that tiles live-out computation
+//! spaces first, derives arbitrary (overlapped) tile shapes for producer
+//! stages from upwards-exposed-data footprints, and fuses *after* tiling
+//! via schedule-tree extension nodes — keeping tilability and parallelism
+//! while maximizing producer-consumer locality.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`presburger`] | `tilefuse-presburger` | integer sets/maps, the isl replacement |
+//! | [`pir`] | `tilefuse-pir` | programs, statements, dependences |
+//! | [`schedtree`] | `tilefuse-schedtree` | schedule trees, bands, extension nodes |
+//! | [`scheduler`] | `tilefuse-scheduler` | minfuse/smartfuse/maxfuse/hybridfuse |
+//! | [`core`] | `tilefuse-core` | the paper's Algorithms 1–3 |
+//! | [`codegen`] | `tilefuse-codegen` | interpreter + OpenMP/CUDA printers |
+//! | [`memsim`] | `tilefuse-memsim` | CPU/GPU/DaVinci memory-hierarchy models |
+//! | [`workloads`] | `tilefuse-workloads` | the 11 paper benchmarks + ResNet-50 |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use tilefuse_codegen as codegen;
+pub use tilefuse_core as core;
+pub use tilefuse_memsim as memsim;
+pub use tilefuse_pir as pir;
+pub use tilefuse_presburger as presburger;
+pub use tilefuse_schedtree as schedtree;
+pub use tilefuse_scheduler as scheduler;
+pub use tilefuse_bench as bench;
+pub use tilefuse_workloads as workloads;
+
+pub use tilefuse_core::{optimize, Optimized, Options};
+pub use tilefuse_scheduler::FusionHeuristic;

@@ -1,0 +1,203 @@
+//! Algorithm 3's shared-intermediate rules (paper Fig. 6): a producer used
+//! by several live-out spaces is fused only when the per-consumer slices
+//! do not intersect — recomputation across live-outs is never introduced.
+
+use tilefuse::codegen::{check_outputs_match, execute_tree, reference_execute};
+use tilefuse::core::{optimize, Options};
+use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
+use tilefuse::scheduler::FusionHeuristic;
+
+/// One producer, two live-out consumers.
+///
+/// With `overlap = false`, consumer X reads `A[i]` for the lower half and
+/// consumer Y reads `A[i]` for the upper half (disjoint slices `op0'`,
+/// `op0''` — fusable into both). With `overlap = true`, both consumers
+/// read the full array (intersecting slices — fusion must be prevented).
+fn one_def_two_uses(n: i64, overlap: bool) -> Program {
+    let mut p = Program::new("shared").with_param("N", n);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let x = p.add_array("X", vec!["N".into()], ArrayKind::Output);
+    let y = p.add_array("Y", vec!["N".into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::mul(Expr::Iter(0), Expr::Const(0.5)),
+        },
+    )
+    .unwrap();
+    let (x_dom, x_read) = if overlap {
+        ("{ C1[i] : 0 <= i < N }", i1(0))
+    } else {
+        ("{ C1[i] : 0 <= i < N and 2i < N }", i1(0))
+    };
+    p.add_stmt(
+        x_dom,
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: x,
+            target_idx: vec![i1(0)],
+            rhs: Expr::add(Expr::load(a, vec![x_read]), Expr::Const(1.0)),
+        },
+    )
+    .unwrap();
+    let (y_dom, y_read) = if overlap {
+        ("{ C2[i] : 0 <= i < N }", i1(0))
+    } else {
+        ("{ C2[i] : 0 <= i < N and 2i >= N }", i1(0))
+    };
+    p.add_stmt(
+        y_dom,
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+        Body {
+            target: y,
+            target_idx: vec![i1(0)],
+            rhs: Expr::mul(Expr::load(a, vec![y_read]), Expr::Const(2.0)),
+        },
+    )
+    .unwrap();
+    p
+}
+
+fn opts() -> Options {
+    Options {
+        tile_sizes: vec![4],
+        parallel_cap: None,
+        startup: FusionHeuristic::MinFuse,
+    ..Default::default()
+}
+}
+
+#[test]
+fn disjoint_slices_fuse_into_both_liveouts() {
+    let p = one_def_two_uses(16, false);
+    let o = optimize(&p, &opts()).unwrap();
+    // The producer is fused (into both live-outs' tiles), its original
+    // schedule skipped, and no conflict was recorded.
+    assert!(o.report.is_fused(0), "producer should fuse: {:?}", o.report.shared_unfused);
+    assert!(o.report.shared_unfused.is_empty());
+    let fused_in: usize = o
+        .report
+        .mixed
+        .iter()
+        .filter(|m| m.fused_groups.contains(&0))
+        .count();
+    assert_eq!(fused_in, 2, "fused under both live-outs");
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    // No recomputation across live-outs: the producer's slices are
+    // disjoint, so total P executions never exceed the original count.
+    assert!(stats.instances["P"] <= ref_stats.instances["P"]);
+}
+
+#[test]
+fn disjoint_slices_enable_dead_code_elimination() {
+    // Consumers only need A[0..N/2) and A[N/2..N): every P instance is
+    // needed. Shrink the consumers to leave dead producer instances.
+    let mut p = Program::new("dce").with_param("N", 16);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let x = p.add_array("X", vec!["N".into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+    )
+    .unwrap();
+    // Only the first quarter of A is ever used.
+    p.add_stmt(
+        "{ C1[i] : 0 <= i < N and 4i < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: x,
+            target_idx: vec![i1(0)],
+            rhs: Expr::load(a, vec![i1(0)]),
+        },
+    )
+    .unwrap();
+    let o = optimize(&p, &opts()).unwrap();
+    assert!(o.report.is_fused(0));
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    // Fine-grained DCE: dead P instances (3/4 of the domain) are gone.
+    assert!(
+        stats.instances["P"] < ref_stats.instances["P"],
+        "{} !< {}",
+        stats.instances["P"],
+        ref_stats.instances["P"]
+    );
+    assert_eq!(stats.instances["P"], 4);
+}
+
+#[test]
+fn overlapping_slices_prevent_fusion() {
+    let p = one_def_two_uses(16, true);
+    let o = optimize(&p, &opts()).unwrap();
+    // Rule 2: both live-outs want the whole producer — fusing would
+    // recompute every instance twice, so the producer keeps its original
+    // schedule.
+    assert!(!o.report.is_fused(0));
+    assert_eq!(o.report.shared_unfused, vec![0]);
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    // "Our fusion strategy never introduces redundancy": P runs once per
+    // instance.
+    assert_eq!(stats.instances["P"], ref_stats.instances["P"]);
+}
+
+#[test]
+fn chain_through_unfused_shared_producer_stays_correct() {
+    // P -> Q -> two overlapping consumers: Q unfuses (rule 2); P, feeding
+    // only Q, must then not be fused either (its consumer keeps the
+    // original schedule).
+    let mut p = Program::new("chain_shared").with_param("N", 16);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let b = p.add_array("B", vec!["N".into()], ArrayKind::Temp);
+    let x = p.add_array("X", vec!["N".into()], ArrayKind::Output);
+    let y = p.add_array("Y", vec!["N".into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ Q[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: b,
+            target_idx: vec![i1(0)],
+            rhs: Expr::mul(Expr::load(a, vec![i1(0)]), Expr::Const(3.0)),
+        },
+    )
+    .unwrap();
+    for (name, dom, arr, seq) in
+        [("C1", "{ C1[i] : 0 <= i < N }", x, 2), ("C2", "{ C2[i] : 0 <= i < N }", y, 3)]
+    {
+        let _ = name;
+        p.add_stmt(
+            dom,
+            vec![SchedTerm::Cst(seq), SchedTerm::Var(0)],
+            Body {
+                target: arr,
+                target_idx: vec![i1(0)],
+                rhs: Expr::add(Expr::load(b, vec![i1(0)]), Expr::Const(1.0)),
+            },
+        )
+        .unwrap();
+    }
+    let o = optimize(&p, &opts()).unwrap();
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    // No redundancy anywhere.
+    assert_eq!(stats.instances["P"], ref_stats.instances["P"]);
+    assert_eq!(stats.instances["Q"], ref_stats.instances["Q"]);
+}
