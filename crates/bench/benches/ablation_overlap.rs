@@ -5,13 +5,13 @@
 //! footprints — isolating the contribution of exact upwards-exposed-data
 //! footprints (DESIGN.md's "tighter overlap" claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_memsim::{cpu_time, CpuModel};
 use tilefuse_workloads::polymage::harris;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let w = harris(128, 128).unwrap();
     let model = CpuModel::xeon_e5_2683_v4();
     println!("### Ablation — Harris, modeled CPU time (ms, 32 threads)\n");
@@ -21,13 +21,9 @@ fn bench(c: &mut Criterion) {
         println!("{:>10}: {:.3}", v.label(), t.total * 1e3);
     }
     println!();
-    let mut g = c.benchmark_group("ablation");
+    let mut g = Harness::new("ablation");
     g.sample_size(10);
-    g.bench_function("ours_summaries", |b| {
+    g.bench("ours_summaries", |b| {
         b.iter(|| black_box(summaries(&w, Version::Ours, TargetKind::Cpu).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,42 +1,57 @@
 //! Table I compilation-time columns, genuinely measured: wall-clock of
 //! each scheduling/optimization pass (compare the paper's minfuse /
-//! smartfuse / maxfuse / ours columns).
+//! smartfuse / maxfuse / ours columns). Finishes by printing the
+//! presburger cache counters so the memo's contribution to the measured
+//! compile times is visible (maxfuse's exhaustive legality search is the
+//! heaviest cache client).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tilefuse_scheduler::{schedule, FusionHeuristic};
+use tilefuse_bench::microbench::Harness;
+use tilefuse_pir::compute_dependences;
+use tilefuse_presburger::stats;
+use tilefuse_scheduler::{fuse, schedule, FuseBudget, FusionHeuristic};
 use tilefuse_workloads::polymage;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let workloads = vec![
         polymage::unsharp_mask(128, 128).unwrap(),
         polymage::harris(128, 128).unwrap(),
         polymage::bilateral_grid(128, 128).unwrap(),
     ];
-    let mut g = c.benchmark_group("compile_time");
+    let mut g = Harness::new("compile_time");
     g.sample_size(10);
     for w in &workloads {
         for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{h:?}"), w.name),
-                &w.program,
-                |b, p| b.iter(|| black_box(schedule(black_box(p), h).unwrap())),
-            );
+            g.bench(&format!("{h:?}/{}", w.name), |b| {
+                b.iter(|| black_box(schedule(black_box(&w.program), h).unwrap()))
+            });
         }
-        g.bench_with_input(BenchmarkId::new("Ours", w.name), w, |b, w| {
+        g.bench(&format!("MaxFuse/{}", w.name), |b| {
+            b.iter(|| {
+                let deps = compute_dependences(black_box(&w.program)).unwrap();
+                let mut budget = FuseBudget::new(20_000);
+                black_box(
+                    fuse(
+                        black_box(&w.program),
+                        &deps,
+                        FusionHeuristic::MaxFuse,
+                        &mut budget,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench(&format!("Ours/{}", w.name), |b| {
             b.iter(|| {
                 let opts = tilefuse_core::Options {
                     tile_sizes: w.tile_sizes.clone(),
                     parallel_cap: Some(1),
                     startup: FusionHeuristic::MinFuse,
-                ..Default::default()
-            };
+                    ..Default::default()
+                };
                 black_box(tilefuse_core::optimize(black_box(&w.program), &opts).unwrap())
             })
         });
     }
-    g.finish();
+    eprintln!("presburger cache stats: {}", stats::snapshot());
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,25 @@
 //! Fig. 10 — GPU speedups over PPCG-minfuse: prints the regenerated table
 //! once, then benchmarks the GPU pricing unit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_memsim::{gpu_time, GpuModel};
 use tilefuse_workloads::polymage::harris;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", tables::fig10_at(256).expect("fig10 generates").to_markdown());
+fn main() {
+    println!(
+        "{}",
+        tables::fig10_at(256)
+            .expect("fig10 generates")
+            .to_markdown()
+    );
     let w = harris(256, 256).unwrap();
     let sums = summaries(&w, Version::Ours, TargetKind::Gpu).unwrap();
-    let mut g = c.benchmark_group("fig10");
+    let mut g = Harness::new("fig10");
     g.sample_size(10);
-    g.bench_function("price_harris_gpu", |b| {
+    g.bench("price_harris_gpu", |b| {
         b.iter(|| black_box(gpu_time(&GpuModel::quadro_p6000(), &sums).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,22 @@
 //! Fig. 8 — CPU thread scaling of the PolyMage pipelines: prints the
 //! regenerated series once, then benchmarks the pricing unit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_memsim::{cpu_time, CpuModel};
 use tilefuse_workloads::polymage::harris;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for t in tables::fig8_at(256).expect("fig8 generates") {
         println!("{}", t.to_markdown());
     }
     let w = harris(256, 256).unwrap();
     let sums = summaries(&w, Version::Ours, TargetKind::Cpu).unwrap();
-    let mut g = c.benchmark_group("fig8");
+    let mut g = Harness::new("fig8");
     g.sample_size(10);
-    g.bench_function("price_harris_32t", |b| {
+    g.bench("price_harris_32t", |b| {
         b.iter(|| black_box(cpu_time(&CpuModel::xeon_e5_2683_v4(), &sums).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,18 @@
 //! Fig. 9 — equake speedups across input sizes: prints the regenerated
 //! table once, then benchmarks the fusion-without-tiling unit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_workloads::equake::{equake, EquakeSize};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", tables::fig9().expect("fig9 generates").to_markdown());
     let w = equake(EquakeSize::Test, false).unwrap();
-    let mut g = c.benchmark_group("fig9");
+    let mut g = Harness::new("fig9");
     g.sample_size(10);
-    g.bench_function("ours_summaries_equake_test", |b| {
+    g.bench("ours_summaries_equake_test", |b| {
         b.iter(|| black_box(summaries(&w, Version::Ours, TargetKind::Cpu).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,19 @@
 //! Micro-benchmarks of the polyhedral substrate: the elementary set/map
-//! operations Algorithms 1-3 are built from.
+//! operations Algorithms 1-3 are built from, plus cached-vs-uncached
+//! comparisons of the memoized operations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tilefuse_presburger::{Map, Set};
+use tilefuse_bench::microbench::Harness;
+use tilefuse_presburger::{stats, Map, Set};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let dom: Set = "[H, W] -> { S2[h,w,kh,kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 \
                     and 0 <= kh <= 2 and 0 <= kw <= 2 }"
         .parse()
         .unwrap();
-    let read: Map = "[H, W] -> { S2[h,w,kh,kw] -> A[h+kh, w+kw] }".parse().unwrap();
+    let read: Map = "[H, W] -> { S2[h,w,kh,kw] -> A[h+kh, w+kw] }"
+        .parse()
+        .unwrap();
     let tile: Map = "[H, W] -> { S2[h,w,kh,kw] -> [o0, o1] : 32o0 <= h <= 32o0 + 31 \
                      and 32o1 <= w <= 32o1 + 31 }"
         .parse()
@@ -19,7 +22,10 @@ fn bench(c: &mut Criterion) {
         .parse()
         .unwrap();
 
-    c.bench_function("parse_set", |b| {
+    let mut h = Harness::new("presburger_ops");
+    h.sample_size(10);
+
+    h.bench("parse_set", |b| {
         b.iter(|| {
             let s: Set = black_box("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
                 .parse()
@@ -27,32 +33,77 @@ fn bench(c: &mut Criterion) {
             black_box(s)
         })
     });
-    c.bench_function("intersect_domain", |b| {
+    h.bench("intersect_domain", |b| {
         b.iter(|| black_box(read.intersect_domain(black_box(&dom)).unwrap()))
     });
-    c.bench_function("footprint_relation4", |b| {
+    h.bench("footprint_relation4", |b| {
         b.iter(|| {
             // reverse(tile) ∘ read — the paper's relation (4).
             black_box(tile.reverse().compose(black_box(&read)).unwrap())
         })
     });
-    c.bench_function("extension_relation6", |b| {
+    {
         let fp = tile.reverse().compose(&read).unwrap();
-        b.iter(|| black_box(fp.compose(&write.reverse()).unwrap()))
-    });
-    c.bench_function("emptiness_omega", |b| {
+        h.bench("extension_relation6", |b| {
+            b.iter(|| black_box(fp.compose(&write.reverse()).unwrap()))
+        });
+    }
+    {
         let s: Set = "{ S[x, y] : 11x + 13y >= 27 and 11x + 13y <= 45 \
                         and 7x - 9y >= -10 and 7x - 9y <= 4 }"
             .parse()
             .unwrap();
-        b.iter(|| black_box(s.is_empty().unwrap()))
-    });
-    c.bench_function("subtract_and_subset", |b| {
+        h.bench("emptiness_omega", |b| {
+            b.iter(|| black_box(s.is_empty().unwrap()))
+        });
+    }
+    {
         let a: Set = "{ S[i] : 0 <= i <= 100 }".parse().unwrap();
         let c2: Set = "{ S[i] : 40 <= i <= 60 }".parse().unwrap();
-        b.iter(|| black_box(a.subtract(black_box(&c2)).unwrap()))
-    });
-}
+        h.bench("subtract_and_subset", |b| {
+            b.iter(|| black_box(a.subtract(black_box(&c2)).unwrap()))
+        });
+    }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // Cached vs uncached: the same memoized operations with the memo
+    // table cleared before every call versus left warm.
+    let fat: Set = "[N] -> { S[i, j, k] : 0 <= i < N and 0 <= j <= i and \
+                    3k >= j - 7 and 2k <= i + j and -20 <= k <= 20 }"
+        .parse()
+        .unwrap();
+    h.bench("is_empty_uncached", |b| {
+        b.iter(|| {
+            stats::clear_cache();
+            black_box(fat.is_empty().unwrap())
+        })
+    });
+    h.bench("is_empty_cached", |b| {
+        stats::clear_cache();
+        let _ = fat.is_empty().unwrap();
+        b.iter(|| black_box(fat.is_empty().unwrap()))
+    });
+    h.bench("project_out_uncached", |b| {
+        b.iter(|| {
+            stats::clear_cache();
+            black_box(fat.project_out_dims(1, 2).unwrap())
+        })
+    });
+    h.bench("project_out_cached", |b| {
+        stats::clear_cache();
+        let _ = fat.project_out_dims(1, 2).unwrap();
+        b.iter(|| black_box(fat.project_out_dims(1, 2).unwrap()))
+    });
+    h.bench("apply_uncached", |b| {
+        b.iter(|| {
+            stats::clear_cache();
+            black_box(read.apply(black_box(&dom)).unwrap())
+        })
+    });
+    h.bench("apply_cached", |b| {
+        stats::clear_cache();
+        let _ = read.apply(&dom).unwrap();
+        b.iter(|| black_box(read.apply(black_box(&dom)).unwrap()))
+    });
+
+    println!("\npresburger cache stats: {}", stats::snapshot());
+}

@@ -1,23 +1,19 @@
 //! Table I — PolyMage execution times (CPU + GPU): prints the regenerated
 //! table once, then benchmarks the per-benchmark analysis unit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_workloads::polymage::unsharp_mask;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let table = tables::table1_exec_at(256).expect("table1 generates");
     println!("{}", table.to_markdown());
     let w = unsharp_mask(256, 256).unwrap();
-    let mut g = c.benchmark_group("table1");
+    let mut g = Harness::new("table1");
     g.sample_size(10);
-    g.bench_function("ours_summaries_unsharp", |b| {
+    g.bench("ours_summaries_unsharp", |b| {
         b.iter(|| black_box(summaries(&w, Version::Ours, TargetKind::Cpu).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

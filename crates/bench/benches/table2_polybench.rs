@@ -1,24 +1,20 @@
 //! Table II — PolyBench kernels across heuristics and thread counts:
 //! prints the regenerated tables once, then benchmarks the 2mm analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_workloads::polybench::two_mm;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for t in tables::table2().expect("table2 generates") {
         println!("{}", t.to_markdown());
     }
     let w = two_mm(256).unwrap();
-    let mut g = c.benchmark_group("table2");
+    let mut g = Harness::new("table2");
     g.sample_size(10);
-    g.bench_function("ours_summaries_2mm", |b| {
+    g.bench("ours_summaries_2mm", |b| {
         b.iter(|| black_box(summaries(&w, Version::Ours, TargetKind::Cpu).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

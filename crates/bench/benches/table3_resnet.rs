@@ -2,24 +2,28 @@
 //! prints the regenerated table once, then benchmarks one block's
 //! optimization + pricing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tilefuse_bench::microbench::Harness;
 use tilefuse_bench::tables;
 use tilefuse_bench::versions::{summaries, TargetKind, Version};
 use tilefuse_workloads::resnet::{blocks, conv_bn_program};
 
-fn bench(c: &mut Criterion) {
-    println!("{}", tables::table3().expect("table3 generates").to_markdown());
-    println!("{}", tables::table3_compile().expect("table3-compile generates").to_markdown());
+fn main() {
+    println!(
+        "{}",
+        tables::table3().expect("table3 generates").to_markdown()
+    );
+    println!(
+        "{}",
+        tables::table3_compile()
+            .expect("table3-compile generates")
+            .to_markdown()
+    );
     let blk = blocks()[1];
     let w = conv_bn_program(&blk).unwrap();
-    let mut g = c.benchmark_group("table3");
+    let mut g = Harness::new("table3");
     g.sample_size(10);
-    g.bench_function("ours_block_res2_1x1", |b| {
+    g.bench("ours_block_res2_1x1", |b| {
         b.iter(|| black_box(summaries(&w, Version::Ours, TargetKind::Davinci).unwrap()))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

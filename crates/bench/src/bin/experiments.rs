@@ -6,52 +6,140 @@
 //! ```
 //! Artifacts: table1, table1-compile, fig8, fig9, table2, fig10,
 //! table3, table3-compile, all.
+//!
+//! Independent artifacts are generated concurrently on a bounded worker
+//! pool (`TILEFUSE_JOBS` workers, default: the machine's parallelism);
+//! output is printed in the fixed artifact order regardless of which
+//! worker finished first. A machine-readable summary — per-artifact and
+//! total wall-clock plus presburger cache-hit counters — is written to
+//! `BENCH_experiments.json` in the current directory.
 
-use tilefuse_bench::tables;
+use std::time::Instant;
+
+use tilefuse_bench::par::{effective_jobs, par_map};
+use tilefuse_bench::tables::{self, ResultTable};
+use tilefuse_bench::versions::BoxError;
+use tilefuse_presburger::stats;
+
+type Generator = fn() -> Result<Vec<ResultTable>, BoxError>;
+
+const ARTIFACTS: &[(&str, Generator)] = &[
+    ("table1", || tables::table1_exec().map(|t| vec![t])),
+    ("table1-compile", || {
+        tables::table1_compile(2000).map(|t| vec![t])
+    }),
+    ("fig8", tables::fig8),
+    ("fig9", || tables::fig9().map(|t| vec![t])),
+    ("table2", tables::table2),
+    ("fig10", || tables::fig10().map(|t| vec![t])),
+    ("table3", || tables::table3().map(|t| vec![t])),
+    ("table3-compile", || {
+        tables::table3_compile().map(|t| vec![t])
+    }),
+];
+
+struct Outcome {
+    name: &'static str,
+    seconds: f64,
+    result: Result<Vec<ResultTable>, BoxError>,
+}
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let run = |name: &str| which == "all" || which == name;
+    let selected: Vec<(&'static str, Generator)> = ARTIFACTS
+        .iter()
+        .filter(|(name, _)| which == "all" || which == *name)
+        .copied()
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown artifact {which:?}; expected one of:");
+        for (name, _) in ARTIFACTS {
+            eprintln!("  {name}");
+        }
+        eprintln!("  all");
+        std::process::exit(2);
+    }
+    let jobs = effective_jobs(None);
+    let t0 = Instant::now();
+    let outcomes = par_map(selected, jobs, |(name, gen)| {
+        let start = Instant::now();
+        let result = gen();
+        Outcome {
+            name,
+            seconds: start.elapsed().as_secs_f64(),
+            result,
+        }
+    });
+    let total = t0.elapsed().as_secs_f64();
+
     let mut failures = 0;
-    macro_rules! emit {
-        ($name:expr, $gen:expr) => {
-            if run($name) {
-                match $gen {
-                    Ok(t) => println!("{}", t.to_markdown()),
-                    Err(e) => {
-                        eprintln!("{} failed: {e}", $name);
-                        failures += 1;
-                    }
+    for o in &outcomes {
+        match &o.result {
+            Ok(ts) => {
+                for t in ts {
+                    println!("{}", t.to_markdown());
                 }
             }
-        };
-    }
-    macro_rules! emit_many {
-        ($name:expr, $gen:expr) => {
-            if run($name) {
-                match $gen {
-                    Ok(ts) => {
-                        for t in ts {
-                            println!("{}", t.to_markdown());
-                        }
-                    }
-                    Err(e) => {
-                        eprintln!("{} failed: {e}", $name);
-                        failures += 1;
-                    }
-                }
+            Err(e) => {
+                eprintln!("{} failed: {e}", o.name);
+                failures += 1;
             }
-        };
+        }
     }
-    emit!("table1", tables::table1_exec());
-    emit!("table1-compile", tables::table1_compile(2000));
-    emit_many!("fig8", tables::fig8());
-    emit!("fig9", tables::fig9());
-    emit_many!("table2", tables::table2());
-    emit!("fig10", tables::fig10());
-    emit!("table3", tables::table3());
-    emit!("table3-compile", tables::table3_compile());
+    let cache = stats::snapshot();
+    eprintln!(
+        "generated {} artifact(s) in {total:.3}s on {jobs} worker(s)",
+        outcomes.len()
+    );
+    eprintln!("presburger cache stats: {cache}");
+
+    let json = render_json(&which, jobs, total, &outcomes, &cache);
+    match std::fs::write("BENCH_experiments.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_experiments.json"),
+        Err(e) => eprintln!("could not write BENCH_experiments.json: {e}"),
+    }
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+fn render_json(
+    which: &str,
+    jobs: usize,
+    total: f64,
+    outcomes: &[Outcome],
+    cache: &stats::CacheStats,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"selection\": \"{which}\",\n"));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    s.push_str("  \"artifacts\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let comma = if i + 1 == outcomes.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": {} }}{comma}\n",
+            o.name,
+            o.seconds,
+            o.result.is_ok()
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"presburger_cache\": {\n");
+    let ops = [
+        ("is_empty", &cache.is_empty),
+        ("project", &cache.project),
+        ("intersect", &cache.intersect),
+        ("apply", &cache.apply),
+        ("reverse", &cache.reverse),
+    ];
+    for (i, (name, op)) in ops.iter().enumerate() {
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{name}\": {{ \"hits\": {}, \"misses\": {} }}{comma}\n",
+            op.hits, op.misses
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
 }

@@ -7,9 +7,14 @@
 //!   Figures 8/9/10), returning [`tables::ResultTable`]s;
 //! * the `experiments` binary prints everything and can rewrite
 //!   `EXPERIMENTS.md`;
-//! * Criterion benches under `benches/` wrap the same generators plus
-//!   micro-benchmarks of the polyhedral substrate.
+//! * benches under `benches/` wrap the same generators plus
+//!   micro-benchmarks of the polyhedral substrate, driven by the
+//!   self-contained [`microbench`] harness;
+//! * [`par`] — a bounded worker pool used to fan the experiment
+//!   configurations out over OS threads.
 
+pub mod microbench;
+pub mod par;
 pub mod tables;
 pub mod tune;
 pub mod versions;

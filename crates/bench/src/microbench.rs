@@ -1,0 +1,145 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The container this repo builds in has no network access, so external
+//! harnesses cannot be fetched; this module provides the small subset we
+//! need: per-function warmup, automatic iteration-count calibration so a
+//! sample lasts long enough to time reliably, and median/mean reporting.
+//!
+//! Benches are ordinary binaries (`harness = false`); pass a substring
+//! as the first CLI argument to filter which functions run.
+
+use std::time::{Duration, Instant};
+
+/// Per-function measurement driver handed to the closure under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly; call exactly once per bench function.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: grow the per-sample iteration count until
+        // one sample takes at least ~1ms (or we hit a generous cap).
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of bench functions with shared configuration.
+pub struct Harness {
+    group: String,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Creates a harness; the filter comes from the first CLI argument.
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args()
+            .nth(1)
+            .filter(|a| a != "--bench" && !a.starts_with('-'));
+        Harness {
+            group: group.to_owned(),
+            sample_size: 10,
+            filter,
+        }
+    }
+
+    /// Sets how many timed samples each bench function collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one bench function and prints its timing line.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{full:<48} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{full:<48} median {:>12}  mean {:>12}  ({} iters x {} samples)",
+            fmt_time(median),
+            fmt_time(mean),
+            b.iters_per_sample,
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            target_samples: 3,
+        };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn fmt_time_picks_unit() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -1,5 +1,10 @@
 //! Regeneration of every table and figure of the paper's Section VI.
+//!
+//! Each generator fans its per-workload work out over [`par_map`] with
+//! [`effective_jobs`] workers; results are assembled in input order so
+//! the emitted tables are identical to a sequential run.
 
+use crate::par::{effective_jobs, par_map};
 use crate::versions::{compile_time, summaries, BoxError, TargetKind, Version};
 use tilefuse_memsim::{cpu_time, davinci_time, gpu_time, CpuModel, DavinciModel, GpuModel};
 use tilefuse_workloads::equake::{equake, EquakeSize};
@@ -84,7 +89,7 @@ pub fn table1_exec_at(img: i64) -> Result<ResultTable, BoxError> {
         .collect(),
         rows: Vec::new(),
     };
-    for w in polymage::all(img, img)? {
+    let rows = par_map(polymage::all(img, img)?, effective_jobs(None), |w| {
         let naive = cpu_time(&cpu1, &summaries(&w, Version::Naive, TargetKind::Cpu)?)?.total;
         let pm = cpu_time(&cpu32, &summaries(&w, Version::PolyMage, TargetKind::Cpu)?)?.total;
         let ha = cpu_time(&cpu32, &summaries(&w, Version::Halide, TargetKind::Cpu)?)?.total;
@@ -92,7 +97,7 @@ pub fn table1_exec_at(img: i64) -> Result<ResultTable, BoxError> {
         let g_min = gpu_time(&gpu, &summaries(&w, Version::MinFuse, TargetKind::Gpu)?)?.total;
         let g_ha = gpu_time(&gpu, &summaries(&w, Version::Halide, TargetKind::Gpu)?)?.total;
         let g_ours = gpu_time(&gpu, &summaries(&w, Version::Ours, TargetKind::Gpu)?)?.total;
-        table.rows.push((
+        Ok::<_, BoxError>((
             w.name.to_string(),
             vec![
                 w.stages.to_string(),
@@ -104,7 +109,10 @@ pub fn table1_exec_at(img: i64) -> Result<ResultTable, BoxError> {
                 ms(g_ha),
                 ms(g_ours),
             ],
-        ));
+        ))
+    });
+    for r in rows {
+        table.rows.push(r?);
     }
     Ok(table)
 }
@@ -124,9 +132,14 @@ pub fn table1_compile(maxfuse_budget: u64) -> Result<ResultTable, BoxError> {
             .collect(),
         rows: Vec::new(),
     };
-    for w in polymage::all(128, 128)? {
+    table.rows = par_map(polymage::all(128, 128)?, effective_jobs(None), |w| {
         let mut cells = Vec::new();
-        for v in [Version::MinFuse, Version::SmartFuse, Version::MaxFuse, Version::Ours] {
+        for v in [
+            Version::MinFuse,
+            Version::SmartFuse,
+            Version::MaxFuse,
+            Version::Ours,
+        ] {
             let cell = match compile_time(&w, v, maxfuse_budget) {
                 Ok(Some(t)) => format!("{t:.3}"),
                 Ok(None) => ">budget".to_string(),
@@ -134,8 +147,8 @@ pub fn table1_compile(maxfuse_budget: u64) -> Result<ResultTable, BoxError> {
             };
             cells.push(cell);
         }
-        table.rows.push((w.name.to_string(), cells));
-    }
+        (w.name.to_string(), cells)
+    });
     Ok(table)
 }
 
@@ -154,8 +167,7 @@ pub fn fig8() -> Result<Vec<ResultTable>, BoxError> {
 /// Returns an error if an experiment fails.
 pub fn fig8_at(img: i64) -> Result<Vec<ResultTable>, BoxError> {
     let threads = [1usize, 4, 16, 32];
-    let mut out = Vec::new();
-    for w in polymage::all(img, img)? {
+    let tables = par_map(polymage::all(img, img)?, effective_jobs(None), |w| {
         let base = cpu_time(
             &CpuModel::xeon_e5_2683_v4().with_threads(1),
             &summaries(&w, Version::Naive, TargetKind::Cpu)?,
@@ -166,19 +178,23 @@ pub fn fig8_at(img: i64) -> Result<Vec<ResultTable>, BoxError> {
             columns: threads.iter().map(|t| format!("{t} threads")).collect(),
             rows: Vec::new(),
         };
-        for v in [Version::Naive, Version::PolyMage, Version::Halide, Version::Ours] {
+        for v in [
+            Version::Naive,
+            Version::PolyMage,
+            Version::Halide,
+            Version::Ours,
+        ] {
             let s = summaries(&w, v, TargetKind::Cpu)?;
             let mut cells = Vec::new();
             for &t in &threads {
-                let time =
-                    cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(t), &s)?.total;
+                let time = cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(t), &s)?.total;
                 cells.push(speedup(base, time));
             }
             table.rows.push((v.label().to_string(), cells));
         }
-        out.push(table);
-    }
-    Ok(out)
+        Ok::<_, BoxError>(table)
+    });
+    tables.into_iter().collect()
 }
 
 /// Fig. 9 — equake: speedup over the baseline for
@@ -201,7 +217,10 @@ pub fn fig9() -> Result<ResultTable, BoxError> {
     let cpu = CpuModel::xeon_e5_2683_v4();
     let mut table = ResultTable {
         title: "Fig. 9 — equake (speedup over baseline, 32 cores)".into(),
-        columns: EquakeSize::all().iter().map(|(_, n)| (*n).to_string()).collect(),
+        columns: EquakeSize::all()
+            .iter()
+            .map(|(_, n)| (*n).to_string())
+            .collect(),
         rows: Vec::new(),
     };
     let mut rows: Vec<(String, Vec<String>)> = vec![
@@ -212,11 +231,12 @@ pub fn fig9() -> Result<ResultTable, BoxError> {
     ];
     // The paper-documented fusion results of the heuristics (Section VI-A).
     let partitions: [&[&[usize]]; 3] = [
-        &[&[0], &[1], &[2], &[3], &[4]],       // minfuse
-        &[&[0, 1, 2], &[3], &[4]],             // smartfuse: SpMV fused
-        &[&[0, 1], &[2, 3, 4]],                // maxfuse: gather + affine nests
+        &[&[0], &[1], &[2], &[3], &[4]], // minfuse
+        &[&[0, 1, 2], &[3], &[4]],       // smartfuse: SpMV fused
+        &[&[0, 1], &[2, 3, 4]],          // maxfuse: gather + affine nests
     ];
-    for (size, _) in EquakeSize::all() {
+    let sizes: Vec<_> = EquakeSize::all().iter().map(|(s, _)| *s).collect();
+    let columns = par_map(sizes, effective_jobs(None), |size| {
         let permuted = equake(size, true)?;
         let deps = compute_dependences(&permuted.program)?;
         let params = permuted.program.param_values(&[]);
@@ -233,12 +253,16 @@ pub fn fig9() -> Result<ResultTable, BoxError> {
             times.push(cpu_time(&cpu, &sums)?.total);
         }
         let base = times[0];
-        for (i, t) in times.iter().enumerate() {
-            rows[i].1.push(speedup(base, *t));
-        }
+        let mut cells: Vec<String> = times.iter().map(|&t| speedup(base, t)).collect();
         let original = equake(size, false)?;
         let t = cpu_time(&cpu, &summaries(&original, Version::Ours, TargetKind::Cpu)?)?.total;
-        rows[3].1.push(speedup(base, t));
+        cells.push(speedup(base, t));
+        Ok::<_, BoxError>(cells)
+    });
+    for col in columns {
+        for (i, cell) in col?.into_iter().enumerate() {
+            rows[i].1.push(cell);
+        }
     }
     table.rows = rows;
     Ok(table)
@@ -250,13 +274,12 @@ pub fn fig9() -> Result<ResultTable, BoxError> {
 /// # Errors
 /// Returns an error if an experiment fails.
 pub fn table2() -> Result<Vec<ResultTable>, BoxError> {
-    let mut out = Vec::new();
     let workloads: Vec<Workload> = vec![
         polybench::two_mm(1024)?,
         polybench::gemver(4096)?,
         polybench::covariance(1024, 1024)?,
     ];
-    for w in workloads {
+    let tables = par_map(workloads, effective_jobs(None), |w| {
         let mut table = ResultTable {
             title: format!("Table II — {} (execution time, ms)", w.name),
             columns: ["1 thread", "8 threads", "32 threads"]
@@ -273,7 +296,11 @@ pub fn table2() -> Result<Vec<ResultTable>, BoxError> {
             Version::HybridFuse,
             Version::Ours,
         ] {
-            let label = if v == Version::Naive { "sequential" } else { v.label() };
+            let label = if v == Version::Naive {
+                "sequential"
+            } else {
+                v.label()
+            };
             match summaries(&w, v, TargetKind::Cpu) {
                 Ok(s) => {
                     let mut cells = Vec::new();
@@ -291,9 +318,9 @@ pub fn table2() -> Result<Vec<ResultTable>, BoxError> {
                 }
             }
         }
-        out.push(table);
-    }
-    Ok(out)
+        Ok::<_, BoxError>(table)
+    });
+    tables.into_iter().collect()
 }
 
 /// Fig. 10 — GPU speedups over PPCG-minfuse for
@@ -319,16 +346,24 @@ pub fn fig10_at(img: i64) -> Result<ResultTable, BoxError> {
             .collect(),
         rows: Vec::new(),
     };
-    for w in polymage::all(img, img)? {
+    let rows = par_map(polymage::all(img, img)?, effective_jobs(None), |w| {
         let base = gpu_time(&gpu, &summaries(&w, Version::MinFuse, TargetKind::Gpu)?)?.total;
         let mut cells = Vec::new();
-        for v in [Version::SmartFuse, Version::MaxFuse, Version::Halide, Version::Ours] {
+        for v in [
+            Version::SmartFuse,
+            Version::MaxFuse,
+            Version::Halide,
+            Version::Ours,
+        ] {
             match summaries(&w, v, TargetKind::Gpu) {
                 Ok(s) => cells.push(speedup(base, gpu_time(&gpu, &s)?.total)),
                 Err(_) => cells.push("—".into()),
             }
         }
-        table.rows.push((w.name.to_string(), cells));
+        Ok::<_, BoxError>((w.name.to_string(), cells))
+    });
+    for r in rows {
+        table.rows.push(r?);
     }
     Ok(table)
 }
@@ -346,14 +381,20 @@ pub fn table3() -> Result<ResultTable, BoxError> {
     let npu = DavinciModel::ascend_910();
     let mut fwd_smart = 0.0;
     let mut fwd_ours = 0.0;
-    for b in resnet::blocks() {
+    let per_block = par_map(resnet::blocks(), effective_jobs(None), |b| {
         let w = resnet::conv_bn_program(&b)?;
-        let smart = davinci_time(&npu, &summaries(&w, Version::SmartFuse, TargetKind::Davinci)?)?
-            .total;
-        let ours =
-            davinci_time(&npu, &summaries(&w, Version::Ours, TargetKind::Davinci)?)?.total;
-        fwd_smart += smart * b.repeat as f64;
-        fwd_ours += ours * b.repeat as f64;
+        let smart = davinci_time(
+            &npu,
+            &summaries(&w, Version::SmartFuse, TargetKind::Davinci)?,
+        )?
+        .total;
+        let ours = davinci_time(&npu, &summaries(&w, Version::Ours, TargetKind::Davinci)?)?.total;
+        Ok::<_, BoxError>((smart * b.repeat as f64, ours * b.repeat as f64))
+    });
+    for r in per_block {
+        let (smart, ours) = r?;
+        fwd_smart += smart;
+        fwd_ours += ours;
     }
     // Remainder of the training step (constant across versions),
     // calibrated from the paper's smartfuse row: 35.03 − 11.50.
@@ -388,15 +429,27 @@ pub fn table3() -> Result<ResultTable, BoxError> {
 pub fn table3_compile() -> Result<ResultTable, BoxError> {
     let mut smart = 0.0;
     let mut ours = 0.0;
-    for b in resnet::blocks() {
+    let per_block = par_map(resnet::blocks(), effective_jobs(None), |b| {
         let w = resnet::conv_bn_program(&b)?;
-        smart += compile_time(&w, Version::SmartFuse, 0)?.unwrap_or(0.0) * b.repeat as f64;
-        ours += compile_time(&w, Version::Ours, 0)?.unwrap_or(0.0) * b.repeat as f64;
+        let s = compile_time(&w, Version::SmartFuse, 0)?.unwrap_or(0.0) * b.repeat as f64;
+        let o = compile_time(&w, Version::Ours, 0)?.unwrap_or(0.0) * b.repeat as f64;
+        Ok::<_, BoxError>((s, o))
+    });
+    for r in per_block {
+        let (s, o) = r?;
+        smart += s;
+        ours += o;
     }
     Ok(ResultTable {
         title: "Table III — ResNet-50 compilation time (s)".into(),
-        columns: ["smartfuse", "Our work"].iter().map(|s| (*s).to_string()).collect(),
-        rows: vec![("entire workload".into(), vec![format!("{smart:.2}"), format!("{ours:.2}")])],
+        columns: ["smartfuse", "Our work"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        rows: vec![(
+            "entire workload".into(),
+            vec![format!("{smart:.2}"), format!("{ours:.2}")],
+        )],
     })
 }
 
@@ -422,9 +475,8 @@ mod tests {
         assert_eq!(t.columns.len(), 3);
         assert_eq!(t.rows.len(), 4);
         // ours >= maxfuse >= smartfuse (all speedup strings "X.XXx").
-        let val = |r: usize, c: usize| -> f64 {
-            t.rows[r].1[c].trim_end_matches('x').parse().unwrap()
-        };
+        let val =
+            |r: usize, c: usize| -> f64 { t.rows[r].1[c].trim_end_matches('x').parse().unwrap() };
         for c in 0..3 {
             assert!(val(3, c) >= val(1, c), "ours >= smartfuse: {t:?}");
             assert!(val(1, c) >= val(0, c), "smartfuse >= minfuse: {t:?}");

@@ -47,7 +47,9 @@ impl TuneResult {
     /// # Panics
     /// Panics if the sweep evaluated nothing.
     pub fn best(&self) -> &TunePoint {
-        self.points.first().expect("sweep evaluated at least one point")
+        self.points
+            .first()
+            .expect("sweep evaluated at least one point")
     }
 }
 
@@ -77,15 +79,18 @@ pub fn sweep_2d(
                     Objective::Gpu => 2,
                 }),
                 startup: FusionHeuristic::MinFuse,
-            ..Default::default()
-        };
+                ..Default::default()
+            };
             let o = optimize(program, &opts)?;
             let sums = summarize_optimized(program, &o, &tiles, &params)?;
             let time = match objective {
                 Objective::Cpu => cpu_time(&CpuModel::xeon_e5_2683_v4(), &sums)?.total,
                 Objective::Gpu => gpu_time(&GpuModel::quadro_p6000(), &sums)?.total,
             };
-            points.push(TunePoint { tile_sizes: tiles, time });
+            points.push(TunePoint {
+                tile_sizes: tiles,
+                time,
+            });
         }
     }
     points.sort_by(|a, b| a.time.total_cmp(&b.time));

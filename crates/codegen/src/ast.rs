@@ -7,9 +7,9 @@
 //! OpenMP C or CUDA-style code (compare the paper's Fig. 1(b) and Fig. 5).
 
 use crate::error::{Error, Result};
+use std::fmt::Write as _;
 use tilefuse_presburger::{Map, Scanner, Set, UnionSet};
 use tilefuse_schedtree::{Band, Node, ScheduleTree, MARK_SKIPPED};
-use std::fmt::Write as _;
 
 /// A node of the generated imperative AST.
 #[derive(Debug, Clone)]
@@ -82,11 +82,13 @@ pub fn generate(tree: &ScheduleTree) -> Result<Vec<AstNode>> {
 
 fn const_out_map(part: &Set, n_out: usize) -> Result<Map> {
     let params: Vec<&str> = part.space().params().iter().map(String::as_str).collect();
-    let space = part
-        .space()
-        .join_map(&tilefuse_presburger::Space::set(&params, tilefuse_presburger::Tuple::anonymous(n_out)))?;
-    let exprs: Vec<tilefuse_presburger::AffExpr> =
-        (0..n_out).map(|_| tilefuse_presburger::AffExpr::constant(&space, 0)).collect();
+    let space = part.space().join_map(&tilefuse_presburger::Space::set(
+        &params,
+        tilefuse_presburger::Tuple::anonymous(n_out),
+    ))?;
+    let exprs: Vec<tilefuse_presburger::AffExpr> = (0..n_out)
+        .map(|_| tilefuse_presburger::AffExpr::constant(&space, 0))
+        .collect();
     Ok(Map::from_affine(space, &exprs)?)
 }
 
@@ -100,7 +102,10 @@ fn walk(node: &Node, actives: &[Active], names: &mut Vec<String>) -> Result<Vec<
                     .iter()
                     .map(|e| e.clone().unwrap_or_else(|| "?".to_owned()))
                     .collect();
-                out.push(AstNode::Stmt { name: a.name.clone(), args });
+                out.push(AstNode::Stmt {
+                    name: a.name.clone(),
+                    args,
+                });
             }
             Ok(out)
         }
@@ -298,11 +303,7 @@ fn loop_var_name(role: &str, level: usize) -> String {
 
 /// Renders the `[lb, ub]` bounds of loop level `level` as expressions over
 /// parameters and outer loop variables.
-fn bounds_text(
-    actives: &[Active],
-    level: usize,
-    names: &[String],
-) -> Result<(String, String)> {
+fn bounds_text(actives: &[Active], level: usize, names: &[String]) -> Result<(String, String)> {
     // Per disjunct (and per active statement): the branch's bounds combine
     // with max/min; across disjuncts the *union* semantics require the
     // loosest bound (min of lower bounds, max of upper bounds).
@@ -349,8 +350,20 @@ fn bounds_text(
     // A branch whose bound set is a superset of another's is dominated
     // (its max lower bound is at least the other's; its min upper bound is
     // at most the other's) and drops out of the union.
-    let lb = join_bounds(drop_supersets(branch_lbs).into_iter().map(|v| join_bounds(v, "max")).collect(), "min");
-    let ub = join_bounds(drop_supersets(branch_ubs).into_iter().map(|v| join_bounds(v, "min")).collect(), "max");
+    let lb = join_bounds(
+        drop_supersets(branch_lbs)
+            .into_iter()
+            .map(|v| join_bounds(v, "max"))
+            .collect(),
+        "min",
+    );
+    let ub = join_bounds(
+        drop_supersets(branch_ubs)
+            .into_iter()
+            .map(|v| join_bounds(v, "min"))
+            .collect(),
+        "max",
+    );
     Ok((lb, ub))
 }
 
@@ -361,9 +374,9 @@ fn drop_supersets(mut sets: Vec<Vec<String>>) -> Vec<Vec<String>> {
     sets.dedup();
     let snapshot = sets.clone();
     sets.retain(|s| {
-        !snapshot.iter().any(|o| {
-            o != s && o.iter().all(|x| s.contains(x))
-        })
+        !snapshot
+            .iter()
+            .any(|o| o != s && o.iter().all(|x| s.contains(x)))
     });
     if sets.is_empty() {
         snapshot
@@ -381,12 +394,7 @@ fn join_bounds(mut v: Vec<String>, f: &str) -> String {
 }
 
 /// Renders `ceil(-row/a)` (lower) or `floor(row/b)` (upper).
-fn render_div(
-    row: &[i64],
-    coef: i64,
-    name_of: &dyn Fn(usize) -> String,
-    lower: bool,
-) -> String {
+fn render_div(row: &[i64], coef: i64, name_of: &dyn Fn(usize) -> String, lower: bool) -> String {
     let mut expr = String::new();
     let n = row.len() - 1;
     let mut first = true;
@@ -453,8 +461,7 @@ mod tests {
     fn simple_loop_nest() {
         let dom = uset("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }");
         let b = Band::new(
-            UnionMap::from_parts(["[N] -> { S[i, j] -> [i, j] }".parse::<Map>().unwrap()])
-                .unwrap(),
+            UnionMap::from_parts(["[N] -> { S[i, j] -> [i, j] }".parse::<Map>().unwrap()]).unwrap(),
             true,
             vec![true, false],
         )
@@ -462,14 +469,29 @@ mod tests {
         let t = ScheduleTree::new(dom, band_node(b, Node::Leaf));
         let ast = generate(&t).unwrap();
         assert_eq!(ast.len(), 1);
-        let AstNode::For { var, lb, ub, parallel, body, .. } = &ast[0] else {
+        let AstNode::For {
+            var,
+            lb,
+            ub,
+            parallel,
+            body,
+            ..
+        } = &ast[0]
+        else {
             panic!("expected for");
         };
         assert_eq!(var, "c0");
         assert_eq!(lb, "0");
         assert_eq!(ub, "N - 1");
         assert!(*parallel);
-        let AstNode::For { lb: lb2, ub: ub2, parallel: p2, body: inner, .. } = &body[0] else {
+        let AstNode::For {
+            lb: lb2,
+            ub: ub2,
+            parallel: p2,
+            body: inner,
+            ..
+        } = &body[0]
+        else {
             panic!("expected inner for");
         };
         assert_eq!(lb2, "0");
@@ -494,12 +516,18 @@ mod tests {
         let (tile, point) = orig.tile(&[4]).unwrap();
         let t = ScheduleTree::new(dom, band_node(tile, band_node(point, Node::Leaf)));
         let ast = generate(&t).unwrap();
-        let AstNode::For { var, role, body, .. } = &ast[0] else {
+        let AstNode::For {
+            var, role, body, ..
+        } = &ast[0]
+        else {
             panic!("expected for");
         };
         assert_eq!(*role, "tile");
         assert_eq!(var, "t0");
-        let AstNode::For { var: v2, role: r2, .. } = &body[0] else {
+        let AstNode::For {
+            var: v2, role: r2, ..
+        } = &body[0]
+        else {
             panic!("expected inner for");
         };
         assert_eq!(*r2, "point");

@@ -20,6 +20,8 @@
 
 use crate::error::{Error, Result};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use tilefuse_pir::{ArrayId, Program, SchedTerm, StmtId};
 use tilefuse_presburger::Scanner;
@@ -36,7 +38,10 @@ impl Buffer {
     /// Creates a zero-filled buffer.
     pub fn zeros(shape: Vec<i64>) -> Self {
         let len: i64 = shape.iter().product::<i64>().max(0);
-        Buffer { shape, data: vec![0.0; len as usize] }
+        Buffer {
+            shape,
+            data: vec![0.0; len as usize],
+        }
     }
 
     /// The buffer's shape.
@@ -145,7 +150,7 @@ impl ExecContext {
 }
 
 /// Execution statistics (consumed by the cost models and tests).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Statement instances executed, by statement name (recomputed
     /// instances count every execution).
@@ -162,6 +167,79 @@ impl ExecStats {
     /// Total executed instances across statements.
     pub fn total_instances(&self) -> u64 {
         self.instances.values().sum()
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for (name, n) in &other.instances {
+            *self.instances.entry(name.clone()).or_insert(0) += n;
+        }
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.scratch_hits += other.scratch_hits;
+    }
+}
+
+/// Backing memory as seen by one statement instance: the sequential
+/// interpreter writes straight through to the [`ExecContext`], while each
+/// thread of the parallel interpreter executes against an [`OverlayMem`]
+/// so concurrent chunks never alias.
+trait Mem {
+    fn load(&self, arr: ArrayId, coords: &[i64]) -> Result<f64>;
+    fn store(&mut self, arr: ArrayId, coords: &[i64], v: f64) -> Result<()>;
+}
+
+impl Mem for ExecContext {
+    fn load(&self, arr: ArrayId, coords: &[i64]) -> Result<f64> {
+        self.buffers
+            .get(&arr)
+            .ok_or_else(|| Error::Exec("missing buffer".into()))?
+            .get(coords)
+    }
+
+    fn store(&mut self, arr: ArrayId, coords: &[i64], v: f64) -> Result<()> {
+        self.buffers
+            .get_mut(&arr)
+            .ok_or_else(|| Error::Exec("missing buffer".into()))?
+            .set(coords, v)
+    }
+}
+
+/// A copy-on-write view over a shared base context: loads fall through to
+/// the base unless this overlay wrote the element; stores land in a
+/// private log keyed by flat element index. Merging the logs of parallel
+/// chunks back into the base *in chunk order* reproduces the sequential
+/// final state exactly (the sequential last writer of any element is the
+/// highest chunk that writes it).
+struct OverlayMem<'a> {
+    base: &'a ExecContext,
+    writes: BTreeMap<(ArrayId, usize), f64>,
+}
+
+impl Mem for OverlayMem<'_> {
+    fn load(&self, arr: ArrayId, coords: &[i64]) -> Result<f64> {
+        let buf = self
+            .base
+            .buffers
+            .get(&arr)
+            .ok_or_else(|| Error::Exec("missing buffer".into()))?;
+        let idx = buf.index(coords)?;
+        Ok(self
+            .writes
+            .get(&(arr, idx))
+            .copied()
+            .unwrap_or(buf.data[idx]))
+    }
+
+    fn store(&mut self, arr: ArrayId, coords: &[i64], v: f64) -> Result<()> {
+        let buf = self
+            .base
+            .buffers
+            .get(&arr)
+            .ok_or_else(|| Error::Exec("missing buffer".into()))?;
+        let idx = buf.index(coords)?;
+        self.writes.insert((arr, idx), v);
+        Ok(())
     }
 }
 
@@ -206,7 +284,9 @@ pub fn reference_execute(
     let mut ctx = ExecContext::initialized(program, overrides);
     let mut stats = ExecStats::default();
     for (_, stmt, point) in work {
-        execute_instance(program, &mut ctx, &values, stmt, &point, None, &mut stats, None)?;
+        execute_instance(
+            program, &mut ctx, &values, stmt, &point, None, &mut stats, None,
+        )?;
     }
     Ok((ctx, stats))
 }
@@ -297,6 +377,237 @@ pub fn execute_tree_traced(
     Ok((ctx, stats))
 }
 
+/// Thread count used by [`execute_tree_parallel`] when the caller passes
+/// `0`: the `TILEFUSE_JOBS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("TILEFUSE_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One (schedule tuple, entry order, statement, instance) execution pair.
+type WorkItem = (Vec<i64>, usize, StmtId, Vec<i64>);
+
+/// A chunk's copy-on-write write log plus its execution statistics.
+type ChunkResult = (BTreeMap<(ArrayId, usize), f64>, ExecStats);
+
+/// [`execute_tree`] fanned out across OS threads.
+///
+/// The work list is grouped by schedule-tuple prefix; at the outermost
+/// depth where every flattened entry's [`par_depths`] flag is set (a
+/// *coincident* band dimension — no dependence crosses distinct values)
+/// and every scratch scope is strictly deeper, the groups execute
+/// concurrently under `std::thread::scope`. Each chunk runs against a
+/// private [`OverlayMem`] write log and a private [`Scratch`]; logs and
+/// statistics are merged back **in ascending chunk order**, so the result
+/// — buffers *and* [`ExecStats`] — is bit-identical to [`execute_tree`]
+/// regardless of thread count or interleaving.
+///
+/// `n_threads == 0` means [`default_threads`]; `n_threads == 1` (or a
+/// schedule with no coincident dimension) degrades to the sequential path.
+///
+/// [`par_depths`]: tilefuse_schedtree::FlatEntry::par_depths
+///
+/// # Errors
+/// See [`execute_tree`].
+pub fn execute_tree_parallel(
+    program: &Program,
+    tree: &ScheduleTree,
+    overrides: &[(&str, i64)],
+    scratch_scopes: &BTreeMap<ArrayId, usize>,
+    n_threads: usize,
+) -> Result<(ExecContext, ExecStats)> {
+    let n_threads = if n_threads == 0 {
+        default_threads()
+    } else {
+        n_threads
+    };
+    let values = program.param_values(overrides);
+    let entries = flatten(tree)?;
+    // A depth is parallelizable only if *every* entry marks it coincident
+    // (conservative: entries whose work is disjoint from a subtree still
+    // veto it) and no scratch region spans chunks at that depth.
+    let sched_len = entries
+        .iter()
+        .map(|e| e.par_depths.len())
+        .max()
+        .unwrap_or(0);
+    let mut par_ok = vec![true; sched_len];
+    for e in &entries {
+        for (d, ok) in par_ok.iter_mut().enumerate() {
+            *ok &= e.par_depths.get(d).copied().unwrap_or(false);
+        }
+    }
+    let min_scope = scratch_scopes.values().copied().min().unwrap_or(usize::MAX);
+    for (d, ok) in par_ok.iter_mut().enumerate() {
+        *ok &= d < min_scope;
+    }
+    let mut work: Vec<WorkItem> = Vec::new();
+    for (order, e) in entries.iter().enumerate() {
+        let stmt = program
+            .stmt_named(&e.stmt)
+            .ok_or_else(|| Error::Exec(format!("unknown statement {}", e.stmt)))?
+            .id();
+        let n_inst = e.schedule.space().n_in();
+        let graph = e.schedule.intersect_domain(&e.domain)?;
+        let scanner = Scanner::new(graph.as_wrapped_set(), &values)?;
+        scanner.for_each(&mut |pt: &[i64]| {
+            work.push((pt[n_inst..].to_vec(), order, stmt, pt[..n_inst].to_vec()));
+            true
+        })?;
+    }
+    work.sort();
+    let mut ctx = ExecContext::initialized(program, overrides);
+    let mut stats = ExecStats::default();
+    let mut scratch = Scratch::new(scratch_scopes.clone());
+    run_level(
+        program,
+        &values,
+        &work,
+        0,
+        &par_ok,
+        n_threads,
+        &mut ctx,
+        &mut scratch,
+        &mut stats,
+    )?;
+    Ok((ctx, stats))
+}
+
+/// Recursive driver for [`execute_tree_parallel`]: `work` is a sorted
+/// slice sharing one schedule prefix of length `d`.
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    program: &Program,
+    values: &[i64],
+    work: &[WorkItem],
+    d: usize,
+    par_ok: &[bool],
+    n_threads: usize,
+    ctx: &mut ExecContext,
+    scratch: &mut Scratch,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    if work.is_empty() {
+        return Ok(());
+    }
+    // No parallelism left at or below this depth: finish sequentially.
+    if d >= par_ok.len() || n_threads <= 1 || !par_ok[d..].iter().any(|&b| b) {
+        for (sched, _, stmt, point) in work {
+            scratch.enter(sched);
+            execute_instance(
+                program,
+                ctx,
+                values,
+                *stmt,
+                point,
+                Some(scratch),
+                stats,
+                None,
+            )?;
+        }
+        return Ok(());
+    }
+    // Split into contiguous groups by the value of schedule dim `d`.
+    let mut groups: Vec<&[WorkItem]> = Vec::new();
+    let mut start = 0;
+    for i in 1..=work.len() {
+        if i == work.len() || work[i].0[d] != work[start].0[d] {
+            groups.push(&work[start..i]);
+            start = i;
+        }
+    }
+    if !par_ok[d] || groups.len() < 2 {
+        for g in groups {
+            run_level(
+                program,
+                values,
+                g,
+                d + 1,
+                par_ok,
+                n_threads,
+                ctx,
+                scratch,
+                stats,
+            )?;
+        }
+        return Ok(());
+    }
+    // Parallel section. Chunks are claimed by index from a shared counter;
+    // results are stored by chunk index so the merge below is ordered no
+    // matter which thread ran what. Every scratch scope is > d here, so a
+    // fresh per-chunk Scratch sees exactly what the shared one would (the
+    // chunk boundary changes the tile prefix, which clears scratch).
+    let results: Vec<Mutex<Option<Result<ChunkResult>>>> =
+        (0..groups.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let base: &ExecContext = ctx;
+    std::thread::scope(|s| {
+        for _ in 0..n_threads.min(groups.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(group) = groups.get(i) else { break };
+                let r = run_chunk(program, values, base, &scratch.scopes, group);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    for cell in results {
+        let r = cell
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .expect("every chunk index was claimed by a worker");
+        let (writes, chunk_stats) = r?;
+        for ((arr, idx), v) in writes {
+            let buf = ctx
+                .buffers
+                .get_mut(&arr)
+                .ok_or_else(|| Error::Exec("missing buffer".into()))?;
+            buf.data[idx] = v;
+        }
+        stats.merge(&chunk_stats);
+    }
+    Ok(())
+}
+
+/// Executes one parallel chunk sequentially against a private overlay.
+fn run_chunk(
+    program: &Program,
+    values: &[i64],
+    base: &ExecContext,
+    scopes: &BTreeMap<ArrayId, usize>,
+    work: &[WorkItem],
+) -> Result<ChunkResult> {
+    let mut mem = OverlayMem {
+        base,
+        writes: BTreeMap::new(),
+    };
+    let mut scratch = Scratch::new(scopes.clone());
+    let mut stats = ExecStats::default();
+    for (sched, _, stmt, point) in work {
+        scratch.enter(sched);
+        execute_instance(
+            program,
+            &mut mem,
+            values,
+            *stmt,
+            point,
+            Some(&mut scratch),
+            &mut stats,
+            None,
+        )?;
+    }
+    Ok((mem.writes, stats))
+}
+
 /// Tile-private storage for fused arrays (see module docs).
 #[derive(Debug, Default)]
 struct Scratch {
@@ -307,7 +618,11 @@ struct Scratch {
 
 impl Scratch {
     fn new(scopes: BTreeMap<ArrayId, usize>) -> Self {
-        Scratch { scopes, values: BTreeMap::new(), last_prefix: BTreeMap::new() }
+        Scratch {
+            scopes,
+            values: BTreeMap::new(),
+            last_prefix: BTreeMap::new(),
+        }
     }
 
     /// Called before each instance with its schedule tuple: clears any
@@ -343,9 +658,9 @@ impl Scratch {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn execute_instance(
+fn execute_instance<M: Mem>(
     program: &Program,
-    ctx: &mut ExecContext,
+    mem: &mut M,
     param_values: &[i64],
     stmt: StmtId,
     point: &[i64],
@@ -385,18 +700,17 @@ fn execute_instance(
                 }
             }
             if let Some(f) = sink.borrow_mut().as_mut() {
-                f(Access { array: arr, coords: coords.to_vec(), is_write: false, scratch: false });
+                f(Access {
+                    array: arr,
+                    coords: coords.to_vec(),
+                    is_write: false,
+                    scratch: false,
+                });
             }
-            match ctx.buffers.get(&arr) {
-                Some(b) => match b.get(coords) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        err = Some(e);
-                        0.0
-                    }
-                },
-                None => {
-                    err = Some(Error::Exec("missing buffer".into()));
+            match mem.load(arr, coords) {
+                Ok(v) => v,
+                Err(e) => {
+                    err = Some(e);
                     0.0
                 }
             }
@@ -408,20 +722,29 @@ fn execute_instance(
     if let Some(e) = err {
         return Err(e);
     }
-    let coords: Vec<i64> = body.target_idx.iter().map(|e| e.eval(point, &bind)).collect();
+    let coords: Vec<i64> = body
+        .target_idx
+        .iter()
+        .map(|e| e.eval(point, &bind))
+        .collect();
     stats.stores += 1;
     let mut scratch = scratch.into_inner();
     let to_scratch = scratch.as_ref().is_some_and(|sc| sc.is_scratch(own_target));
     if let Some(f) = sink.into_inner() {
-        f(Access { array: own_target, coords: coords.clone(), is_write: true, scratch: to_scratch });
+        f(Access {
+            array: own_target,
+            coords: coords.clone(),
+            is_write: true,
+            scratch: to_scratch,
+        });
     }
     if to_scratch {
-        scratch.as_mut().expect("checked above").set(own_target, coords, value);
+        scratch
+            .as_mut()
+            .expect("checked above")
+            .set(own_target, coords, value);
     } else {
-        ctx.buffers
-            .get_mut(&own_target)
-            .ok_or_else(|| Error::Exec("missing buffer".into()))?
-            .set(&coords, value)?;
+        mem.store(own_target, &coords, value)?;
     }
     Ok(())
 }
@@ -527,11 +850,9 @@ mod tests {
     fn execute_tree_matches_reference_for_initial_schedule() {
         let p = simple_program();
         let scheduled =
-            tilefuse_scheduler::schedule(&p, tilefuse_scheduler::FusionHeuristic::MinFuse)
-                .unwrap();
+            tilefuse_scheduler::schedule(&p, tilefuse_scheduler::FusionHeuristic::MinFuse).unwrap();
         let (r, _) = reference_execute(&p, &[]).unwrap();
-        let (t, stats) =
-            execute_tree(&p, &scheduled.tree, &[], &Default::default()).unwrap();
+        let (t, stats) = execute_tree(&p, &scheduled.tree, &[], &Default::default()).unwrap();
         check_outputs_match(&p, &r, &t, 0.0).unwrap();
         assert_eq!(stats.total_instances(), 16);
     }
@@ -545,6 +866,49 @@ mod tests {
         let (r, _) = reference_execute(&p, &[]).unwrap();
         let (t, _) = execute_tree(&p, &scheduled.tree, &[], &Default::default()).unwrap();
         check_outputs_match(&p, &r, &t, 0.0).unwrap();
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_across_thread_counts() {
+        let p = simple_program();
+        for h in [
+            tilefuse_scheduler::FusionHeuristic::MinFuse,
+            tilefuse_scheduler::FusionHeuristic::SmartFuse,
+            tilefuse_scheduler::FusionHeuristic::MaxFuse,
+        ] {
+            let scheduled = tilefuse_scheduler::schedule(&p, h).unwrap();
+            let (seq, seq_stats) =
+                execute_tree(&p, &scheduled.tree, &[], &Default::default()).unwrap();
+            for threads in [1, 2, 3, 8] {
+                let (par, par_stats) =
+                    execute_tree_parallel(&p, &scheduled.tree, &[], &Default::default(), threads)
+                        .unwrap();
+                for a in p.arrays() {
+                    assert_eq!(
+                        seq.max_diff(&par, a.id()).unwrap(),
+                        0.0,
+                        "array {} differs ({h:?}, {threads} threads)",
+                        a.name()
+                    );
+                }
+                assert_eq!(
+                    seq_stats, par_stats,
+                    "stats differ ({h:?}, {threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_respects_env_override() {
+        // Not parallel-safe against other tests mutating the same var, but
+        // nothing else in this binary touches TILEFUSE_JOBS.
+        std::env::set_var("TILEFUSE_JOBS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("TILEFUSE_JOBS", "not a number");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("TILEFUSE_JOBS");
+        assert!(default_threads() >= 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@ mod printer;
 pub use ast::{generate, AstNode};
 pub use error::{Error, Result};
 pub use interp::{
-    check_outputs_match, execute_tree, execute_tree_traced, reference_execute, Access, Buffer,
-    ExecContext, ExecStats,
+    check_outputs_match, default_threads, execute_tree, execute_tree_parallel, execute_tree_traced,
+    reference_execute, Access, Buffer, ExecContext, ExecStats,
 };
 pub use printer::{print, print_cuda_kernel, Target};

@@ -21,7 +21,12 @@ pub enum Target {
 /// Renders an AST to target-flavoured pseudo-C.
 pub fn print(ast: &[AstNode], target: Target) -> String {
     let mut out = String::new();
-    let mut state = State { target, used_parallel_pragma: false, block_dims: 0, thread_dims: 0 };
+    let mut state = State {
+        target,
+        used_parallel_pragma: false,
+        block_dims: 0,
+        thread_dims: 0,
+    };
     for n in ast {
         render(n, 0, &mut state, &mut out);
     }
@@ -51,7 +56,14 @@ fn render(node: &AstNode, depth: usize, state: &mut State, out: &mut String) {
             indent(out, depth);
             let _ = writeln!(out, "{name}({});", args.join(", "));
         }
-        AstNode::For { var, lb, ub, parallel, role, body } => {
+        AstNode::For {
+            var,
+            lb,
+            ub,
+            parallel,
+            role,
+            body,
+        } => {
             let mut mapped = false;
             match state.target {
                 Target::OpenMp => {
@@ -68,10 +80,7 @@ fn render(node: &AstNode, depth: usize, state: &mut State, out: &mut String) {
                     if *role == "tile" && state.block_dims == 0 {
                         state.block_dims += 1;
                         indent(out, depth);
-                        let _ = writeln!(
-                            out,
-                            "/* DMA scope: DDR -> L1 buffer per {var} tile */"
-                        );
+                        let _ = writeln!(out, "/* DMA scope: DDR -> L1 buffer per {var} tile */");
                     } else if *role != "tile" && state.thread_dims == 0 && state.block_dims > 0 {
                         state.thread_dims += 1;
                         indent(out, depth);
@@ -161,7 +170,10 @@ mod tests {
                 ub: "4t0 + 3".into(),
                 parallel: true,
                 role: "point",
-                body: vec![AstNode::Stmt { name: "S".into(), args: vec!["c1".into()] }],
+                body: vec![AstNode::Stmt {
+                    name: "S".into(),
+                    args: vec!["c1".into()],
+                }],
             }],
         }]
     }
@@ -169,7 +181,11 @@ mod tests {
     #[test]
     fn openmp_adds_parallel_pragma_once() {
         let text = print(&sample_ast(), Target::OpenMp);
-        assert_eq!(text.matches("#pragma omp parallel for").count(), 1, "{text}");
+        assert_eq!(
+            text.matches("#pragma omp parallel for").count(),
+            1,
+            "{text}"
+        );
         assert!(text.contains("#pragma ivdep"), "{text}");
         assert!(text.contains("for (t0 = 0; t0 <= 3; t0++)"), "{text}");
         assert!(text.contains("S(c1);"), "{text}");

@@ -9,11 +9,11 @@
 
 use crate::error::{Error, Result};
 use crate::footprint::{chained_footprint, exposed_footprint, extension_schedule};
+use std::collections::{BTreeMap, BTreeSet};
 use tilefuse_pir::{ArrayId, Dependence, Program, StmtId};
 use tilefuse_presburger::Map;
-use tilefuse_scheduler::{band_part, loop_vars, Group};
 use tilefuse_schedtree::Band;
-use std::collections::{BTreeMap, BTreeSet};
+use tilefuse_scheduler::{band_part, loop_vars, Group};
 
 /// Optimizer options (the paper's target-specific knobs).
 #[derive(Debug, Clone)]
@@ -160,7 +160,11 @@ pub fn algorithm1(
     let n_tiles = {
         let rep = lg.stmts[0];
         let vars = loop_vars(program, rep);
-        let hull = program.stmt(rep).domain().rect_hull(&params)?.unwrap_or_default();
+        let hull = program
+            .stmt(rep)
+            .domain()
+            .rect_hull(&params)?
+            .unwrap_or_default();
         let mut n = 1.0f64;
         for (j, &ts) in opts.tile_sizes.iter().take(k).enumerate() {
             let extent = vars
@@ -179,8 +183,10 @@ pub fn algorithm1(
         .iter()
         .flat_map(|&g| groups[g].stmts.iter().copied())
         .collect();
-    let producer_targets: BTreeSet<ArrayId> =
-        producer_stmts.iter().map(|&s| program.stmt(s).body().target).collect();
+    let producer_targets: BTreeSet<ArrayId> = producer_stmts
+        .iter()
+        .map(|&s| program.stmt(s).body().target)
+        .collect();
     let mut needed: BTreeMap<ArrayId, Map> = BTreeMap::new();
     for &arr in &producer_targets {
         if let Some(fp) = exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
@@ -255,7 +261,11 @@ pub fn algorithm1(
                     .or_insert(extra);
             }
         }
-        extensions.push(ExtensionPart { stmt: s, group: g, ext });
+        extensions.push(ExtensionPart {
+            stmt: s,
+            group: g,
+            ext,
+        });
     }
 
     // A group is fused only when every member received an extension
@@ -322,7 +332,11 @@ mod tests {
         let mut p = Program::new("conv2d").with_param("H", 6).with_param("W", 6);
         let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
         let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
-        let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+        let c = p.add_array(
+            "C",
+            vec![("H", -2).into(), ("W", -2).into()],
+            ArrayKind::Output,
+        );
         let d2 = |d| IdxExpr::dim(2, d);
         let d4 = |d| IdxExpr::dim(4, d);
         p.add_stmt(
@@ -337,8 +351,17 @@ mod tests {
         .unwrap();
         p.add_stmt(
             "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
-            vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
-            Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+            vec![
+                SchedTerm::Cst(1),
+                SchedTerm::Var(0),
+                SchedTerm::Var(1),
+                SchedTerm::Cst(0),
+            ],
+            Body {
+                target: c,
+                target_idx: vec![d2(0), d2(1)],
+                rhs: Expr::Const(0.0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -380,7 +403,13 @@ mod tests {
     fn setup() -> (Program, Vec<Dependence>, Vec<Group>) {
         let p = conv2d();
         let deps = compute_dependences(&p).unwrap();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         (p, deps, f.groups)
     }
 
@@ -397,7 +426,10 @@ mod tests {
     #[test]
     fn algorithm1_fuses_quantization_into_tiles() {
         let (p, deps, groups) = setup();
-        let opts = Options { tile_sizes: vec![2, 2], ..Options::default() };
+        let opts = Options {
+            tile_sizes: vec![2, 2],
+            ..Options::default()
+        };
         let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
         assert_eq!(mixed.k, 2);
         assert_eq!(mixed.m, 2);
@@ -405,11 +437,10 @@ mod tests {
         assert!(mixed.untiled_groups.is_empty());
         assert_eq!(mixed.extensions.len(), 1);
         // The extension schedule equals the paper's relation (6).
-        let expected: Map =
-            "[H, W] -> { [o0, o1] -> S0[h, w] : 0 <= o0 <= 1 and 0 <= o1 <= 1 \
+        let expected: Map = "[H, W] -> { [o0, o1] -> S0[h, w] : 0 <= o0 <= 1 and 0 <= o1 <= 1 \
                and 2o0 <= h <= 2o0 + 3 and 2o1 <= w <= 2o1 + 3 }"
-                .parse()
-                .unwrap();
+            .parse()
+            .unwrap();
         let got = mixed.extensions[0]
             .ext
             .fix_param(0, 6)
@@ -429,7 +460,10 @@ mod tests {
         // coincident flags.
         let mut groups2 = groups.clone();
         groups2[0].coincident = vec![false, false];
-        let opts = Options { tile_sizes: vec![2, 2], ..Options::default() };
+        let opts = Options {
+            tile_sizes: vec![2, 2],
+            ..Options::default()
+        };
         let mixed = algorithm1(&p, &deps, &groups2, 1, &[0], &opts).unwrap();
         assert_eq!(mixed.fused_groups, Vec::<usize>::new());
         assert_eq!(mixed.untiled_groups, vec![0]);
@@ -440,7 +474,10 @@ mod tests {
     fn fusion_without_tiling_when_no_sizes() {
         // The equake case: no tiling, extension over zero tile dims.
         let (p, deps, groups) = setup();
-        let opts = Options { tile_sizes: vec![], ..Options::default() };
+        let opts = Options {
+            tile_sizes: vec![],
+            ..Options::default()
+        };
         let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
         assert_eq!(mixed.k, 0);
         assert!(mixed.tile_band.is_none());
@@ -456,7 +493,11 @@ mod tests {
     #[test]
     fn cpu_cap_reduces_m() {
         let (p, deps, groups) = setup();
-        let opts = Options { tile_sizes: vec![2, 2], parallel_cap: Some(1), ..Options::default() };
+        let opts = Options {
+            tile_sizes: vec![2, 2],
+            parallel_cap: Some(1),
+            ..Options::default()
+        };
         let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
         assert_eq!(mixed.m, 1);
         assert_eq!(mixed.fused_groups, vec![0]);
@@ -472,7 +513,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -502,19 +547,36 @@ mod tests {
         )
         .unwrap();
         let deps = compute_dependences(&p).unwrap();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 3);
-        let opts = Options { tile_sizes: vec![4], ..Options::default() };
+        let opts = Options {
+            tile_sizes: vec![4],
+            ..Options::default()
+        };
         let mixed = algorithm1(&p, &deps, &f.groups, 2, &[0, 1], &opts).unwrap();
         assert_eq!(mixed.fused_groups, vec![0, 1]);
         assert_eq!(mixed.extensions.len(), 2);
         // S1's extension per tile covers the stencil halo: tile 0 of S2
         // needs B[0..5] (4 points + halo 2), so S1 instances 0..=5.
-        let e1 = mixed.extensions.iter().find(|e| e.stmt == StmtId(1)).unwrap();
+        let e1 = mixed
+            .extensions
+            .iter()
+            .find(|e| e.stmt == StmtId(1))
+            .unwrap();
         let inst = e1.ext.image_of(&[0]).unwrap().fixed_params(&[12]).unwrap();
         assert_eq!(inst.count_points(&[12]).unwrap(), 6);
         // And S0's extension covers S1's needs plus its own halo: A[0..7].
-        let e0 = mixed.extensions.iter().find(|e| e.stmt == StmtId(0)).unwrap();
+        let e0 = mixed
+            .extensions
+            .iter()
+            .find(|e| e.stmt == StmtId(0))
+            .unwrap();
         let inst0 = e0.ext.image_of(&[0]).unwrap().fixed_params(&[12]).unwrap();
         assert_eq!(inst0.count_points(&[12]).unwrap(), 8);
     }

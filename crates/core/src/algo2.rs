@@ -10,9 +10,7 @@ use crate::algo1::MixedSchedules;
 use crate::error::{Error, Result};
 use tilefuse_pir::Program;
 use tilefuse_presburger::{AffExpr, Map, Space, Tuple, UnionMap, UnionSet};
-use tilefuse_schedtree::{
-    band, extension, filter, sequence, Node, ScheduleTree, MARK_SKIPPED,
-};
+use tilefuse_schedtree::{band, extension, filter, sequence, Node, ScheduleTree, MARK_SKIPPED};
 
 /// Applies the post-tiling fusion of `mixed` to `tree` (built by the
 /// start-up heuristic with one top-level sequence child per group — the
@@ -31,8 +29,11 @@ pub fn algorithm2(
     has_top_sequence: bool,
 ) -> Result<()> {
     let l = mixed.liveout;
-    let liveout_path: Vec<usize> =
-        if has_top_sequence { vec![0, l, 0] } else { vec![0] };
+    let liveout_path: Vec<usize> = if has_top_sequence {
+        vec![0, l, 0]
+    } else {
+        vec![0]
+    };
     // The live-out group's subtree starts with its shared band when the
     // group has one.
     let old = tree.node_at(&liveout_path)?.clone();
@@ -116,7 +117,11 @@ pub fn plain_tile_group(
     tile_sizes: &[i64],
     has_top_sequence: bool,
 ) -> Result<()> {
-    let path: Vec<usize> = if has_top_sequence { vec![0, g, 0] } else { vec![0] };
+    let path: Vec<usize> = if has_top_sequence {
+        vec![0, g, 0]
+    } else {
+        vec![0]
+    };
     let old = tree.node_at(&path)?.clone();
     let Node::Band { band: b, child } = old else {
         return Ok(()); // no band to tile
@@ -134,12 +139,12 @@ pub fn plain_tile_group(
 
 /// Fetches (a clone of) the subtree under group `g`'s top-level filter,
 /// unwrapping a possible skip mark from an earlier surgery pass.
-fn original_group_subtree(
-    tree: &ScheduleTree,
-    g: usize,
-    has_top_sequence: bool,
-) -> Result<Node> {
-    let path: Vec<usize> = if has_top_sequence { vec![0, g, 0] } else { vec![0] };
+fn original_group_subtree(tree: &ScheduleTree, g: usize, has_top_sequence: bool) -> Result<Node> {
+    let path: Vec<usize> = if has_top_sequence {
+        vec![0, g, 0]
+    } else {
+        vec![0]
+    };
     let node = tree.node_at(&path)?.clone();
     Ok(match node {
         Node::Mark { mark, child } if mark == MARK_SKIPPED => *child,

@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(Error::Internal("x".into()).to_string().contains("invariant"));
+        assert!(Error::Internal("x".into())
+            .to_string()
+            .contains("invariant"));
         let e = Error::from(tilefuse_presburger::Error::Overflow("mul"));
         assert!(e.to_string().contains("overflow"));
     }

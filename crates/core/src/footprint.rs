@@ -138,7 +138,9 @@ mod tests {
 
     /// Relation (5) reversed source: the write access of S0 to tensor A.
     fn paper_write() -> Map {
-        "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 5 }".parse().unwrap()
+        "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 5 }"
+            .parse()
+            .unwrap()
     }
 
     /// Relation (4) computed as reverse(2) ∘ (3).
@@ -164,13 +166,15 @@ mod tests {
         let fp = paper_footprint();
         // Blue tile (o0, o1) = (1, 0): {A[h',w'] : 2<=h'<=5 and 0<=w'<=3}.
         let blue = fp.image_of(&[1, 0]).unwrap();
-        let expected_blue: Set =
-            "{ A[h', w'] : 2 <= h' <= 5 and 0 <= w' <= 3 }".parse().unwrap();
+        let expected_blue: Set = "{ A[h', w'] : 2 <= h' <= 5 and 0 <= w' <= 3 }"
+            .parse()
+            .unwrap();
         assert!(blue.is_equal(&expected_blue).unwrap(), "blue = {blue}");
         // Red tile (1, 1): {A[h',w'] : 2<=h'<=5 and 2<=w'<=5}.
         let red = fp.image_of(&[1, 1]).unwrap();
-        let expected_red: Set =
-            "{ A[h', w'] : 2 <= h' <= 5 and 2 <= w' <= 5 }".parse().unwrap();
+        let expected_red: Set = "{ A[h', w'] : 2 <= h' <= 5 and 2 <= w' <= 5 }"
+            .parse()
+            .unwrap();
         assert!(red.is_equal(&expected_red).unwrap(), "red = {red}");
         // Their intersection is the interleaved region read by both tiles.
         let overlap = blue.intersect(&red).unwrap();
@@ -188,8 +192,9 @@ mod tests {
         assert!(ext.is_equal(&expected).unwrap(), "ext = {ext}");
         // Blue tile instances: { S0[h,w] : 2<=h<=5 and 0<=w<=3 } (paper).
         let blue = ext.image_of(&[1, 0]).unwrap();
-        let expected_blue: Set =
-            "{ S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 }".parse().unwrap();
+        let expected_blue: Set = "{ S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 }"
+            .parse()
+            .unwrap();
         assert!(blue.is_equal(&expected_blue).unwrap());
     }
 
@@ -200,8 +205,9 @@ mod tests {
         assert!(covers_footprint(&ext, &paper_write(), &fp).unwrap());
         // A producer writing only the left half of A cannot cover the
         // footprint (tiles at o1 = 1 need columns 2..=5).
-        let partial: Map =
-            "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 3 }".parse().unwrap();
+        let partial: Map = "{ S0[h, w] -> A[h, w] : 0 <= h <= 5 and 0 <= w <= 3 }"
+            .parse()
+            .unwrap();
         let ext2 = extension_schedule(&fp, &partial).unwrap();
         assert!(!covers_footprint(&ext2, &partial, &fp).unwrap());
     }
@@ -225,7 +231,9 @@ mod tests {
         let tile: Map = "{ S2[i, j] -> [o] : 2o <= i <= 2o + 1 and 0 <= i <= 3 and 0 <= j <= 3 }"
             .parse()
             .unwrap();
-        let read: Map = "{ S2[i, j] -> A[i] : 0 <= i <= 3 and 0 <= j <= 3 }".parse().unwrap();
+        let read: Map = "{ S2[i, j] -> A[i] : 0 <= i <= 3 and 0 <= j <= 3 }"
+            .parse()
+            .unwrap();
         let fp = tile.reverse().compose(&read).unwrap();
         let t0 = fp.image_of(&[0]).unwrap();
         let t1 = fp.image_of(&[1]).unwrap();

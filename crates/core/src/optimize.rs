@@ -5,10 +5,10 @@
 use crate::algo1::{algorithm1, MixedSchedules, Options};
 use crate::algo2::{algorithm2, plain_tile_group};
 use crate::error::{Error, Result};
-use tilefuse_pir::{ArrayId, DepKind, Dependence, Program};
-use tilefuse_scheduler::{schedule, Group};
-use tilefuse_schedtree::ScheduleTree;
 use std::collections::{BTreeMap, BTreeSet};
+use tilefuse_pir::{ArrayId, DepKind, Dependence, Program};
+use tilefuse_schedtree::ScheduleTree;
+use tilefuse_scheduler::{schedule, Group};
 
 /// The result of the post-tiling fusion optimizer.
 #[derive(Debug, Clone)]
@@ -76,7 +76,10 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
     // Group-level flow DAG.
     let n = groups.len();
     let group_of = |s: tilefuse_pir::StmtId| -> usize {
-        groups.iter().position(|g| g.stmts.contains(&s)).expect("stmt in a group")
+        groups
+            .iter()
+            .position(|g| g.stmts.contains(&s))
+            .expect("stmt in a group")
     };
     let mut gedges: BTreeSet<(usize, usize)> = BTreeSet::new();
     for d in &deps {
@@ -127,8 +130,10 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
             if excluded.contains(&g) || liveouts.contains(&g) {
                 continue;
             }
-            let fused_in: Vec<&MixedSchedules> =
-                mixed.iter().filter(|m| m.fused_groups.contains(&g)).collect();
+            let fused_in: Vec<&MixedSchedules> = mixed
+                .iter()
+                .filter(|m| m.fused_groups.contains(&g))
+                .collect();
             if fused_in.is_empty() {
                 continue;
             }
@@ -175,8 +180,10 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
     }
     // Plain-tile groups that stayed out of fusion but are tilable:
     // excluded/untiled producers. (Fused groups' originals are skipped.)
-    let fused_all: BTreeSet<usize> =
-        mixed.iter().flat_map(|m| m.fused_groups.iter().copied()).collect();
+    let fused_all: BTreeSet<usize> = mixed
+        .iter()
+        .flat_map(|m| m.fused_groups.iter().copied())
+        .collect();
     let untiled_all: BTreeSet<usize> = mixed
         .iter()
         .flat_map(|m| m.untiled_groups.iter().copied())

@@ -3,16 +3,16 @@
 
 use crate::{optimize, Options};
 use tilefuse_pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
-use tilefuse_scheduler::FusionHeuristic;
 use tilefuse_schedtree::Node;
+use tilefuse_scheduler::FusionHeuristic;
 
 fn opts(tiles: &[i64]) -> Options {
     Options {
         tile_sizes: tiles.to_vec(),
         parallel_cap: None,
         startup: FusionHeuristic::MinFuse,
-    ..Default::default()
-}
+        ..Default::default()
+    }
 }
 
 /// Single live-out statement, nothing to fuse: plain tiling only.
@@ -129,7 +129,11 @@ fn fig5_tree_contains_extension_between_tile_and_point_bands() {
     p.add_stmt(
         "{ P[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
     )
     .unwrap();
     p.add_stmt(
@@ -149,7 +153,10 @@ fn fig5_tree_contains_extension_between_tile_and_point_bands() {
         .expect("extension node present");
     // Parent chain: the node above the extension is the tile band.
     let parent = o.tree.node_at(&ext_path[..ext_path.len() - 1]).unwrap();
-    assert!(matches!(parent, Node::Band { .. }), "extension under tile band");
+    assert!(
+        matches!(parent, Node::Band { .. }),
+        "extension under tile band"
+    );
     // Below the extension: a sequence whose children are filters.
     let below = o.tree.node_at(&[&ext_path[..], &[0]].concat()).unwrap();
     assert!(matches!(below, Node::Sequence { .. }));
@@ -176,17 +183,28 @@ fn recomputation_factor_is_one_for_pointwise_fusion() {
     p.add_stmt(
         "{ P[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
     )
     .unwrap();
     p.add_stmt(
         "{ C[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
-        Body { target: b, target_idx: vec![i1(0)], rhs: Expr::load(a, vec![i1(0)]) },
+        Body {
+            target: b,
+            target_idx: vec![i1(0)],
+            rhs: Expr::load(a, vec![i1(0)]),
+        },
     )
     .unwrap();
     let o = optimize(&p, &opts(&[4])).unwrap();
     let rf = crate::recomputation_factor(&o, &p.param_values(&[])).unwrap();
     assert_eq!(rf.len(), 1);
-    assert!((rf["P"] - 1.0).abs() < 1e-9, "pointwise fusion has no overlap");
+    assert!(
+        (rf["P"] - 1.0).abs() < 1e-9,
+        "pointwise fusion has no overlap"
+    );
 }

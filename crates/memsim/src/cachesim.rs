@@ -172,8 +172,8 @@ mod tests {
     #[test]
     fn capacity_eviction_causes_misses() {
         let mut c = CacheSim::new(1024, 2, 64); // 16 lines
-        // Touch 32 distinct lines twice: LRU evicts everything between
-        // rounds (same-set reuse distance exceeds associativity).
+                                                // Touch 32 distinct lines twice: LRU evicts everything between
+                                                // rounds (same-set reuse distance exceeds associativity).
         for _ in 0..2 {
             for i in 0..32u64 {
                 c.access(i * 64);

@@ -29,7 +29,11 @@ pub fn cpu_time(model: &CpuModel, groups: &[ExecGroup]) -> Result<CostBreakdown>
         let par = chunks.min(model.threads as f64).max(1.0);
         // Load imbalance when chunks barely exceed threads.
         let balance = chunks / (par * (chunks / par).ceil()).max(1.0);
-        let simd = if g.vectorizable { model.simd_width } else { 1.0 };
+        let simd = if g.vectorizable {
+            model.simd_width
+        } else {
+            1.0
+        };
         let compute = g.ops / (model.flops_per_core * par * simd * balance.max(0.25));
         // Per-access traffic hits the level that holds the tile working
         // set.
@@ -68,9 +72,15 @@ pub fn gpu_time(model: &GpuModel, groups: &[ExecGroup]) -> Result<CostBreakdown>
         // Two-level parallelism requirement: with fewer than two parallel
         // dims, threads cannot be mapped and the device starves.
         let two_level = g.parallel_chunks.len() >= 2 || g.n_tiles > 1.0;
-        let resident = if two_level { blocks * threads_per_block } else { blocks };
+        let resident = if two_level {
+            blocks * threads_per_block
+        } else {
+            blocks
+        };
         let device_threads = (model.sms * 128) as f64;
-        let utilization = (resident / device_threads).min(1.0).max(1.0 / device_threads);
+        let utilization = (resident / device_threads)
+            .min(1.0)
+            .max(1.0 / device_threads);
         let compute = g.ops / (model.flops * utilization);
         // Shared-memory feasibility per tile.
         let local_per_tile: f64 = g.local_arrays.iter().map(|(_, b)| b).sum();
@@ -150,7 +160,9 @@ mod tests {
     fn cpu_time_scales_with_threads() {
         let g = vec![group("g")];
         let t32 = cpu_time(&CpuModel::xeon_e5_2683_v4(), &g).unwrap().total;
-        let t1 = cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(1), &g).unwrap().total;
+        let t1 = cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(1), &g)
+            .unwrap()
+            .total;
         assert!(t1 > t32, "t1={t1} t32={t32}");
     }
 
@@ -159,7 +171,9 @@ mod tests {
         let mut sg = group("serial");
         sg.parallel_chunks = vec![];
         sg.vectorizable = false;
-        let pt = cpu_time(&CpuModel::xeon_e5_2683_v4(), &[group("par")]).unwrap().total;
+        let pt = cpu_time(&CpuModel::xeon_e5_2683_v4(), &[group("par")])
+            .unwrap()
+            .total;
         let st = cpu_time(&CpuModel::xeon_e5_2683_v4(), &[sg]).unwrap().total;
         assert!(st > pt);
     }
@@ -199,8 +213,7 @@ mod tests {
         let mut conv = group("conv");
         conv.ops_cube = conv.ops;
         conv.ops_vector = 0.0;
-        conv.external_arrays =
-            vec![(ArrayId(0), 4_000_000.0), (ArrayId(1), 4_000_000.0)];
+        conv.external_arrays = vec![(ArrayId(0), 4_000_000.0), (ArrayId(1), 4_000_000.0)];
         let mut bn = group("bn");
         bn.external_arrays = vec![(ArrayId(1), 4_000_000.0), (ArrayId(2), 4_000_000.0)];
         let m = DavinciModel::ascend_910();
@@ -208,8 +221,7 @@ mod tests {
         let mut fused = group("conv+bn");
         fused.ops_cube = conv.ops;
         fused.local_arrays = vec![(ArrayId(1), 64.0 * 1024.0)];
-        fused.external_arrays =
-            vec![(ArrayId(0), 4_000_000.0), (ArrayId(2), 4_000_000.0)];
+        fused.external_arrays = vec![(ArrayId(0), 4_000_000.0), (ArrayId(2), 4_000_000.0)];
         let t_fused = davinci_time(&m, &[fused]).unwrap().total;
         assert!(t_fused < unfused, "fused={t_fused} unfused={unfused}");
     }

@@ -24,5 +24,5 @@ mod summary;
 pub use cachesim::{AddressMap, CacheSim};
 pub use cost::{cpu_time, davinci_time, gpu_time, CostBreakdown};
 pub use error::{Error, Result};
-pub use model::{CpuModel, DavinciModel, GpuModel};
+pub use model::{host_threads, CpuModel, DavinciModel, GpuModel};
 pub use summary::{card_box, summarize_groups, summarize_optimized, ExecGroup};

@@ -13,8 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use tilefuse_core::Optimized;
 use tilefuse_pir::{ArrayId, ArrayKind, Program, StmtId};
 use tilefuse_presburger::{Map, Set};
-use tilefuse_scheduler::{band_part, loop_vars, Group};
 use tilefuse_schedtree::Band;
+use tilefuse_scheduler::{band_part, loop_vars, Group};
 
 /// One final execution group (a kernel on GPU, a parallel loop nest on
 /// CPU, an operator on the accelerator).
@@ -139,7 +139,15 @@ pub fn summarize_groups(
 ) -> Result<Vec<ExecGroup>> {
     let mut out = Vec::new();
     for g in groups {
-        out.push(summarize_one_group(program, groups, g, tile_sizes, params, &[], &[])?);
+        out.push(summarize_one_group(
+            program,
+            groups,
+            g,
+            tile_sizes,
+            params,
+            &[],
+            &[],
+        )?);
     }
     Ok(out)
 }
@@ -156,8 +164,11 @@ pub fn summarize_optimized(
     params: &[i64],
 ) -> Result<Vec<ExecGroup>> {
     let report = &optimized.report;
-    let fused_all: BTreeSet<usize> =
-        report.mixed.iter().flat_map(|m| m.fused_groups.iter().copied()).collect();
+    let fused_all: BTreeSet<usize> = report
+        .mixed
+        .iter()
+        .flat_map(|m| m.fused_groups.iter().copied())
+        .collect();
     let mut out = Vec::new();
     for (gi, g) in report.groups.iter().enumerate() {
         if fused_all.contains(&gi) {
@@ -173,7 +184,13 @@ pub fn summarize_optimized(
             None => (Vec::new(), Vec::new()),
         };
         out.push(summarize_one_group(
-            program, &report.groups, g, tile_sizes, params, &extra, &exts,
+            program,
+            &report.groups,
+            g,
+            tile_sizes,
+            params,
+            &extra,
+            &exts,
         )?);
     }
     Ok(out)
@@ -247,7 +264,10 @@ fn summarize_one_group(
         let count = if fused_stmts.contains(&s) {
             // Recomputation: (tiles) × (per-tile extension instances,
             // sampled at the origin tile — domains start at zero).
-            let e = exts.iter().find(|e| e.stmt == s).expect("fused stmt has ext");
+            let e = exts
+                .iter()
+                .find(|e| e.stmt == s)
+                .expect("fused stmt has ext");
             let kk = e.ext.space().n_in();
             let per_tile = card_box(&e.ext.image_of(&vec![0; kk])?, params)?;
             (n_tiles * per_tile * stmt.work_scale()).max(base)
@@ -277,7 +297,11 @@ fn summarize_one_group(
             .and_then(|&d| rep_hull.get(d))
             .map(|(l, u)| (u - l + 1).max(0) as f64)
             .unwrap_or(1.0);
-        let chunk = if j < k { (extent / tile_sizes[j] as f64).ceil() } else { extent };
+        let chunk = if j < k {
+            (extent / tile_sizes[j] as f64).ceil()
+        } else {
+            extent
+        };
         parallel_chunks.push(chunk);
     }
 
@@ -312,9 +336,7 @@ fn summarize_one_group(
             && readers
                 .iter()
                 .all(|r| group_set.contains(r) || writers.contains(r));
-        let fused_local = exts
-            .iter()
-            .any(|e| program.stmt(e.stmt).body().target == a);
+        let fused_local = exts.iter().any(|e| program.stmt(e.stmt).body().target == a);
         let per_tile = per_tile_array_bytes(program, &stmts, &tile_maps, a, params)?;
         tile_footprint_bytes += per_tile;
         if (internal && group_set.len() > 1) || fused_local {
@@ -381,7 +403,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -421,8 +447,8 @@ mod tests {
             tile_sizes: vec![32],
             parallel_cap: None,
             startup: FusionHeuristic::MinFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&p, &opts).unwrap();
         let sums = summarize_optimized(&p, &o, &[32], &[128]).unwrap();
         assert_eq!(sums.len(), 1, "producer fused away");

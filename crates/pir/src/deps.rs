@@ -43,9 +43,23 @@ pub struct Dependence {
 
 /// Computes all memory-based dependences of `program`.
 ///
+/// The result is memoized on the program (the analysis depends only on its
+/// structure), so scheduling the same program repeatedly — e.g. once per
+/// fusion heuristic when comparing versions — pays for the presburger work
+/// once. Mutating the program invalidates the memo.
+///
 /// # Errors
 /// Returns an error if a set operation fails (overflow).
 pub fn compute_dependences(program: &Program) -> Result<Vec<Dependence>> {
+    if let Some(memo) = program.deps_memo() {
+        return Ok(memo.as_ref().clone());
+    }
+    let out = compute_dependences_uncached(program)?;
+    program.set_deps_memo(std::sync::Arc::new(out.clone()));
+    Ok(out)
+}
+
+fn compute_dependences_uncached(program: &Program) -> Result<Vec<Dependence>> {
     let mut out = Vec::new();
     let n = program.stmts().len();
     for si in 0..n {
@@ -128,7 +142,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -211,11 +229,45 @@ mod tests {
     }
 
     #[test]
+    fn deps_memo_is_invalidated_by_mutation() {
+        let mut p = pipeline();
+        let before = compute_dependences(&p).unwrap();
+        // Memoized: same structure, same answer.
+        let again = compute_dependences(&p).unwrap();
+        assert_eq!(before.len(), again.len());
+        // Appending a consumer of B must surface new dependences.
+        let b = p.array_named("B").unwrap().id();
+        let d = p.add_array("D", vec![("N", -1).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S3[i] : 0 <= i < N - 1 }",
+            vec![SchedTerm::Cst(3), SchedTerm::Var(0)],
+            Body {
+                target: d,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::load(b, vec![IdxExpr::dim(1, 0)]),
+            },
+        )
+        .unwrap();
+        let after = compute_dependences(&p).unwrap();
+        assert!(
+            after.len() > before.len(),
+            "{} vs {}",
+            after.len(),
+            before.len()
+        );
+        assert!(after
+            .iter()
+            .any(|dep| dep.kind == DepKind::Flow && dep.src == StmtId(1) && dep.dst == StmtId(3)));
+    }
+
+    #[test]
     fn flow_edges_filters() {
         let p = pipeline();
         let deps = compute_dependences(&p).unwrap();
         let edges = flow_edges(&deps);
-        assert!(edges.iter().all(|d| d.kind == DepKind::Flow && d.src != d.dst));
+        assert!(edges
+            .iter()
+            .all(|d| d.kind == DepKind::Flow && d.src != d.dst));
         assert_eq!(edges.len(), 2);
     }
 }

@@ -20,7 +20,11 @@ pub struct IdxExpr {
 impl IdxExpr {
     /// The constant index `c` for a statement with `n_dims` dimensions.
     pub fn constant(n_dims: usize, c: i64) -> Self {
-        IdxExpr { dim_coeffs: vec![0; n_dims], param_terms: Vec::new(), constant: c }
+        IdxExpr {
+            dim_coeffs: vec![0; n_dims],
+            param_terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The index `dim_d` for a statement with `n_dims` dimensions.
@@ -78,7 +82,11 @@ impl IdxExpr {
     pub fn scale(&self, k: i64) -> IdxExpr {
         IdxExpr {
             dim_coeffs: self.dim_coeffs.iter().map(|c| c * k).collect(),
-            param_terms: self.param_terms.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            param_terms: self
+                .param_terms
+                .iter()
+                .map(|(n, c)| (n.clone(), c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -375,7 +383,9 @@ mod tests {
 
     #[test]
     fn idx_expr_display() {
-        let e = IdxExpr::dim(2, 0).plus(&IdxExpr::dim(2, 1).scale(-1)).offset(3);
+        let e = IdxExpr::dim(2, 0)
+            .plus(&IdxExpr::dim(2, 1).scale(-1))
+            .offset(3);
         assert_eq!(e.to_string(), "i0 - i1 + 3");
         assert_eq!(IdxExpr::constant(2, 0).to_string(), "0");
     }
@@ -403,7 +413,10 @@ mod tests {
     #[test]
     fn expr_unops() {
         let x = Expr::Const(-3.0);
-        assert_eq!(Expr::relu(x.clone()).eval(&[], &|_| 0, &mut |_, _| 0.0), 0.0);
+        assert_eq!(
+            Expr::relu(x.clone()).eval(&[], &|_| 0, &mut |_, _| 0.0),
+            0.0
+        );
         assert_eq!(
             Expr::Un(UnOp::Abs, Box::new(x.clone())).eval(&[], &|_| 0, &mut |_, _| 0.0),
             3.0

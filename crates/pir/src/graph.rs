@@ -24,7 +24,10 @@ impl DepGraph {
 
     /// Builds the graph from raw edges.
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
-        DepGraph { n, edges: edges.into_iter().collect() }
+        DepGraph {
+            n,
+            edges: edges.into_iter().collect(),
+        }
     }
 
     /// Number of statements.
@@ -116,11 +119,10 @@ impl DepGraph {
             }
         }
         // Kahn with a min-heap keyed by the component's smallest stmt id.
-        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> =
-            (0..k)
-                .filter(|&c| indeg[c] == 0)
-                .map(|c| std::cmp::Reverse((sccs[c][0].0, c)))
-                .collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> = (0..k)
+            .filter(|&c| indeg[c] == 0)
+            .map(|c| std::cmp::Reverse((sccs[c][0].0, c)))
+            .collect();
         let mut order = Vec::with_capacity(k);
         while let Some(std::cmp::Reverse((_, c))) = ready.pop() {
             order.push(sccs[c].clone());
@@ -215,7 +217,10 @@ mod tests {
         assert_eq!(g.succs(StmtId(0)), vec![StmtId(1)]);
         assert_eq!(g.preds(StmtId(2)), vec![StmtId(1)]);
         let topo = g.sccs_topological();
-        assert_eq!(topo, vec![vec![StmtId(0)], vec![StmtId(1)], vec![StmtId(2)]]);
+        assert_eq!(
+            topo,
+            vec![vec![StmtId(0)], vec![StmtId(1)], vec![StmtId(2)]]
+        );
     }
 
     #[test]

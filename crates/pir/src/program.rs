@@ -1,5 +1,8 @@
 //! Programs: arrays, statements, iteration domains and initial schedules.
 
+use std::sync::{Arc, OnceLock};
+
+use crate::deps::Dependence;
 use crate::error::{Error, Result};
 use crate::expr::{ArrayId, Body, IdxExpr};
 use tilefuse_presburger::{AffExpr, Map, Set, Space, Tuple};
@@ -29,12 +32,18 @@ pub struct Extent {
 impl Extent {
     /// A constant extent.
     pub fn fixed(c: i64) -> Self {
-        Extent { terms: Vec::new(), constant: c }
+        Extent {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The extent `param + offset`.
     pub fn param(name: &str, offset: i64) -> Self {
-        Extent { terms: vec![(name.to_owned(), 1)], constant: offset }
+        Extent {
+            terms: vec![(name.to_owned(), 1)],
+            constant: offset,
+        }
     }
 
     /// Evaluates with concrete parameter values.
@@ -192,12 +201,31 @@ pub struct Program {
     params: Vec<(String, i64)>,
     arrays: Vec<ArrayDecl>,
     stmts: Vec<Statement>,
+    /// Memoized result of [`crate::compute_dependences`]: the analysis is
+    /// pure in the program structure, so it is computed once and shared by
+    /// every schedule version derived from this program. Invalidated by
+    /// every `&mut self` method; clones inherit the memo (same structure).
+    deps_memo: OnceLock<Arc<Vec<Dependence>>>,
 }
 
 impl Program {
     /// Creates an empty program.
     pub fn new(name: &str) -> Self {
-        Program { name: name.to_owned(), params: Vec::new(), arrays: Vec::new(), stmts: Vec::new() }
+        Program {
+            name: name.to_owned(),
+            params: Vec::new(),
+            arrays: Vec::new(),
+            stmts: Vec::new(),
+            deps_memo: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn deps_memo(&self) -> Option<&Arc<Vec<Dependence>>> {
+        self.deps_memo.get()
+    }
+
+    pub(crate) fn set_deps_memo(&self, deps: Arc<Vec<Dependence>>) {
+        let _ = self.deps_memo.set(deps);
     }
 
     /// The program name.
@@ -210,6 +238,7 @@ impl Program {
     #[must_use]
     pub fn with_param(mut self, name: &str, default: i64) -> Self {
         self.params.push((name.to_owned(), default));
+        self.deps_memo = OnceLock::new();
         self
     }
 
@@ -251,14 +280,16 @@ impl Program {
     }
 
     /// Declares an array.
-    pub fn add_array(
-        &mut self,
-        name: &str,
-        extents: Vec<Extent>,
-        kind: ArrayKind,
-    ) -> ArrayId {
+    pub fn add_array(&mut self, name: &str, extents: Vec<Extent>, kind: ArrayKind) -> ArrayId {
         let id = ArrayId(self.arrays.len());
-        self.arrays.push(ArrayDecl { id, name: name.to_owned(), extents, kind, elem_bytes: 4 });
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.to_owned(),
+            extents,
+            kind,
+            elem_bytes: 4,
+        });
+        self.deps_memo = OnceLock::new();
         id
     }
 
@@ -290,12 +321,7 @@ impl Program {
     /// Returns an error if the domain fails to parse, the tuple is
     /// anonymous, a schedule term references a missing dimension, or the
     /// body indices have the wrong arity.
-    pub fn add_stmt(
-        &mut self,
-        domain: &str,
-        sched: Vec<SchedTerm>,
-        body: Body,
-    ) -> Result<StmtId> {
+    pub fn add_stmt(&mut self, domain: &str, sched: Vec<SchedTerm>, body: Body) -> Result<StmtId> {
         self.add_stmt_full(domain, sched, body, false, 1.0)
     }
 
@@ -311,6 +337,7 @@ impl Program {
         dynamic: bool,
         work_scale: f64,
     ) -> Result<StmtId> {
+        self.deps_memo = OnceLock::new();
         let text = if self.params.is_empty() {
             domain.to_owned()
         } else {
@@ -322,7 +349,9 @@ impl Program {
             .space()
             .tuple()
             .name()
-            .ok_or(Error::Build("statement domains must have a named tuple".into()))?
+            .ok_or(Error::Build(
+                "statement domains must have a named tuple".into(),
+            ))?
             .to_owned();
         if self.stmts.iter().any(|s| s.name == name) {
             return Err(Error::Build(format!("duplicate statement name {name}")));
@@ -452,27 +481,26 @@ impl Program {
     fn access_map(&self, s: &Statement, arr: ArrayId, idx: &[IdxExpr]) -> Result<Map> {
         let space = s.domain.space().join_map(&self.array_space(arr))?;
         let n_in = space.n_in();
-        let exprs: Vec<AffExpr> = idx
-            .iter()
-            .map(|ix| {
-                let mut e = AffExpr::constant(&space, ix.constant_term());
-                for d in 0..n_in {
-                    let c = ix.dim_coeff(d);
-                    if c != 0 {
-                        e = e.with_dim_coeff(d, c);
+        let exprs: Vec<AffExpr> =
+            idx.iter()
+                .map(|ix| {
+                    let mut e = AffExpr::constant(&space, ix.constant_term());
+                    for d in 0..n_in {
+                        let c = ix.dim_coeff(d);
+                        if c != 0 {
+                            e = e.with_dim_coeff(d, c);
+                        }
                     }
-                }
-                for (pname, c) in ix.param_terms() {
-                    let p = self
-                        .params
-                        .iter()
-                        .position(|(n, _)| n == pname)
-                        .ok_or(Error::Build(format!("unknown parameter {pname} in index")))?;
-                    e = e.with_param_coeff(p, *c);
-                }
-                Ok(e)
-            })
-            .collect::<Result<_>>()?;
+                    for (pname, c) in ix.param_terms() {
+                        let p =
+                            self.params.iter().position(|(n, _)| n == pname).ok_or(
+                                Error::Build(format!("unknown parameter {pname} in index")),
+                            )?;
+                        e = e.with_param_coeff(p, *c);
+                    }
+                    Ok(e)
+                })
+                .collect::<Result<_>>()?;
         Ok(Map::from_affine(space, &exprs)?.intersect_domain(&s.domain)?)
     }
 
@@ -637,7 +665,11 @@ mod tests {
         let r = p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Const(0.0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Const(0.0),
+            },
         );
         assert!(r.is_err());
     }
@@ -648,7 +680,11 @@ mod tests {
         let r = p.add_stmt(
             "{ S9[i] : 0 <= i < N }",
             vec![SchedTerm::Var(3)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Const(0.0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Const(0.0),
+            },
         );
         assert!(r.is_err());
     }

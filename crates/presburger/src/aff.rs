@@ -44,7 +44,10 @@ impl AffExpr {
     /// Returns [`Error::DimOutOfBounds`] if `i` is not a parameter index.
     pub fn param(space: &Space, i: usize) -> Result<Self> {
         if i >= space.n_param() {
-            return Err(Error::DimOutOfBounds { index: i, len: space.n_param() });
+            return Err(Error::DimOutOfBounds {
+                index: i,
+                len: space.n_param(),
+            });
         }
         let mut e = Self::zero(space);
         e.row[i] = 1;
@@ -58,7 +61,10 @@ impl AffExpr {
     /// Returns [`Error::DimOutOfBounds`] if `i` is not a dimension index.
     pub fn dim(space: &Space, i: usize) -> Result<Self> {
         if i >= space.n_dim() {
-            return Err(Error::DimOutOfBounds { index: i, len: space.n_dim() });
+            return Err(Error::DimOutOfBounds {
+                index: i,
+                len: space.n_dim(),
+            });
         }
         let mut e = Self::zero(space);
         e.row[space.n_param() + i] = 1;
@@ -118,7 +124,10 @@ impl AffExpr {
             .zip(other.row.iter())
             .map(|(&a, &b)| lin::add(a, b))
             .collect::<Result<Vec<_>>>()?;
-        Ok(AffExpr { space: self.space.clone(), row })
+        Ok(AffExpr {
+            space: self.space.clone(),
+            row,
+        })
     }
 
     /// `self - other`.
@@ -133,7 +142,10 @@ impl AffExpr {
             .zip(other.row.iter())
             .map(|(&a, &b)| lin::add(a, lin::mul(-1, b)?))
             .collect::<Result<Vec<_>>>()?;
-        Ok(AffExpr { space: self.space.clone(), row })
+        Ok(AffExpr {
+            space: self.space.clone(),
+            row,
+        })
     }
 
     /// `k * self`.
@@ -141,18 +153,31 @@ impl AffExpr {
     /// # Errors
     /// Returns an error on overflow.
     pub fn scale(&self, k: i64) -> Result<AffExpr> {
-        let row = self.row.iter().map(|&a| lin::mul(k, a)).collect::<Result<Vec<_>>>()?;
-        Ok(AffExpr { space: self.space.clone(), row })
+        let row = self
+            .row
+            .iter()
+            .map(|&a| lin::mul(k, a))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AffExpr {
+            space: self.space.clone(),
+            row,
+        })
     }
 
     /// The constraint `self = 0`.
     pub fn eq_zero(self) -> Constraint {
-        Constraint { kind: ConstraintKind::Equality, expr: self }
+        Constraint {
+            kind: ConstraintKind::Equality,
+            expr: self,
+        }
     }
 
     /// The constraint `self >= 0`.
     pub fn ge_zero(self) -> Constraint {
-        Constraint { kind: ConstraintKind::Inequality, expr: self }
+        Constraint {
+            kind: ConstraintKind::Inequality,
+            expr: self,
+        }
     }
 
     /// The constraint `self = other`.
@@ -185,7 +210,8 @@ impl AffExpr {
     /// Returns an error on space mismatch or overflow.
     pub fn lt(&self, other: &AffExpr) -> Result<Constraint> {
         let d = other.checked_sub(self)?;
-        Ok(d.checked_add(&AffExpr::constant(&self.space, -1))?.ge_zero())
+        Ok(d.checked_add(&AffExpr::constant(&self.space, -1))?
+            .ge_zero())
     }
 
     /// The constraint `self > other`.
@@ -365,7 +391,9 @@ mod tests {
     #[test]
     fn accessors() {
         let sp = space();
-        let e = AffExpr::zero(&sp).with_param_coeff(0, 7).with_dim_coeff(1, -2);
+        let e = AffExpr::zero(&sp)
+            .with_param_coeff(0, 7)
+            .with_dim_coeff(1, -2);
         assert_eq!(e.param_coeff(0), 7);
         assert_eq!(e.dim_coeff(0), 0);
         assert_eq!(e.dim_coeff(1), -2);

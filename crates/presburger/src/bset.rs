@@ -5,15 +5,23 @@
 //! columns ("divs") are introduced internally by exact projection and are
 //! never visible in the space.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::aff::{Constraint, ConstraintKind};
+use crate::cache::{self, CacheKey, CacheVal};
 use crate::error::{Error, Result};
 use crate::lin;
 use crate::omega::{self, System};
 use crate::space::Space;
 
+/// `emptiness` flag states (an inline memo carried by every basic set).
+const EMPTINESS_UNKNOWN: u8 = 0;
+const EMPTINESS_NONEMPTY: u8 = 1;
+const EMPTINESS_EMPTY: u8 = 2;
+
 /// A conjunction of affine constraints over a [`Space`], possibly with
 /// existentially quantified auxiliary variables.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct BasicSet {
     space: Space,
     n_div: usize,
@@ -21,12 +29,46 @@ pub struct BasicSet {
     eqs: Vec<Vec<i64>>,
     /// Inequality rows (`>= 0`) over the same columns.
     ineqs: Vec<Vec<i64>>,
+    /// Inline memo for [`BasicSet::is_empty`]: clones inherit the known
+    /// answer, so repeated emptiness tests on copies of a checked set skip
+    /// even the global memo-table lookup. Reset whenever a constraint row
+    /// is added; ignored by `PartialEq`.
+    emptiness: AtomicU8,
 }
+
+impl Clone for BasicSet {
+    fn clone(&self) -> Self {
+        BasicSet {
+            space: self.space.clone(),
+            n_div: self.n_div,
+            eqs: self.eqs.clone(),
+            ineqs: self.ineqs.clone(),
+            emptiness: AtomicU8::new(self.emptiness.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for BasicSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space
+            && self.n_div == other.n_div
+            && self.eqs == other.eqs
+            && self.ineqs == other.ineqs
+    }
+}
+
+impl Eq for BasicSet {}
 
 impl BasicSet {
     /// The unconstrained set over `space`.
     pub fn universe(space: Space) -> Self {
-        BasicSet { space, n_div: 0, eqs: Vec::new(), ineqs: Vec::new() }
+        BasicSet {
+            space,
+            n_div: 0,
+            eqs: Vec::new(),
+            ineqs: Vec::new(),
+            emptiness: AtomicU8::new(EMPTINESS_UNKNOWN),
+        }
     }
 
     /// The empty set over `space`.
@@ -36,6 +78,7 @@ impl BasicSet {
         let mut row = vec![0; b.cols()];
         *row.last_mut().unwrap() = -1;
         b.ineqs.push(row);
+        *b.emptiness.get_mut() = EMPTINESS_EMPTY;
         b
     }
 
@@ -77,7 +120,8 @@ impl BasicSet {
     /// # Errors
     /// Returns an error if the constraint's space is incompatible.
     pub fn add_constraint(&mut self, c: &Constraint) -> Result<()> {
-        self.space.check_compatible(c.expr().space(), "add_constraint")?;
+        self.space
+            .check_compatible(c.expr().space(), "add_constraint")?;
         let src = c.expr().row();
         // src layout: [params | dims | const]; widen with div columns.
         let mut row = vec![0i64; self.cols()];
@@ -106,12 +150,14 @@ impl BasicSet {
         debug_assert_eq!(row.len(), self.cols());
         lin::normalize_eq_row(&mut row);
         self.eqs.push(row);
+        *self.emptiness.get_mut() = EMPTINESS_UNKNOWN;
     }
 
     pub(crate) fn push_ineq(&mut self, mut row: Vec<i64>) {
         debug_assert_eq!(row.len(), self.cols());
         lin::normalize_ineq_row(&mut row);
         self.ineqs.push(row);
+        *self.emptiness.get_mut() = EMPTINESS_UNKNOWN;
     }
 
     /// The raw equality rows over `[params | dims | divs | const]`
@@ -133,7 +179,13 @@ impl BasicSet {
         eqs: Vec<Vec<i64>>,
         ineqs: Vec<Vec<i64>>,
     ) -> Self {
-        let b = BasicSet { space, n_div, eqs, ineqs };
+        let b = BasicSet {
+            space,
+            n_div,
+            eqs,
+            ineqs,
+            emptiness: AtomicU8::new(EMPTINESS_UNKNOWN),
+        };
         debug_assert!(b.eqs.iter().chain(&b.ineqs).all(|r| r.len() == b.cols()));
         b
     }
@@ -149,7 +201,13 @@ impl BasicSet {
 
     pub(crate) fn from_system(space: Space, n_div: usize, sys: System) -> Self {
         debug_assert_eq!(sys.n_vars, space.n_param() + space.n_dim() + n_div);
-        BasicSet { space, n_div, eqs: sys.eqs, ineqs: sys.ineqs }
+        BasicSet {
+            space,
+            n_div,
+            eqs: sys.eqs,
+            ineqs: sys.ineqs,
+            emptiness: AtomicU8::new(EMPTINESS_UNKNOWN),
+        }
     }
 
     /// Exact integer emptiness test.
@@ -157,10 +215,129 @@ impl BasicSet {
     /// Treats parameters as existential: the set is empty iff it contains no
     /// point for *any* parameter values.
     ///
+    /// Results are memoized on the constraint rows (see [`crate::cache`]);
+    /// feasibility is existential over every column, so the memo key is
+    /// independent of the space.
+    ///
     /// # Errors
     /// Returns an error on arithmetic overflow.
     pub fn is_empty(&self) -> Result<bool> {
-        Ok(!omega::feasible(&self.to_system())?)
+        // Inline fast path: this object (or the one it was cloned from) was
+        // already tested, so skip the key construction + global lookup.
+        match self.emptiness.load(Ordering::Relaxed) {
+            EMPTINESS_NONEMPTY => return Ok(false),
+            EMPTINESS_EMPTY => return Ok(true),
+            _ => {}
+        }
+        // Interval pre-check: pairwise intersections of tile/disjunct boxes
+        // are overwhelmingly *disjoint*, and the contradiction already shows
+        // in single-variable bounds. Proving those empty here is O(rows) and
+        // skips both the Omega test and the memo-table machinery.
+        if self.interval_empty() {
+            debug_assert!(
+                !omega::feasible(&self.to_system())?,
+                "interval_empty wrongly claimed empty: eqs={:?} ineqs={:?}",
+                self.eqs,
+                self.ineqs
+            );
+            self.emptiness.store(EMPTINESS_EMPTY, Ordering::Relaxed);
+            return Ok(true);
+        }
+        let key = CacheKey::IsEmpty(cache::rows_key(self));
+        let v = if let Some(CacheVal::Bool(v)) = cache::lookup(&key) {
+            v
+        } else {
+            let v = !omega::feasible(&self.to_system())?;
+            cache::insert(key, CacheVal::Bool(v));
+            v
+        };
+        self.emptiness.store(
+            if v {
+                EMPTINESS_EMPTY
+            } else {
+                EMPTINESS_NONEMPTY
+            },
+            Ordering::Relaxed,
+        );
+        Ok(v)
+    }
+
+    /// Sound incomplete emptiness test by interval reasoning: tracks a
+    /// lower/upper bound per column from rows touching a single variable
+    /// and reports `true` only on a definite contradiction. `false` means
+    /// "unknown", not "non-empty".
+    fn interval_empty(&self) -> bool {
+        enum Vars {
+            Zero,
+            One(usize),
+            Many,
+        }
+        let cc = self.const_col();
+        let mut lb = vec![i64::MIN; cc];
+        let mut ub = vec![i64::MAX; cc];
+        let vars = |r: &[i64]| -> Vars {
+            let mut found = Vars::Zero;
+            for (j, &a) in r[..cc].iter().enumerate() {
+                if a != 0 {
+                    if matches!(found, Vars::One(_)) {
+                        return Vars::Many;
+                    }
+                    found = Vars::One(j);
+                }
+            }
+            found
+        };
+        for r in &self.eqs {
+            let c = r[cc];
+            match vars(r) {
+                // 0 == -c: contradiction iff c != 0.
+                Vars::Zero => {
+                    if c != 0 {
+                        return true;
+                    }
+                }
+                Vars::One(j) => {
+                    let a = r[j];
+                    // a·x == -c has an integer solution iff a | c.
+                    if c % a != 0 {
+                        return true;
+                    }
+                    let v = -c / a;
+                    lb[j] = lb[j].max(v);
+                    ub[j] = ub[j].min(v);
+                    if lb[j] > ub[j] {
+                        return true;
+                    }
+                }
+                Vars::Many => {}
+            }
+        }
+        for r in &self.ineqs {
+            let c = r[cc];
+            match vars(r) {
+                // 0 >= -c: contradiction iff c < 0.
+                Vars::Zero => {
+                    if c < 0 {
+                        return true;
+                    }
+                }
+                Vars::One(j) => {
+                    let a = r[j];
+                    if a > 0 {
+                        // x >= ceil(-c / a)
+                        lb[j] = lb[j].max(-c.div_euclid(a));
+                    } else {
+                        // x <= floor(c / -a)
+                        ub[j] = ub[j].min(c.div_euclid(-a));
+                    }
+                    if lb[j] > ub[j] {
+                        return true;
+                    }
+                }
+                Vars::Many => {}
+            }
+        }
+        false
     }
 
     /// Intersection (same space). Existential columns of both operands are
@@ -194,7 +371,13 @@ impl BasicSet {
         for r in &other.ineqs {
             ineqs.push(widen(r, self.n_div, other.n_div));
         }
-        Ok(BasicSet { space: self.space.clone(), n_div, eqs, ineqs })
+        Ok(BasicSet {
+            space: self.space.clone(),
+            n_div,
+            eqs,
+            ineqs,
+            emptiness: AtomicU8::new(EMPTINESS_UNKNOWN),
+        })
     }
 
     /// Whether `point = [params..., dims...]` is in the set (existentials
@@ -242,10 +425,17 @@ impl BasicSet {
     /// Returns an error on overflow or out-of-range indices.
     pub fn project_out_dims(&self, first: usize, count: usize) -> Result<Vec<BasicSet>> {
         if first + count > self.n_dim() {
-            return Err(Error::DimOutOfBounds { index: first + count, len: self.n_dim() });
+            return Err(Error::DimOutOfBounds {
+                index: first + count,
+                len: self.n_dim(),
+            });
         }
         if count == 0 {
             return Ok(vec![self.clone()]);
+        }
+        let key = CacheKey::ProjectDims(cache::bset_key(self), first, count);
+        if let Some(CacheVal::BSets(v)) = cache::lookup(&key) {
+            return Ok(v);
         }
         let np = self.n_param();
         let new_space = drop_space_dims(&self.space, first, count);
@@ -265,10 +455,12 @@ impl BasicSet {
             }
             systems = next;
         }
-        Ok(systems
+        let result: Vec<BasicSet> = systems
             .into_iter()
             .map(|(sys, n_div)| BasicSet::from_system(new_space.clone(), n_div, sys))
-            .collect())
+            .collect();
+        cache::insert(key, CacheVal::BSets(result.clone()));
+        Ok(result)
     }
 
     /// Removes existential columns where this is *cheaply exact* — a div
@@ -318,7 +510,10 @@ impl BasicSet {
     /// Returns an error if `dim` is out of range.
     pub fn fix_dim(&self, dim: usize, value: i64) -> Result<BasicSet> {
         if dim >= self.n_dim() {
-            return Err(Error::DimOutOfBounds { index: dim, len: self.n_dim() });
+            return Err(Error::DimOutOfBounds {
+                index: dim,
+                len: self.n_dim(),
+            });
         }
         let mut b = self.clone();
         let mut row = vec![0i64; b.cols()];
@@ -335,7 +530,10 @@ impl BasicSet {
     /// Returns an error if `p` is out of range.
     pub fn fix_param(&self, p: usize, value: i64) -> Result<BasicSet> {
         if p >= self.n_param() {
-            return Err(Error::DimOutOfBounds { index: p, len: self.n_param() });
+            return Err(Error::DimOutOfBounds {
+                index: p,
+                len: self.n_param(),
+            });
         }
         let mut b = self.clone();
         let mut row = vec![0i64; b.cols()];
@@ -398,7 +596,9 @@ impl BasicSet {
     /// building the complement. Only valid for basic sets without divs.
     pub(crate) fn negated_constraints(&self) -> Result<Vec<NegatedEntry>> {
         if self.n_div != 0 {
-            return Err(Error::KindMismatch { expected: "div-free basic set" });
+            return Err(Error::KindMismatch {
+                expected: "div-free basic set",
+            });
         }
         let cols = self.cols();
         let mut out = Vec::new();
@@ -459,7 +659,9 @@ impl BasicSet {
         for d in 0..self.n_div {
             let col = np_nd + d;
             if self.ineqs.iter().any(|r| r[col] != 0) {
-                return Err(Error::KindMismatch { expected: "complementable basic set" });
+                return Err(Error::KindMismatch {
+                    expected: "complementable basic set",
+                });
             }
             let uses: Vec<usize> = self
                 .eqs
@@ -469,14 +671,18 @@ impl BasicSet {
                 .map(|(i, _)| i)
                 .collect();
             if uses.len() != 1 {
-                return Err(Error::KindMismatch { expected: "complementable basic set" });
+                return Err(Error::KindMismatch {
+                    expected: "complementable basic set",
+                });
             }
             // The equality must not mention any *other* div (independent
             // witnesses only).
             let row = &self.eqs[uses[0]];
             for d2 in 0..self.n_div {
                 if d2 != d && row[np_nd + d2] != 0 {
-                    return Err(Error::KindMismatch { expected: "complementable basic set" });
+                    return Err(Error::KindMismatch {
+                        expected: "complementable basic set",
+                    });
                 }
             }
             div_eq_idx.push(uses[0]);
@@ -518,6 +724,7 @@ impl BasicSet {
             n_div: self.n_div,
             eqs: keep.clone(),
             ineqs: Vec::new(),
+            emptiness: AtomicU8::new(EMPTINESS_UNKNOWN),
         };
         let cols = self.cols();
         // Negate each div-free constraint in turn (inequalities have zero
@@ -544,6 +751,7 @@ impl BasicSet {
                 b2.push_ineq(neg);
                 out.push(b2);
                 ctx.eqs.push(r);
+                *ctx.emptiness.get_mut() = EMPTINESS_UNKNOWN;
             } else {
                 let mut neg: Vec<i64> = r.iter().map(|&x| -x).collect();
                 neg[cols - 1] -= 1;
@@ -551,6 +759,7 @@ impl BasicSet {
                 b.push_ineq(neg);
                 out.push(b);
                 ctx.ineqs.push(r);
+                *ctx.emptiness.get_mut() = EMPTINESS_UNKNOWN;
             }
         }
         Ok(out)
@@ -697,6 +906,41 @@ mod tests {
     }
 
     #[test]
+    fn interval_precheck_agrees_with_omega() {
+        // Disjoint boxes: the interval pre-check must prove emptiness.
+        let lo = boxy(3, 3);
+        let sp = sp2();
+        let i = AffExpr::dim(&sp, 0).unwrap();
+        let hi = BasicSet::universe(sp.clone())
+            .constrain(&i.ge(&AffExpr::constant(&sp, 10)).unwrap())
+            .unwrap();
+        let meet = lo.intersect(&hi).unwrap();
+        assert!(meet.interval_empty());
+        assert!(meet.is_empty().unwrap());
+        // Overlapping boxes: the pre-check must stay silent (unknown),
+        // and the exact test must report non-empty.
+        let meet2 = boxy(5, 5).intersect(&boxy(3, 7)).unwrap();
+        assert!(!meet2.interval_empty());
+        assert!(!meet2.is_empty().unwrap());
+        // Unsatisfiable divisibility on an equality: 2i == 7 has no
+        // integer solution; single-variable reasoning catches it.
+        let two_i = AffExpr::dim(&sp, 0).unwrap().scale(2).unwrap();
+        let odd = BasicSet::universe(sp.clone())
+            .constrain(&two_i.eq(&AffExpr::constant(&sp, 7)).unwrap())
+            .unwrap();
+        assert!(odd.is_empty().unwrap());
+        // A contradiction only visible through a multi-variable row is
+        // beyond interval reasoning: pre-check says unknown, Omega decides.
+        let j = AffExpr::dim(&sp, 1).unwrap();
+        let sum = i.checked_add(&j).unwrap();
+        let multi = boxy(2, 2)
+            .constrain(&sum.ge(&AffExpr::constant(&sp, 100)).unwrap())
+            .unwrap();
+        assert!(!multi.interval_empty());
+        assert!(multi.is_empty().unwrap());
+    }
+
+    #[test]
     fn project_out_dims_box() {
         let b = boxy(3, 7);
         let ps = b.project_out_dims(0, 1).unwrap();
@@ -757,8 +1001,10 @@ mod tests {
         let j = AffExpr::dim(&sp, 1).unwrap();
         let mut b = BasicSet::universe(sp.clone());
         b.add_constraint(&i.eq(&j).unwrap()).unwrap();
-        b.add_constraint(&i.ge(&AffExpr::zero(&sp)).unwrap()).unwrap();
-        b.add_constraint(&i.ge(&AffExpr::zero(&sp)).unwrap()).unwrap();
+        b.add_constraint(&i.ge(&AffExpr::zero(&sp)).unwrap())
+            .unwrap();
+        b.add_constraint(&i.ge(&AffExpr::zero(&sp)).unwrap())
+            .unwrap();
         let before = b.n_constraint();
         b.simplify();
         assert!(b.n_constraint() < before);
@@ -800,8 +1046,7 @@ mod tests {
         for i in -2..6 {
             for j in -2..7 {
                 let inside = b.contains(&[i, j]).unwrap();
-                let in_complement =
-                    pieces.iter().any(|p| p.contains(&[i, j]).unwrap());
+                let in_complement = pieces.iter().any(|p| p.contains(&[i, j]).unwrap());
                 assert_eq!(inside, !in_complement, "({i},{j})");
             }
         }

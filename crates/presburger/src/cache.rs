@@ -1,0 +1,217 @@
+//! A structural memo table for the expensive presburger operations.
+//!
+//! Operations like emptiness (the Omega test) and exact projection are
+//! recomputed with identical inputs thousands of times during fusion
+//! legality search and footprint analysis. This module interns
+//! constraint rows (so equal rows share one allocation and hash fast)
+//! and keys complete operations — `is_empty`, `project_out_dims`,
+//! `Set::intersect`, `Map::apply`, `Map::reverse` — on the *exact*
+//! structure of their operands: constraint rows, div counts and spaces.
+//! Exact keys mean a hit is always semantically identical to a cold
+//! call; there is no probabilistic hashing involved.
+//!
+//! The table is process-global behind a mutex: operations take the lock
+//! only to look up or store, never while computing. When the table
+//! exceeds its cap it is cleared wholesale — simple, and the workloads
+//! re-warm in one pass. Hit/miss counts go to [`crate::stats`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
+
+use crate::bset::BasicSet;
+use crate::map::Map;
+use crate::set::Set;
+use crate::space::Space;
+use crate::stats::{self, Op};
+
+/// An interned constraint row. Interning canonicalizes content-equal
+/// rows to one shared allocation, so equality and hashing compare the
+/// *pointer* — O(1) per row instead of O(row length) — without changing
+/// which keys collide.
+#[derive(Debug, Clone)]
+pub(crate) struct Row(Arc<[i64]>);
+
+impl PartialEq for Row {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Row {}
+
+impl Hash for Row {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (Arc::as_ptr(&self.0) as *const i64 as usize).hash(state);
+    }
+}
+
+/// The constraint rows of one basic set, interned.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SysKey {
+    eqs: Vec<Row>,
+    ineqs: Vec<Row>,
+}
+
+/// Full structural identity of a [`BasicSet`], including its space.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct BKey {
+    space: Space,
+    n_div: usize,
+    sys: SysKey,
+}
+
+/// Full structural identity of a [`Set`] (or a [`Map`] via its wrapped
+/// set): space plus each disjunct's rows and div count, in order.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SetKey {
+    space: Space,
+    disjuncts: Vec<(usize, SysKey)>,
+}
+
+/// One memoized operation applied to specific operands.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKey {
+    /// Feasibility of a raw constraint system: space-independent.
+    IsEmpty(SysKey),
+    ProjectDims(BKey, usize, usize),
+    Intersect(SetKey, SetKey),
+    Apply(SetKey, SetKey),
+    Reverse(SetKey),
+}
+
+impl CacheKey {
+    fn op(&self) -> Op {
+        match self {
+            CacheKey::IsEmpty(_) => Op::IsEmpty,
+            CacheKey::ProjectDims(..) => Op::Project,
+            CacheKey::Intersect(..) => Op::Intersect,
+            CacheKey::Apply(..) => Op::Apply,
+            CacheKey::Reverse(_) => Op::Reverse,
+        }
+    }
+}
+
+/// A memoized result.
+#[derive(Clone)]
+pub(crate) enum CacheVal {
+    Bool(bool),
+    BSets(Vec<BasicSet>),
+    Set(Set),
+    Map(Map),
+}
+
+/// Cleared wholesale when exceeded; large enough that the repo's
+/// workloads never cycle it, small enough to bound memory.
+const CACHE_CAP: usize = 1 << 16;
+
+static INTERN: LazyLock<Mutex<HashSet<Arc<[i64]>>>> = LazyLock::new(|| Mutex::new(HashSet::new()));
+static TABLE: LazyLock<Mutex<HashMap<CacheKey, CacheVal>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn intern_locked(g: &mut HashSet<Arc<[i64]>>, row: &[i64]) -> Row {
+    if let Some(r) = g.get(row) {
+        return Row(r.clone());
+    }
+    let arc: Arc<[i64]> = Arc::from(row);
+    g.insert(arc.clone());
+    Row(arc)
+}
+
+fn sys_key(eqs: &[Vec<i64>], ineqs: &[Vec<i64>]) -> SysKey {
+    // One lock acquisition for the whole system, not one per row.
+    let mut g = lock(&INTERN);
+    let eqs = eqs.iter().map(|r| intern_locked(&mut g, r)).collect();
+    let ineqs = ineqs.iter().map(|r| intern_locked(&mut g, r)).collect();
+    SysKey { eqs, ineqs }
+}
+
+/// Keys the raw constraint rows of a basic set (space-independent).
+pub(crate) fn rows_key(b: &BasicSet) -> SysKey {
+    sys_key(b.eq_rows(), b.ineq_rows())
+}
+
+/// Keys a basic set including its space.
+pub(crate) fn bset_key(b: &BasicSet) -> BKey {
+    BKey {
+        space: b.space().clone(),
+        n_div: b.n_div(),
+        sys: rows_key(b),
+    }
+}
+
+/// Keys a set including its space and disjunct order.
+pub(crate) fn set_key(s: &Set) -> SetKey {
+    SetKey {
+        space: s.space().clone(),
+        disjuncts: s
+            .basics()
+            .iter()
+            .map(|b| (b.n_div(), rows_key(b)))
+            .collect(),
+    }
+}
+
+/// Looks `key` up, recording a hit or miss for its operation.
+pub(crate) fn lookup(key: &CacheKey) -> Option<CacheVal> {
+    let hit = lock(&TABLE).get(key).cloned();
+    stats::record(key.op(), hit.is_some());
+    hit
+}
+
+/// Stores a computed result, clearing the table first if it is full.
+pub(crate) fn insert(key: CacheKey, val: CacheVal) {
+    let mut g = lock(&TABLE);
+    if g.len() >= CACHE_CAP {
+        g.clear();
+    }
+    g.insert(key, val);
+}
+
+/// Number of memoized entries.
+pub(crate) fn len() -> usize {
+    lock(&TABLE).len()
+}
+
+/// Drops every memoized entry and interned row.
+pub(crate) fn clear() {
+    lock(&TABLE).clear();
+    lock(&INTERN).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Returns the canonical shared allocation for `row`.
+    fn intern_row(row: &[i64]) -> Row {
+        intern_locked(&mut lock(&INTERN), row)
+    }
+
+    #[test]
+    fn interning_shares_allocations() {
+        let a = intern_row(&[1, 2, 3]);
+        let b = intern_row(&[1, 2, 3]);
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b, "pointer equality must mirror content equality");
+        let c = intern_row(&[1, 2, 4]);
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let key = CacheKey::IsEmpty(sys_key(&[vec![9, 9, 9, 9]], &[]));
+        clear();
+        assert!(lookup(&key).is_none());
+        insert(key.clone(), CacheVal::Bool(true));
+        match lookup(&key) {
+            Some(CacheVal::Bool(v)) => assert!(v),
+            _ => panic!("expected cached bool"),
+        }
+    }
+}

@@ -57,7 +57,10 @@ impl fmt::Display for Error {
                 write!(f, "space mismatch in {op}: {lhs} vs {rhs}")
             }
             Error::DimOutOfBounds { index, len } => {
-                write!(f, "dimension index {index} out of bounds for {len} dimensions")
+                write!(
+                    f,
+                    "dimension index {index} out of bounds for {len} dimensions"
+                )
             }
             Error::Parse { message, offset } => {
                 write!(f, "parse error at offset {offset}: {message}")
@@ -86,12 +89,18 @@ mod tests {
             lhs: "{ S[i] }".into(),
             rhs: "{ T[i] }".into(),
         };
-        assert_eq!(e.to_string(), "space mismatch in intersect: { S[i] } vs { T[i] }");
+        assert_eq!(
+            e.to_string(),
+            "space mismatch in intersect: { S[i] } vs { T[i] }"
+        );
     }
 
     #[test]
     fn display_parse() {
-        let e = Error::Parse { message: "expected ']'".into(), offset: 7 };
+        let e = Error::Parse {
+            message: "expected ']'".into(),
+            offset: 7,
+        };
         assert_eq!(e.to_string(), "parse error at offset 7: expected ']'");
     }
 
@@ -103,8 +112,14 @@ mod tests {
 
     #[test]
     fn display_overflow_and_unbounded() {
-        assert_eq!(Error::Overflow("mul").to_string(), "integer overflow during mul");
-        assert_eq!(Error::Unbounded { dim: 2 }.to_string(), "set is unbounded in dimension 2");
+        assert_eq!(
+            Error::Overflow("mul").to_string(),
+            "integer overflow during mul"
+        );
+        assert_eq!(
+            Error::Unbounded { dim: 2 }.to_string(),
+            "set is unbounded in dimension 2"
+        );
         assert_eq!(
             Error::DimOutOfBounds { index: 4, len: 2 }.to_string(),
             "dimension index 4 out of bounds for 2 dimensions"

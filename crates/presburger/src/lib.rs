@@ -35,6 +35,7 @@
 
 mod aff;
 mod bset;
+mod cache;
 mod error;
 mod lin;
 mod map;
@@ -45,6 +46,7 @@ mod print;
 mod scan;
 mod set;
 mod space;
+pub mod stats;
 mod union;
 
 pub use aff::{AffExpr, Constraint, ConstraintKind};

@@ -7,6 +7,7 @@
 
 use crate::aff::AffExpr;
 use crate::bset::BasicSet;
+use crate::cache::{self, CacheKey, CacheVal};
 use crate::error::{Error, Result};
 use crate::set::Set;
 use crate::space::Space;
@@ -24,7 +25,9 @@ impl Map {
     /// Returns an error if `space` is not a map space.
     pub fn empty(space: Space) -> Result<Self> {
         require_map(&space)?;
-        Ok(Map { inner: Set::empty(space) })
+        Ok(Map {
+            inner: Set::empty(space),
+        })
     }
 
     /// The universal relation in `space`.
@@ -33,7 +36,9 @@ impl Map {
     /// Returns an error if `space` is not a map space.
     pub fn universe(space: Space) -> Result<Self> {
         require_map(&space)?;
-        Ok(Map { inner: Set::universe(space) })
+        Ok(Map {
+            inner: Set::universe(space),
+        })
     }
 
     /// Wraps a single basic map.
@@ -42,7 +47,9 @@ impl Map {
     /// Returns an error if the basic set's space is not a map space.
     pub fn from_basic(basic: BasicSet) -> Result<Self> {
         require_map(basic.space())?;
-        Ok(Map { inner: Set::from_basic(basic) })
+        Ok(Map {
+            inner: Set::from_basic(basic),
+        })
     }
 
     /// Builds the graph of an affine function: `{ x -> y : y_k = expr_k }`.
@@ -57,14 +64,20 @@ impl Map {
     pub fn from_affine(space: Space, exprs: &[AffExpr]) -> Result<Self> {
         require_map(&space)?;
         if exprs.len() != space.n_out() {
-            return Err(Error::DimOutOfBounds { index: exprs.len(), len: space.n_out() });
+            return Err(Error::DimOutOfBounds {
+                index: exprs.len(),
+                len: space.n_out(),
+            });
         }
         let mut b = BasicSet::universe(space.clone());
         for (k, e) in exprs.iter().enumerate() {
             space.check_compatible(e.space(), "from_affine")?;
             for j in space.n_in()..space.n_dim() {
                 if e.dim_coeff(j) != 0 {
-                    return Err(Error::DimOutOfBounds { index: j, len: space.n_in() });
+                    return Err(Error::DimOutOfBounds {
+                        index: j,
+                        len: space.n_in(),
+                    });
                 }
             }
             let out_k = AffExpr::dim(&space, space.n_in() + k)?;
@@ -97,7 +110,10 @@ impl Map {
         require_map(&space)?;
         let n = space.n_in();
         if n != space.n_out() {
-            return Err(Error::DimOutOfBounds { index: space.n_out(), len: n });
+            return Err(Error::DimOutOfBounds {
+                index: space.n_out(),
+                len: n,
+            });
         }
         let mut m = Map::empty(space.clone())?;
         for level in 0..n {
@@ -158,7 +174,9 @@ impl Map {
     /// # Errors
     /// Returns an error on space mismatch.
     pub fn union(&self, other: &Map) -> Result<Map> {
-        Ok(Map { inner: self.inner.union(&other.inner)? })
+        Ok(Map {
+            inner: self.inner.union(&other.inner)?,
+        })
     }
 
     /// Intersection of two maps in the same space.
@@ -166,7 +184,9 @@ impl Map {
     /// # Errors
     /// Returns an error on space mismatch or overflow.
     pub fn intersect(&self, other: &Map) -> Result<Map> {
-        Ok(Map { inner: self.inner.intersect(&other.inner)? })
+        Ok(Map {
+            inner: self.inner.intersect(&other.inner)?,
+        })
     }
 
     /// Relation difference.
@@ -174,7 +194,9 @@ impl Map {
     /// # Errors
     /// See [`Set::subtract`].
     pub fn subtract(&self, other: &Map) -> Result<Map> {
-        Ok(Map { inner: self.inner.subtract(&other.inner)? })
+        Ok(Map {
+            inner: self.inner.subtract(&other.inner)?,
+        })
     }
 
     /// Whether `self ⊆ other` as relations.
@@ -193,8 +215,13 @@ impl Map {
         self.inner.is_equal(&other.inner)
     }
 
-    /// The reversed relation `{ y -> x : x -> y ∈ self }`.
+    /// The reversed relation `{ y -> x : x -> y ∈ self }`. Memoized on
+    /// the map's structure (see [`crate::cache`]).
     pub fn reverse(&self) -> Map {
+        let key = CacheKey::Reverse(cache::set_key(&self.inner));
+        if let Some(CacheVal::Map(m)) = cache::lookup(&key) {
+            return m;
+        }
         let space = self.space().reversed();
         let n_param = self.space().n_param();
         let n_in = self.space().n_in();
@@ -216,10 +243,19 @@ impl Map {
                         })
                         .collect()
                 };
-                BasicSet::from_rows(space.clone(), b.n_div(), swap(b.eq_rows()), swap(b.ineq_rows()))
+                BasicSet::from_rows(
+                    space.clone(),
+                    b.n_div(),
+                    swap(b.eq_rows()),
+                    swap(b.ineq_rows()),
+                )
             })
             .collect();
-        Map { inner: Set::from_basics(space, basics).expect("reversed basics share space") }
+        let result = Map {
+            inner: Set::from_basics(space, basics).expect("reversed basics share space"),
+        };
+        cache::insert(key, CacheVal::Map(result.clone()));
+        result
     }
 
     /// The domain `{ x : ∃y, x -> y }`.
@@ -229,7 +265,9 @@ impl Map {
     pub fn domain(&self) -> Result<Set> {
         let n_in = self.space().n_in();
         let n_out = self.space().n_out();
-        self.inner.project_out_dims(n_in, n_out)?.cast(self.space().domain_space())
+        self.inner
+            .project_out_dims(n_in, n_out)?
+            .cast(self.space().domain_space())
     }
 
     /// The range `{ y : ∃x, x -> y }`.
@@ -238,7 +276,9 @@ impl Map {
     /// Returns an error on overflow.
     pub fn range(&self) -> Result<Set> {
         let n_in = self.space().n_in();
-        self.inner.project_out_dims(0, n_in)?.cast(self.space().range_space())
+        self.inner
+            .project_out_dims(0, n_in)?
+            .cast(self.space().range_space())
     }
 
     /// Restricts the domain to `set`.
@@ -246,9 +286,13 @@ impl Map {
     /// # Errors
     /// Returns an error if `set` is not in the domain space.
     pub fn intersect_domain(&self, set: &Set) -> Result<Map> {
-        self.space().domain_space().check_compatible(set.space(), "intersect_domain")?;
+        self.space()
+            .domain_space()
+            .check_compatible(set.space(), "intersect_domain")?;
         let embedded = embed_set(set, self.space(), 0)?;
-        Ok(Map { inner: self.inner.intersect(&embedded)? })
+        Ok(Map {
+            inner: self.inner.intersect(&embedded)?,
+        })
     }
 
     /// Restricts the range to `set`.
@@ -256,9 +300,13 @@ impl Map {
     /// # Errors
     /// Returns an error if `set` is not in the range space.
     pub fn intersect_range(&self, set: &Set) -> Result<Map> {
-        self.space().range_space().check_compatible(set.space(), "intersect_range")?;
+        self.space()
+            .range_space()
+            .check_compatible(set.space(), "intersect_range")?;
         let embedded = embed_set(set, self.space(), self.space().n_in())?;
-        Ok(Map { inner: self.inner.intersect(&embedded)? })
+        Ok(Map {
+            inner: self.inner.intersect(&embedded)?,
+        })
     }
 
     /// Relation composition `other ∘ self`: for `self : X -> Y` and
@@ -278,7 +326,10 @@ impl Map {
                 rhs: other.space().to_string(),
             });
         }
-        let space = self.space().domain_space().join_map(&other.space().range_space())?;
+        let space = self
+            .space()
+            .domain_space()
+            .join_map(&other.space().range_space())?;
         let np = self.space().n_param();
         let nx = self.space().n_in();
         let ny = self.space().n_out();
@@ -293,8 +344,7 @@ impl Map {
                     let mut o = vec![0i64; cols];
                     o[..np].copy_from_slice(&r[..np]);
                     o[np..np + nx].copy_from_slice(&r[np..np + nx]);
-                    o[np + nx + nz..np + nx + nz + ny]
-                        .copy_from_slice(&r[np + nx..np + nx + ny]);
+                    o[np + nx + nz..np + nx + nz + ny].copy_from_slice(&r[np + nx..np + nx + ny]);
                     o[np + nx + nz + ny..np + nx + nz + ny + a.n_div()]
                         .copy_from_slice(&r[np + nx + ny..np + nx + ny + a.n_div()]);
                     o[cols - 1] = r[r.len() - 1];
@@ -310,8 +360,12 @@ impl Map {
                     o[cols - 1] = r[r.len() - 1];
                     o
                 };
-                let eqs: Vec<Vec<i64>> =
-                    a.eq_rows().iter().map(map_a).chain(b.eq_rows().iter().map(map_b)).collect();
+                let eqs: Vec<Vec<i64>> = a
+                    .eq_rows()
+                    .iter()
+                    .map(map_a)
+                    .chain(b.eq_rows().iter().map(map_b))
+                    .collect();
                 let ineqs: Vec<Vec<i64>> = a
                     .ineq_rows()
                     .iter()
@@ -328,7 +382,9 @@ impl Map {
                 }
             }
         }
-        Ok(Map { inner: Set::from_basics(space, basics)? })
+        Ok(Map {
+            inner: Set::from_basics(space, basics)?,
+        })
     }
 
     /// The flat range product: for `self : X -> [m]` and `other : X -> [n]`
@@ -368,15 +424,18 @@ impl Map {
                 let map_b = |r: &Vec<i64>| -> Vec<i64> {
                     let mut o = vec![0i64; cols];
                     o[..np + nx].copy_from_slice(&r[..np + nx]);
-                    o[np + nx + nm..np + nx + nm + nn]
-                        .copy_from_slice(&r[np + nx..np + nx + nn]);
+                    o[np + nx + nm..np + nx + nm + nn].copy_from_slice(&r[np + nx..np + nx + nn]);
                     o[np + nx + nm + nn + a.n_div()..np + nx + nm + nn + n_div]
                         .copy_from_slice(&r[np + nx + nn..np + nx + nn + b.n_div()]);
                     o[cols - 1] = r[r.len() - 1];
                     o
                 };
-                let eqs: Vec<Vec<i64>> =
-                    a.eq_rows().iter().map(map_a).chain(b.eq_rows().iter().map(map_b)).collect();
+                let eqs: Vec<Vec<i64>> = a
+                    .eq_rows()
+                    .iter()
+                    .map(map_a)
+                    .chain(b.eq_rows().iter().map(map_b))
+                    .collect();
                 let ineqs: Vec<Vec<i64>> = a
                     .ineq_rows()
                     .iter()
@@ -386,15 +445,24 @@ impl Map {
                 basics.push(BasicSet::from_rows(space.clone(), n_div, eqs, ineqs));
             }
         }
-        Ok(Map { inner: Set::from_basics(space, basics)? })
+        Ok(Map {
+            inner: Set::from_basics(space, basics)?,
+        })
     }
 
-    /// Applies the map to a set: `{ y : ∃x ∈ set, x -> y }`.
+    /// Applies the map to a set: `{ y : ∃x ∈ set, x -> y }`. Memoized on
+    /// both operands' structure (see [`crate::cache`]).
     ///
     /// # Errors
     /// Returns an error if `set` is not in the domain space, or on overflow.
     pub fn apply(&self, set: &Set) -> Result<Set> {
-        self.intersect_domain(set)?.range()
+        let key = CacheKey::Apply(cache::set_key(&self.inner), cache::set_key(set));
+        if let Some(CacheVal::Set(s)) = cache::lookup(&key) {
+            return Ok(s);
+        }
+        let result = self.intersect_domain(set)?.range()?;
+        cache::insert(key, CacheVal::Set(result.clone()));
+        Ok(result)
     }
 
     /// The image of a single input point: `{ y : point -> y }`.
@@ -423,7 +491,10 @@ impl Map {
     pub fn remove_in_dims(&self, first: usize, count: usize) -> Result<Map> {
         let n_in = self.space().n_in();
         if first + count > n_in {
-            return Err(Error::DimOutOfBounds { index: first + count, len: n_in });
+            return Err(Error::DimOutOfBounds {
+                index: first + count,
+                len: n_in,
+            });
         }
         let projected = self.inner.project_out_dims(first, count)?;
         let params: Vec<&str> = self.space().params().iter().map(String::as_str).collect();
@@ -440,7 +511,9 @@ impl Map {
     /// # Errors
     /// Returns an error if `p` is out of range.
     pub fn fix_param(&self, p: usize, value: i64) -> Result<Map> {
-        Ok(Map { inner: self.inner.fix_param(p, value)? })
+        Ok(Map {
+            inner: self.inner.fix_param(p, value)?,
+        })
     }
 
     /// Renames tuples without changing content.
@@ -449,7 +522,9 @@ impl Map {
     /// Returns an error if arities differ.
     pub fn cast(&self, space: Space) -> Result<Map> {
         require_map(&space)?;
-        Ok(Map { inner: self.inner.cast(space)? })
+        Ok(Map {
+            inner: self.inner.cast(space)?,
+        })
     }
 
     /// Whether the pair `(x, y)` (with parameter values prepended) is in the

@@ -32,7 +32,11 @@ pub(crate) struct System {
 
 impl System {
     pub(crate) fn new(n_vars: usize) -> Self {
-        System { n_vars, eqs: Vec::new(), ineqs: Vec::new() }
+        System {
+            n_vars,
+            eqs: Vec::new(),
+            ineqs: Vec::new(),
+        }
     }
 
     fn cols(&self) -> usize {
@@ -166,8 +170,13 @@ impl System {
     /// Evaluates the system at a full assignment (for tests).
     #[cfg(test)]
     fn satisfied_by(&self, point: &[i64]) -> bool {
-        self.eqs.iter().all(|r| lin::eval_row(r, point).unwrap() == 0)
-            && self.ineqs.iter().all(|r| lin::eval_row(r, point).unwrap() >= 0)
+        self.eqs
+            .iter()
+            .all(|r| lin::eval_row(r, point).unwrap() == 0)
+            && self
+                .ineqs
+                .iter()
+                .all(|r| lin::eval_row(r, point).unwrap() >= 0)
     }
 }
 
@@ -557,10 +566,10 @@ mod tests {
             2,
             &[],
             &[
-                &[1, 0, 0],   // x >= 0
-                &[-1, 0, 9],  // x <= 9
-                &[-1, 1, 0],  // y >= x
-                &[1, -1, 2],  // y <= x + 2
+                &[1, 0, 0],  // x >= 0
+                &[-1, 0, 9], // x <= 9
+                &[-1, 1, 0], // y >= x
+                &[1, -1, 2], // y <= x + 2
             ],
         );
         let rs = eliminate_col(&s, 0).unwrap();
@@ -570,8 +579,13 @@ mod tests {
         // Check semantics by sampling y in -2..14.
         for y in -2..14 {
             let expect = (0..=9).any(|x| y >= x && y <= x + 2);
-            let got = r.eqs.iter().all(|row| lin::eval_row(row, &[y]).unwrap() == 0)
-                && r.ineqs.iter().all(|row| lin::eval_row(row, &[y]).unwrap() >= 0);
+            let got = r
+                .eqs
+                .iter()
+                .all(|row| lin::eval_row(row, &[y]).unwrap() == 0)
+                && r.ineqs
+                    .iter()
+                    .all(|row| lin::eval_row(row, &[y]).unwrap() >= 0);
             assert_eq!(got, expect, "y = {y}");
         }
     }
@@ -585,10 +599,10 @@ mod tests {
             2,
             &[],
             &[
-                &[-3, 1, 0],  // y - 3x >= 0
-                &[3, -1, 1],  // 3x + 1 - y >= 0
-                &[1, 0, 0],   // x >= 0
-                &[-1, 0, 4],  // x <= 4
+                &[-3, 1, 0], // y - 3x >= 0
+                &[3, -1, 1], // 3x + 1 - y >= 0
+                &[1, 0, 0],  // x >= 0
+                &[-1, 0, 4], // x <= 4
             ],
         );
         let rs = eliminate_col(&s, 0).unwrap();
@@ -639,11 +653,7 @@ mod tests {
         // { (x, y) : 3x = y, 0 <= y <= 9, y >= x } — eliminate x for
         // projection. The witness must appear in exactly one equality and
         // no inequality (so the complement machinery can negate it).
-        let s = sys(
-            2,
-            &[&[3, -1, 0]],
-            &[&[0, 1, 0], &[0, -1, 9], &[-1, 1, 0]],
-        );
+        let s = sys(2, &[&[3, -1, 0]], &[&[0, 1, 0], &[0, -1, 9], &[-1, 1, 0]]);
         let rs = eliminate_col(&s, 0).unwrap();
         assert_eq!(rs.len(), 1);
         let r = &rs[0];
@@ -684,8 +694,13 @@ mod tests {
         let r = &rs[0];
         for y in -4..6 {
             let expect = (-1..=2).contains(&y);
-            let got = r.ineqs.iter().all(|row| lin::eval_row(row, &[y]).unwrap() >= 0)
-                && r.eqs.iter().all(|row| lin::eval_row(row, &[y]).unwrap() == 0);
+            let got = r
+                .ineqs
+                .iter()
+                .all(|row| lin::eval_row(row, &[y]).unwrap() >= 0)
+                && r.eqs
+                    .iter()
+                    .all(|row| lin::eval_row(row, &[y]).unwrap() == 0);
             assert_eq!(got, expect, "y = {y}");
         }
     }

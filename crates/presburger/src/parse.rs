@@ -75,7 +75,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn tokens(src: &'a str) -> Result<Vec<(Tok, usize)>> {
-        let mut lx = Lexer { src: src.as_bytes(), pos: 0 };
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        };
         let mut out = Vec::new();
         while let Some((t, at)) = lx.next_token()? {
             out.push((t, at));
@@ -177,7 +180,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 2;
                     Tok::And
                 } else {
-                    return Err(Error::Parse { message: "lone '&'".into(), offset: at });
+                    return Err(Error::Parse {
+                        message: "lone '&'".into(),
+                        offset: at,
+                    });
                 }
             }
             _ if c.is_ascii_digit() => {
@@ -186,9 +192,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-                let v = text
-                    .parse::<i64>()
-                    .map_err(|_| Error::Parse { message: "integer too large".into(), offset: at })?;
+                let v = text.parse::<i64>().map_err(|_| Error::Parse {
+                    message: "integer too large".into(),
+                    offset: at,
+                })?;
                 Tok::Int(v)
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
@@ -200,7 +207,9 @@ impl<'a> Lexer<'a> {
                 {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_owned();
                 if text == "and" {
                     Tok::And
                 } else {
@@ -232,14 +241,21 @@ impl Parser {
             Err(e) => {
                 // Encode the lex error as a poisoned parser that fails at
                 // the first peek. Simpler: stash it.
-                Parser { toks: vec![(Tok::Ident(format!("\u{0}{e}")), 0)], pos: 0, end }
+                Parser {
+                    toks: vec![(Tok::Ident(format!("\u{0}{e}")), 0)],
+                    pos: 0,
+                    end,
+                }
             }
         }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
         let offset = self.toks.get(self.pos).map_or(self.end, |(_, at)| *at);
-        Err(Error::Parse { message: message.into(), offset })
+        Err(Error::Parse {
+            message: message.into(),
+            offset,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -277,7 +293,10 @@ impl Parser {
         // Poisoned lexer check.
         if let Some(Tok::Ident(s)) = self.peek() {
             if let Some(msg) = s.strip_prefix('\u{0}') {
-                return Err(Error::Parse { message: msg.to_owned(), offset: 0 });
+                return Err(Error::Parse {
+                    message: msg.to_owned(),
+                    offset: 0,
+                });
             }
         }
         // Optional parameter list: [A, B] ->
@@ -405,7 +424,9 @@ impl Parser {
     fn parse_tuple(&mut self) -> Result<(Option<String>, Vec<DimEntry>)> {
         let name = match self.peek() {
             Some(Tok::Ident(_)) => {
-                let Some(Tok::Ident(n)) = self.bump() else { unreachable!() };
+                let Some(Tok::Ident(n)) = self.bump() else {
+                    unreachable!()
+                };
                 Some(n)
             }
             _ => None,
@@ -429,8 +450,10 @@ impl Parser {
         // anything else is an expression.
         if let Some(Tok::Ident(n)) = self.peek() {
             let n = n.clone();
-            if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Tok::Comma) | Some(Tok::RBracket))
-            {
+            if matches!(
+                self.toks.get(self.pos + 1).map(|(t, _)| t),
+                Some(Tok::Comma) | Some(Tok::RBracket)
+            ) {
                 self.pos += 1;
                 return Ok(DimEntry::Name(n));
             }
@@ -464,7 +487,9 @@ impl Parser {
                     let f = self.parse_raw_factor()?;
                     Ok(f.scale(v))
                 } else if let Some(Tok::Ident(_)) = self.peek() {
-                    let Some(Tok::Ident(n)) = self.bump() else { unreachable!() };
+                    let Some(Tok::Ident(n)) = self.bump() else {
+                        unreachable!()
+                    };
                     Ok(RawExpr::var(&n).scale(v))
                 } else {
                     Ok(RawExpr::constant(v))
@@ -543,7 +568,10 @@ impl Parser {
         let raw = self.parse_raw_expr()?;
         raw.resolve(space).map_err(|name| Error::Parse {
             message: format!("unknown name '{name}'"),
-            offset: self.toks.get(self.pos.saturating_sub(1)).map_or(0, |(_, at)| *at),
+            offset: self
+                .toks
+                .get(self.pos.saturating_sub(1))
+                .map_or(0, |(_, at)| *at),
         })
     }
 }
@@ -572,11 +600,17 @@ struct RawExpr {
 
 impl RawExpr {
     fn var(name: &str) -> Self {
-        RawExpr { terms: vec![(name.to_owned(), 1)], constant: 0 }
+        RawExpr {
+            terms: vec![(name.to_owned(), 1)],
+            constant: 0,
+        }
     }
 
     fn constant(v: i64) -> Self {
-        RawExpr { terms: Vec::new(), constant: v }
+        RawExpr {
+            terms: Vec::new(),
+            constant: v,
+        }
     }
 
     fn add(&self, other: &RawExpr) -> RawExpr {
@@ -645,7 +679,9 @@ mod tests {
 
     #[test]
     fn parse_with_params() {
-        let s: Set = "[N, M] -> { S[i, j] : 0 <= i < N and 0 <= j < M }".parse().unwrap();
+        let s: Set = "[N, M] -> { S[i, j] : 0 <= i < N and 0 <= j < M }"
+            .parse()
+            .unwrap();
         assert_eq!(s.space().n_param(), 2);
         assert!(s.contains(&[3, 2, 2, 1]).unwrap());
         assert!(!s.contains(&[3, 2, 3, 0]).unwrap());
@@ -661,7 +697,9 @@ mod tests {
 
     #[test]
     fn parse_union() {
-        let s: Set = "{ S[i] : 0 <= i <= 2; S[j] : 5 <= j <= 6 }".parse().unwrap();
+        let s: Set = "{ S[i] : 0 <= i <= 2; S[j] : 5 <= j <= 6 }"
+            .parse()
+            .unwrap();
         assert_eq!(s.n_basic(), 2);
         assert!(s.contains(&[6]).unwrap());
         assert!(!s.contains(&[4]).unwrap());
@@ -676,9 +714,10 @@ mod tests {
 
     #[test]
     fn parse_coefficients_and_parens() {
-        let s: Set = "{ S[i, j] : 2i + 3*j - (i - 1) >= 0 and i <= 5 and j <= 5 and i >= -5 and j >= -5 }"
-            .parse()
-            .unwrap();
+        let s: Set =
+            "{ S[i, j] : 2i + 3*j - (i - 1) >= 0 and i <= 5 and j <= 5 and i >= -5 and j >= -5 }"
+                .parse()
+                .unwrap();
         // i + 3j + 1 >= 0 at (0, 0): yes; at (-4, 1): 0 >= 0 yes; (-5, 1): -1 no.
         assert!(s.contains(&[0, 0]).unwrap());
         assert!(s.contains(&[-4, 1]).unwrap());
@@ -720,7 +759,9 @@ mod tests {
     #[test]
     fn parse_union_space_mismatch_rejected() {
         assert!("{ S[i] : i >= 0; T[i] : i >= 0 }".parse::<Set>().is_err());
-        assert!("{ S[i] : i >= 0; S[i, j] : i >= 0 }".parse::<Set>().is_err());
+        assert!("{ S[i] : i >= 0; S[i, j] : i >= 0 }"
+            .parse::<Set>()
+            .is_err());
     }
 
     #[test]

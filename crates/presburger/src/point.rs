@@ -13,7 +13,10 @@ pub struct Point {
 impl Point {
     /// Creates a point with an optional tuple name.
     pub fn new(name: Option<&str>, coords: Vec<i64>) -> Self {
-        Point { name: name.map(str::to_owned), coords }
+        Point {
+            name: name.map(str::to_owned),
+            coords,
+        }
     }
 
     /// The tuple name, if any.
@@ -40,7 +43,11 @@ impl fmt::Display for Point {
         write!(
             f,
             "[{}]",
-            self.coords.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            self.coords
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 }

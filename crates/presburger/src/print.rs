@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn set_roundtrips_through_text() {
-        let s: Set = "[N] -> { S[i, j] : 0 <= i < N and j = i + 1 }".parse().unwrap();
+        let s: Set = "[N] -> { S[i, j] : 0 <= i < N and j = i + 1 }"
+            .parse()
+            .unwrap();
         let printed = s.to_string();
         let back: Set = printed.parse().unwrap();
         assert!(s.is_equal(&back).unwrap(), "printed: {printed}");
@@ -161,7 +163,9 @@ mod tests {
 
     #[test]
     fn union_roundtrips() {
-        let s: Set = "{ S[i] : 0 <= i <= 2; S[i] : 7 <= i <= 9 }".parse().unwrap();
+        let s: Set = "{ S[i] : 0 <= i <= 2; S[i] : 7 <= i <= 9 }"
+            .parse()
+            .unwrap();
         let back: Set = s.to_string().parse().unwrap();
         assert!(s.is_equal(&back).unwrap());
     }

@@ -89,9 +89,17 @@ impl Scanner {
             if b.is_empty()? {
                 continue;
             }
-            branches.push(Branch { levels: levels_for(b)?, exact: b.clone() });
+            branches.push(Branch {
+                levels: levels_for(b)?,
+                exact: b.clone(),
+            });
         }
-        Ok(Scanner { n_param, n_dim, param_values, branches })
+        Ok(Scanner {
+            n_param,
+            n_dim,
+            param_values,
+            branches,
+        })
     }
 
     /// Number of disjunct branches.
@@ -176,7 +184,12 @@ impl Scanner {
     ) -> Result<bool> {
         if level == self.n_dim {
             let dims = &point[self.n_param..];
-            let full: Vec<i64> = self.param_values.iter().chain(dims.iter()).copied().collect();
+            let full: Vec<i64> = self
+                .param_values
+                .iter()
+                .chain(dims.iter())
+                .copied()
+                .collect();
             if br.exact.contains(&full)? {
                 return Ok(f(dims));
             }

@@ -1,6 +1,7 @@
 //! Sets: finite unions of [`BasicSet`]s in a common space.
 
 use crate::bset::BasicSet;
+use crate::cache::{self, CacheKey, CacheVal};
 use crate::error::{Error, Result};
 use crate::space::Space;
 
@@ -17,17 +18,26 @@ pub struct Set {
 impl Set {
     /// The empty set in `space`.
     pub fn empty(space: Space) -> Self {
-        Set { space, basics: Vec::new() }
+        Set {
+            space,
+            basics: Vec::new(),
+        }
     }
 
     /// The unconstrained set in `space`.
     pub fn universe(space: Space) -> Self {
-        Set { space: space.clone(), basics: vec![BasicSet::universe(space)] }
+        Set {
+            space: space.clone(),
+            basics: vec![BasicSet::universe(space)],
+        }
     }
 
     /// A set consisting of a single basic set.
     pub fn from_basic(basic: BasicSet) -> Self {
-        Set { space: basic.space().clone(), basics: vec![basic] }
+        Set {
+            space: basic.space().clone(),
+            basics: vec![basic],
+        }
     }
 
     /// Builds a set from several basic sets (all in the same space).
@@ -69,23 +79,38 @@ impl Set {
         Ok(true)
     }
 
-    /// Union with another set in the same space.
+    /// Union with another set in the same space. Disjuncts of `other`
+    /// that are structurally identical to one already present are
+    /// coalesced away instead of being appended, so repeated unions do
+    /// not balloon the disjunct list.
     ///
     /// # Errors
     /// Returns an error on space mismatch.
     pub fn union(&self, other: &Set) -> Result<Set> {
         self.space.check_compatible(&other.space, "union")?;
         let mut basics = self.basics.clone();
-        basics.extend(other.basics.iter().cloned());
-        Ok(Set { space: self.space.clone(), basics })
+        for b in &other.basics {
+            if !basics.contains(b) {
+                basics.push(b.clone());
+            }
+        }
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
-    /// Intersection with another set in the same space.
+    /// Intersection with another set in the same space. Results are
+    /// memoized on both operands' structure (see [`crate::cache`]).
     ///
     /// # Errors
     /// Returns an error on space mismatch or overflow.
     pub fn intersect(&self, other: &Set) -> Result<Set> {
         self.space.check_compatible(&other.space, "intersect")?;
+        let key = CacheKey::Intersect(cache::set_key(self), cache::set_key(other));
+        if let Some(CacheVal::Set(s)) = cache::lookup(&key) {
+            return Ok(s);
+        }
         let mut basics = Vec::new();
         for a in &self.basics {
             for b in &other.basics {
@@ -95,7 +120,12 @@ impl Set {
                 }
             }
         }
-        Ok(Set { space: self.space.clone(), basics })
+        let result = Set {
+            space: self.space.clone(),
+            basics,
+        };
+        cache::insert(key, CacheVal::Set(result.clone()));
+        Ok(result)
     }
 
     /// Set difference `self − other`.
@@ -122,7 +152,10 @@ impl Set {
                 break;
             }
         }
-        Ok(Set { space: self.space.clone(), basics: current })
+        Ok(Set {
+            space: self.space.clone(),
+            basics: current,
+        })
     }
 
     /// Whether `self ⊆ other`.
@@ -188,7 +221,10 @@ impl Set {
             .iter()
             .map(|b| b.fix_dim(dim, value))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Set { space: self.space.clone(), basics })
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Fixes parameter `p` to `value` in every disjunct.
@@ -201,7 +237,10 @@ impl Set {
             .iter()
             .map(|b| b.fix_param(p, value))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Set { space: self.space.clone(), basics })
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Renames the tuple (and/or dim names) without changing content.
@@ -229,23 +268,28 @@ impl Set {
             }
             kept.push(b.clone());
         }
+        // Singleton wrappers built once, not inside the O(n²) loop.
+        let singles: Vec<Set> = kept.iter().map(|b| Set::from_basic(b.clone())).collect();
         // Drop disjuncts contained in another disjunct.
         let mut result: Vec<BasicSet> = Vec::new();
         'outer: for (i, b) in kept.iter().enumerate() {
-            for (j, other) in kept.iter().enumerate() {
+            for j in 0..kept.len() {
                 if i == j {
                     continue;
                 }
                 // Keep the earlier one when mutually contained.
-                let bs = Set::from_basic(b.clone());
-                let os = Set::from_basic(other.clone());
-                if bs.is_subset(&os)? && (j < i || !os.is_subset(&bs)?) {
+                if singles[i].is_subset(&singles[j])?
+                    && (j < i || !singles[j].is_subset(&singles[i])?)
+                {
                     continue 'outer;
                 }
             }
             result.push(b.clone());
         }
-        Ok(Set { space: self.space.clone(), basics: result })
+        Ok(Set {
+            space: self.space.clone(),
+            basics: result,
+        })
     }
 
     /// Counts the integer points of the set for the given parameter values.
@@ -267,14 +311,18 @@ impl Set {
         let n = self.space.n_dim();
         let mut out = Vec::with_capacity(n);
         for k in 0..n {
-            // Project away all dims except k, then take 1-D bounds.
-            let mut s = self.clone();
-            if k + 1 < n {
-                s = s.project_out_dims(k + 1, n - k - 1)?;
-            }
-            if k > 0 {
-                s = s.project_out_dims(0, k)?;
-            }
+            // Project away all dims except k, then take 1-D bounds. The
+            // clone of `self` is only needed when no projection runs.
+            let tail = if k + 1 < n {
+                self.project_out_dims(k + 1, n - k - 1)?
+            } else {
+                self.clone()
+            };
+            let s = if k > 0 {
+                tail.project_out_dims(0, k)?
+            } else {
+                tail
+            };
             let mut lo = i64::MAX;
             let mut hi = i64::MIN;
             let mut any = false;
@@ -371,7 +419,9 @@ fn subtract_basic(part: &BasicSet, b: &BasicSet) -> Result<Vec<BasicSet>> {
             // Try to remove the awkward existentials exactly, then retry.
             let parts = b.project_out_divs()?;
             if parts.len() == 1 && parts[0] == *b {
-                return Err(Error::KindMismatch { expected: "complementable basic set" });
+                return Err(Error::KindMismatch {
+                    expected: "complementable basic set",
+                });
             }
             let mut current = vec![part.clone()];
             for p in &parts {
@@ -506,7 +556,11 @@ mod tests {
     fn count_points_interval() {
         assert_eq!(interval(0, 9).count_points(&[]).unwrap(), 10);
         assert_eq!(
-            interval(0, 3).union(&interval(2, 5)).unwrap().count_points(&[]).unwrap(),
+            interval(0, 3)
+                .union(&interval(2, 5))
+                .unwrap()
+                .count_points(&[])
+                .unwrap(),
             6
         );
     }
@@ -523,7 +577,9 @@ mod tests {
             .unwrap();
         let s = Set::from_basic(b).fixed_params(&[4]).unwrap();
         assert_eq!(s.count_points(&[4]).unwrap(), 4);
-        assert!(Set::from_basic(BasicSet::universe(sp)).fixed_params(&[1, 2]).is_err());
+        assert!(Set::from_basic(BasicSet::universe(sp))
+            .fixed_params(&[1, 2])
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Hit/miss counters for the memoized presburger operations.
+//!
+//! The memo table in [`crate::cache`] records a hit or miss here on
+//! every lookup, per operation, so callers (the bench harness, the
+//! experiment driver) can observe how much recomputation the cache is
+//! eliminating. Counters are process-global atomics: cheap to bump,
+//! safe to read from any thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which memoized operation a lookup belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// [`crate::BasicSet::is_empty`]
+    IsEmpty,
+    /// [`crate::BasicSet::project_out_dims`]
+    Project,
+    /// [`crate::Set::intersect`]
+    Intersect,
+    /// [`crate::Map::apply`]
+    Apply,
+    /// [`crate::Map::reverse`]
+    Reverse,
+}
+
+const N_OPS: usize = 5;
+const OP_NAMES: [&str; N_OPS] = ["is_empty", "project", "intersect", "apply", "reverse"];
+
+static HITS: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
+static MISSES: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
+
+pub(crate) fn record(op: Op, hit: bool) {
+    let i = op as usize;
+    if hit {
+        HITS[i].fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Hit/miss counts for one memoized operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl OpStats {
+    /// Fraction of lookups that hit, or 0.0 with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of every operation's counters plus the memo
+/// table's current size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub is_empty: OpStats,
+    pub project: OpStats,
+    pub intersect: OpStats,
+    pub apply: OpStats,
+    pub reverse: OpStats,
+    /// Entries currently resident in the memo table.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total hits across all operations.
+    pub fn total_hits(&self) -> u64 {
+        self.per_op().iter().map(|s| s.hits).sum()
+    }
+
+    /// Total misses across all operations.
+    pub fn total_misses(&self) -> u64 {
+        self.per_op().iter().map(|s| s.misses).sum()
+    }
+
+    fn per_op(&self) -> [OpStats; N_OPS] {
+        [
+            self.is_empty,
+            self.project,
+            self.intersect,
+            self.apply,
+            self.reverse,
+        ]
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops = self.per_op();
+        for (name, s) in OP_NAMES.iter().zip(ops.iter()) {
+            write!(
+                f,
+                "{name}: {}/{} ({:.0}%)  ",
+                s.hits,
+                s.hits + s.misses,
+                s.hit_rate() * 100.0
+            )?;
+        }
+        write!(f, "entries: {}", self.entries)
+    }
+}
+
+/// Reads the current counters and memo-table size.
+pub fn snapshot() -> CacheStats {
+    let at = |i: usize| OpStats {
+        hits: HITS[i].load(Ordering::Relaxed),
+        misses: MISSES[i].load(Ordering::Relaxed),
+    };
+    CacheStats {
+        is_empty: at(Op::IsEmpty as usize),
+        project: at(Op::Project as usize),
+        intersect: at(Op::Intersect as usize),
+        apply: at(Op::Apply as usize),
+        reverse: at(Op::Reverse as usize),
+        entries: crate::cache::len(),
+    }
+}
+
+/// Zeroes every hit/miss counter (the memo table itself is untouched).
+pub fn reset() {
+    for i in 0..N_OPS {
+        HITS[i].store(0, Ordering::Relaxed);
+        MISSES[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Empties the memo table and the row interner. Counters are untouched;
+/// combine with [`reset`] for a fully cold start.
+pub fn clear_cache() {
+    crate::cache::clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stats_hit_rate() {
+        let s = OpStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(OpStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_op() {
+        let s = CacheStats::default();
+        let text = s.to_string();
+        for name in OP_NAMES {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

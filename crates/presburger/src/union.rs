@@ -57,7 +57,9 @@ impl UnionSet {
 
     /// The part in the space with tuple name `name`, if present.
     pub fn part_named(&self, name: &str) -> Option<&Set> {
-        self.parts.iter().find(|p| p.space().tuple().name() == Some(name))
+        self.parts
+            .iter()
+            .find(|p| p.space().tuple().name() == Some(name))
     }
 
     /// Whether every part is empty.
@@ -226,7 +228,9 @@ impl UnionMap {
 
     /// The reversed union map.
     pub fn reverse(&self) -> UnionMap {
-        UnionMap { parts: self.parts.iter().map(Map::reverse).collect() }
+        UnionMap {
+            parts: self.parts.iter().map(Map::reverse).collect(),
+        }
     }
 
     /// Composes with `other`: all pairs `self_part : X->Y`,
@@ -238,7 +242,10 @@ impl UnionMap {
         let mut out = UnionMap::new();
         for a in &self.parts {
             for b in &other.parts {
-                if a.space().range_space().compatible(&b.space().domain_space()) {
+                if a.space()
+                    .range_space()
+                    .compatible(&b.space().domain_space())
+                {
                     out.add(a.compose(b)?)?;
                 }
             }
@@ -330,11 +337,9 @@ mod tests {
 
     #[test]
     fn union_set_subtract_per_space() {
-        let a = UnionSet::from_parts([
-            set("{ S[i] : 0 <= i <= 9 }"),
-            set("{ T[i] : 0 <= i <= 9 }"),
-        ])
-        .unwrap();
+        let a =
+            UnionSet::from_parts([set("{ S[i] : 0 <= i <= 9 }"), set("{ T[i] : 0 <= i <= 9 }")])
+                .unwrap();
         let b = UnionSet::from_parts([set("{ S[i] : 0 <= i <= 9 }")]).unwrap();
         let d = a.subtract(&b).unwrap();
         assert!(d.part_named("S").unwrap().is_empty().unwrap());
@@ -344,11 +349,15 @@ mod tests {
     #[test]
     fn union_map_apply() {
         let us = UnionSet::from_parts([set("{ S[i] : 0 <= i <= 3 }")]).unwrap();
-        let um = UnionMap::from_parts([map("{ S[i] -> A[i+1] }"), map("{ T[i] -> B[i] }")])
-            .unwrap();
+        let um =
+            UnionMap::from_parts([map("{ S[i] -> A[i+1] }"), map("{ T[i] -> B[i] }")]).unwrap();
         let img = us.apply(&um).unwrap();
         assert_eq!(img.parts().len(), 1);
-        assert!(img.part_named("A").unwrap().is_equal(&set("{ A[a] : 1 <= a <= 4 }")).unwrap());
+        assert!(img
+            .part_named("A")
+            .unwrap()
+            .is_equal(&set("{ A[a] : 1 <= a <= 4 }"))
+            .unwrap());
     }
 
     #[test]
@@ -383,7 +392,11 @@ mod tests {
         let dom = UnionSet::from_parts([set("{ S[i] : 0 <= i <= 1 }")]).unwrap();
         let r = um.intersect_domain(&dom).unwrap();
         let rng = r.range().unwrap();
-        assert!(rng.part_named("A").unwrap().is_equal(&set("{ A[i] : 0 <= i <= 1 }")).unwrap());
+        assert!(rng
+            .part_named("A")
+            .unwrap()
+            .is_equal(&set("{ A[i] : 0 <= i <= 1 }"))
+            .unwrap());
     }
 
     #[test]

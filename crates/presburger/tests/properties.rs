@@ -2,28 +2,67 @@
 //!
 //! The Omega-test implementation is compared against brute-force
 //! enumeration on bounded random systems, and the algebra is checked
-//! against its laws.
+//! against its laws. Randomness comes from a small deterministic
+//! xorshift generator so the suite is reproducible and has no external
+//! dependencies.
 
-use proptest::prelude::*;
 use tilefuse_presburger::{AffExpr, BasicSet, Map, Set, Space, Tuple};
+
+/// Deterministic xorshift64* PRNG; good enough for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `lo..hi` (half-open).
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    /// Up to `max_n - 1` random `(a, c, k)` constraint triples.
+    fn extras(&mut self, max_n: u64, c: i64, k: i64) -> Vec<(i64, i64, i64)> {
+        let n = self.next() % max_n;
+        (0..n)
+            .map(|_| {
+                (
+                    self.range(-c, c + 1),
+                    self.range(-c, c + 1),
+                    self.range(-k, k + 1),
+                )
+            })
+            .collect()
+    }
+}
+
+const CASES: u64 = 64;
 
 /// A random bounded basic set over two dims: a box plus `extra` random
 /// affine inequalities.
-fn random_set(
-    ilo: i64,
-    ihi: i64,
-    jlo: i64,
-    jhi: i64,
-    extra: &[(i64, i64, i64)],
-) -> BasicSet {
+fn random_set(ilo: i64, ihi: i64, jlo: i64, jhi: i64, extra: &[(i64, i64, i64)]) -> BasicSet {
     let sp = Space::set(&[], Tuple::new(Some("S"), &["i", "j"]));
     let i = AffExpr::dim(&sp, 0).unwrap();
     let j = AffExpr::dim(&sp, 1).unwrap();
     let mut b = BasicSet::universe(sp.clone());
-    b.add_constraint(&i.ge(&AffExpr::constant(&sp, ilo.min(ihi))).unwrap()).unwrap();
-    b.add_constraint(&i.le(&AffExpr::constant(&sp, ilo.max(ihi))).unwrap()).unwrap();
-    b.add_constraint(&j.ge(&AffExpr::constant(&sp, jlo.min(jhi))).unwrap()).unwrap();
-    b.add_constraint(&j.le(&AffExpr::constant(&sp, jlo.max(jhi))).unwrap()).unwrap();
+    b.add_constraint(&i.ge(&AffExpr::constant(&sp, ilo.min(ihi))).unwrap())
+        .unwrap();
+    b.add_constraint(&i.le(&AffExpr::constant(&sp, ilo.max(ihi))).unwrap())
+        .unwrap();
+    b.add_constraint(&j.ge(&AffExpr::constant(&sp, jlo.min(jhi))).unwrap())
+        .unwrap();
+    b.add_constraint(&j.le(&AffExpr::constant(&sp, jlo.max(jhi))).unwrap())
+        .unwrap();
     for &(a, c, k) in extra {
         // a*i + c*j + k >= 0
         let e = AffExpr::zero(&sp)
@@ -47,97 +86,139 @@ fn brute_points(b: &BasicSet, lo: i64, hi: i64) -> Vec<(i64, i64)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn emptiness_matches_brute_force(
-        ilo in -6i64..6, ihi in -6i64..6, jlo in -6i64..6, jhi in -6i64..6,
-        extra in prop::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..3),
-    ) {
+#[test]
+fn emptiness_matches_brute_force() {
+    let mut rng = Rng::new(0xe17);
+    for _ in 0..CASES {
+        let (ilo, ihi) = (rng.range(-6, 6), rng.range(-6, 6));
+        let (jlo, jhi) = (rng.range(-6, 6), rng.range(-6, 6));
+        let extra = rng.extras(3, 3, 6);
         let b = random_set(ilo, ihi, jlo, jhi, &extra);
         let brute = brute_points(&b, -8, 8);
-        prop_assert_eq!(b.is_empty().unwrap(), brute.is_empty());
+        assert_eq!(b.is_empty().unwrap(), brute.is_empty(), "set = {b}");
     }
+}
 
-    #[test]
-    fn projection_is_exact(
-        ilo in -5i64..5, ihi in -5i64..5, jlo in -5i64..5, jhi in -5i64..5,
-        extra in prop::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..2),
-    ) {
+#[test]
+fn projection_is_exact() {
+    let mut rng = Rng::new(0x9a0);
+    for _ in 0..CASES {
+        let (ilo, ihi) = (rng.range(-5, 5), rng.range(-5, 5));
+        let (jlo, jhi) = (rng.range(-5, 5), rng.range(-5, 5));
+        let extra = rng.extras(2, 3, 6);
         let b = random_set(ilo, ihi, jlo, jhi, &extra);
         let brute = brute_points(&b, -8, 8);
         let projected = Set::from_basic(b).project_out_dims(1, 1).unwrap();
         for i in -8..=8 {
             let expect = brute.iter().any(|&(bi, _)| bi == i);
-            prop_assert_eq!(projected.contains(&[i]).unwrap(), expect,
-                "i = {} projected = {}", i, projected);
+            assert_eq!(
+                projected.contains(&[i]).unwrap(),
+                expect,
+                "i = {i} projected = {projected}"
+            );
         }
     }
+}
 
-    #[test]
-    fn subtraction_laws(
-        a_lo in -5i64..5, a_hi in -5i64..5,
-        b_lo in -5i64..5, b_hi in -5i64..5,
-    ) {
+#[test]
+fn subtraction_laws() {
+    let mut rng = Rng::new(0x5b);
+    for _ in 0..CASES {
+        let (a_lo, a_hi) = (rng.range(-5, 5), rng.range(-5, 5));
+        let (b_lo, b_hi) = (rng.range(-5, 5), rng.range(-5, 5));
         let a = Set::from_basic(random_set(a_lo, a_hi, 0, 0, &[]));
         let b = Set::from_basic(random_set(b_lo, b_hi, 0, 0, &[]));
         let diff = a.subtract(&b).unwrap();
         // (A - B) ∩ B = ∅
-        prop_assert!(diff.intersect(&b).unwrap().is_empty().unwrap());
+        assert!(diff.intersect(&b).unwrap().is_empty().unwrap());
         // (A - B) ∪ (A ∩ B) = A
         let back = diff.union(&a.intersect(&b).unwrap()).unwrap();
-        prop_assert!(back.is_equal(&a).unwrap());
+        assert!(back.is_equal(&a).unwrap());
         // A - A = ∅
-        prop_assert!(a.subtract(&a).unwrap().is_empty().unwrap());
+        assert!(a.subtract(&a).unwrap().is_empty().unwrap());
     }
+}
 
-    #[test]
-    fn union_and_intersection_bounds(
-        a_lo in -5i64..5, a_hi in -5i64..5,
-        b_lo in -5i64..5, b_hi in -5i64..5,
-    ) {
+#[test]
+fn union_and_intersection_bounds() {
+    let mut rng = Rng::new(0xbeef);
+    for _ in 0..CASES {
+        let (a_lo, a_hi) = (rng.range(-5, 5), rng.range(-5, 5));
+        let (b_lo, b_hi) = (rng.range(-5, 5), rng.range(-5, 5));
         let a = Set::from_basic(random_set(a_lo, a_hi, 0, 0, &[]));
         let b = Set::from_basic(random_set(b_lo, b_hi, 0, 0, &[]));
         let u = a.union(&b).unwrap();
         let i = a.intersect(&b).unwrap();
-        prop_assert!(a.is_subset(&u).unwrap());
-        prop_assert!(b.is_subset(&u).unwrap());
-        prop_assert!(i.is_subset(&a).unwrap());
-        prop_assert!(i.is_subset(&b).unwrap());
+        assert!(a.is_subset(&u).unwrap());
+        assert!(b.is_subset(&u).unwrap());
+        assert!(i.is_subset(&a).unwrap());
+        assert!(i.is_subset(&b).unwrap());
     }
+}
 
-    #[test]
-    fn scanner_agrees_with_contains(
-        ilo in -4i64..4, ihi in -4i64..4, jlo in -4i64..4, jhi in -4i64..4,
-        extra in prop::collection::vec((-2i64..3, -2i64..3, -5i64..6), 0..2),
-    ) {
+#[test]
+fn scanner_agrees_with_contains() {
+    let mut rng = Rng::new(0x5ca9);
+    for _ in 0..CASES {
+        let (ilo, ihi) = (rng.range(-4, 4), rng.range(-4, 4));
+        let (jlo, jhi) = (rng.range(-4, 4), rng.range(-4, 4));
+        let extra = rng.extras(2, 2, 5);
         let b = random_set(ilo, ihi, jlo, jhi, &extra);
         let brute = brute_points(&b, -8, 8);
         let set = Set::from_basic(b);
         let scanner = tilefuse_presburger::Scanner::new(&set, &[]).unwrap();
         let mut scanned = Vec::new();
-        scanner.for_each(&mut |p| { scanned.push((p[0], p[1])); true }).unwrap();
-        prop_assert_eq!(scanned, brute);
+        scanner
+            .for_each(&mut |p| {
+                scanned.push((p[0], p[1]));
+                true
+            })
+            .unwrap();
+        assert_eq!(scanned, brute);
     }
+}
 
-    #[test]
-    fn map_reverse_involution(shift in -5i64..6, lo in -5i64..5, hi in -5i64..5) {
+#[test]
+fn map_reverse_involution() {
+    let mut rng = Rng::new(0x1e5);
+    for _ in 0..CASES {
+        let shift = rng.range(-5, 6);
+        let (lo, hi) = (rng.range(-5, 5), rng.range(-5, 5));
         let m: Map = format!(
-            "{{ S[i] -> A[i + {shift}] : {} <= i <= {} }}", lo.min(hi), lo.max(hi)
-        ).parse().unwrap();
-        prop_assert!(m.reverse().reverse().is_equal(&m).unwrap());
+            "{{ S[i] -> A[i + {shift}] : {} <= i <= {} }}",
+            lo.min(hi),
+            lo.max(hi)
+        )
+        .parse()
+        .unwrap();
+        assert!(m.reverse().reverse().is_equal(&m).unwrap());
         // domain(reverse) = range, range(reverse) = domain.
-        prop_assert!(m.reverse().domain().unwrap()
-            .is_equal(&m.range().unwrap().cast(m.reverse().space().domain_space()).unwrap())
+        assert!(m
+            .reverse()
+            .domain()
+            .unwrap()
+            .is_equal(
+                &m.range()
+                    .unwrap()
+                    .cast(m.reverse().space().domain_space())
+                    .unwrap()
+            )
             .unwrap());
     }
+}
 
-    #[test]
-    fn compose_respects_images(
-        s1 in -3i64..4, s2 in -3i64..4, lo in 0i64..3, hi in 3i64..7, x in 0i64..3,
-    ) {
-        let f: Map = format!("{{ S[i] -> T[i + {s1}] : {lo} <= i <= {hi} }}").parse().unwrap();
+#[test]
+fn compose_respects_images() {
+    let mut rng = Rng::new(0xc0);
+    for _ in 0..CASES {
+        let s1 = rng.range(-3, 4);
+        let s2 = rng.range(-3, 4);
+        let lo = rng.range(0, 3);
+        let hi = rng.range(3, 7);
+        let x = rng.range(0, 3);
+        let f: Map = format!("{{ S[i] -> T[i + {s1}] : {lo} <= i <= {hi} }}")
+            .parse()
+            .unwrap();
         let g: Map = format!("{{ T[j] -> U[j + {s2}] }}").parse().unwrap();
         let fg = f.compose(&g).unwrap();
         // (g ∘ f)(x) = g(f(x)) pointwise.
@@ -147,23 +228,26 @@ proptest! {
         } else {
             Set::empty(img.space().clone())
         };
-        prop_assert!(img.is_equal(&expect).unwrap(), "x={} img={}", x, img);
+        assert!(img.is_equal(&expect).unwrap(), "x={x} img={img}");
     }
+}
 
-    #[test]
-    fn rect_hull_contains_all_points(
-        ilo in -4i64..4, ihi in -4i64..4, jlo in -4i64..4, jhi in -4i64..4,
-        extra in prop::collection::vec((-2i64..3, -2i64..3, -4i64..5), 0..2),
-    ) {
+#[test]
+fn rect_hull_contains_all_points() {
+    let mut rng = Rng::new(0x4a11);
+    for _ in 0..CASES {
+        let (ilo, ihi) = (rng.range(-4, 4), rng.range(-4, 4));
+        let (jlo, jhi) = (rng.range(-4, 4), rng.range(-4, 4));
+        let extra = rng.extras(2, 2, 4);
         let b = random_set(ilo, ihi, jlo, jhi, &extra);
         let brute = brute_points(&b, -8, 8);
         let hull = Set::from_basic(b).rect_hull(&[]).unwrap();
         match hull {
-            None => prop_assert!(brute.is_empty()),
+            None => assert!(brute.is_empty()),
             Some(h) => {
                 for (i, j) in brute {
-                    prop_assert!(h[0].0 <= i && i <= h[0].1);
-                    prop_assert!(h[1].0 <= j && j <= h[1].1);
+                    assert!(h[0].0 <= i && i <= h[0].1);
+                    assert!(h[1].0 <= j && j <= h[1].1);
                 }
             }
         }

@@ -46,7 +46,12 @@ impl Band {
                 coincident.len()
             )));
         }
-        Ok(Band { sched, n_member, permutable, coincident })
+        Ok(Band {
+            sched,
+            n_member,
+            permutable,
+            coincident,
+        })
     }
 
     /// The per-statement partial schedules.
@@ -163,7 +168,11 @@ fn project_out_map_range(part: &Map, k: usize) -> Result<Map> {
     let n_in = part.space().n_in();
     let projected = wrapped.project_out_dims(n_in + k, n - k)?;
     let params: Vec<&str> = part.space().params().iter().map(String::as_str).collect();
-    let space = Space::map(&params, part.space().in_tuple().clone(), Tuple::anonymous(k));
+    let space = Space::map(
+        &params,
+        part.space().in_tuple().clone(),
+        Tuple::anonymous(k),
+    );
     Ok(Map::from_wrapped_set(projected.cast(space)?)?)
 }
 

@@ -28,6 +28,12 @@ pub struct FlatEntry {
     pub schedule: Map,
     /// Marks on the path from the root (e.g. `"kernel"`, `"thread"`).
     pub marks: Vec<String>,
+    /// One flag per schedule dimension: `true` iff the dimension comes
+    /// from a band member whose `coincident` bit is set, meaning no
+    /// dependence crosses distinct values of that dimension (for a fixed
+    /// outer prefix) and the parallel interpreter may fan it out across
+    /// threads. Sequence dimensions and padding are always `false`.
+    pub par_depths: Vec<bool>,
 }
 
 #[derive(Debug, Clone)]
@@ -35,6 +41,9 @@ struct Active {
     name: String,
     domain: Set,
     prefix: Map,
+    /// Coincidence flag for each dimension of `prefix` (see
+    /// [`FlatEntry::par_depths`]).
+    flags: Vec<bool>,
 }
 
 /// Flattens a schedule tree (see module docs).
@@ -54,18 +63,28 @@ pub fn flatten(tree: &ScheduleTree) -> Result<Vec<FlatEntry>> {
             .ok_or_else(|| Error::Structure("domain tuples must be named".into()))?
             .to_owned();
         let prefix = const_map(part.space(), &[])?;
-        actives.push(Active { name, domain: part.clone(), prefix });
+        actives.push(Active {
+            name,
+            domain: part.clone(),
+            prefix,
+            flags: Vec::new(),
+        });
     }
     let mut out = Vec::new();
     walk(child, &actives, &mut Vec::new(), &mut out)?;
-    // Pad schedules to the maximum length.
-    let max_len = out.iter().map(|e| e.schedule.space().n_out()).max().unwrap_or(0);
+    // Pad schedules to the maximum length (padding dims are sequential).
+    let max_len = out
+        .iter()
+        .map(|e| e.schedule.space().n_out())
+        .max()
+        .unwrap_or(0);
     for e in &mut out {
         let have = e.schedule.space().n_out();
         if have < max_len {
             let pad = const_map(e.domain.space(), &vec![0; max_len - have])?;
             e.schedule = e.schedule.flat_range_product(&pad)?;
         }
+        e.par_depths.resize(max_len, false);
     }
     Ok(out)
 }
@@ -88,6 +107,7 @@ fn walk(
                     domain: a.domain.clone(),
                     schedule: a.prefix.clone(),
                     marks: marks.clone(),
+                    par_depths: a.flags.clone(),
                 });
             }
             Ok(())
@@ -107,7 +127,12 @@ fn walk(
                 if let Some(part) = filter.part_named(&a.name) {
                     let domain = a.domain.intersect(part)?;
                     if !domain.is_empty()? {
-                        kept.push(Active { name: a.name.clone(), domain, prefix: a.prefix.clone() });
+                        kept.push(Active {
+                            name: a.name.clone(),
+                            domain,
+                            prefix: a.prefix.clone(),
+                            flags: a.flags.clone(),
+                        });
                     }
                 }
             }
@@ -118,10 +143,13 @@ fn walk(
                 let mut extended = Vec::with_capacity(actives.len());
                 for a in actives {
                     let k = const_map(a.domain.space(), &[i as i64])?;
+                    let mut flags = a.flags.clone();
+                    flags.push(false);
                     extended.push(Active {
                         name: a.name.clone(),
                         domain: a.domain.clone(),
                         prefix: a.prefix.flat_range_product(&k)?,
+                        flags,
                     });
                 }
                 walk(c, &extended, marks, out)?;
@@ -137,16 +165,28 @@ fn walk(
                     .parts()
                     .iter()
                     .find(|m| m.space().in_tuple().name() == Some(a.name.as_str()));
+                let mut flags = a.flags.clone();
                 let ext = match part {
-                    Some(m) => a.prefix.flat_range_product(m)?,
+                    Some(m) => {
+                        flags.extend_from_slice(band.coincident());
+                        a.prefix.flat_range_product(m)?
+                    }
                     None => {
                         // Statement not scheduled by this band: pad with
-                        // zeros so lengths stay aligned.
+                        // zeros so lengths stay aligned. The padded dims
+                        // are constant, but the coincidence claim was not
+                        // computed for this statement, so stay sequential.
+                        flags.extend(std::iter::repeat_n(false, n));
                         let zeros = const_map(a.domain.space(), &vec![0; n])?;
                         a.prefix.flat_range_product(&zeros)?
                     }
                 };
-                extended.push(Active { name: a.name.clone(), domain: a.domain.clone(), prefix: ext });
+                extended.push(Active {
+                    name: a.name.clone(),
+                    domain: a.domain.clone(),
+                    prefix: ext,
+                    flags,
+                });
             }
             walk(child, &extended, marks, out)
         }
@@ -176,10 +216,21 @@ fn walk(
                         part.space().n_in()
                     )));
                 }
+                // The extension statement shares the outer schedule prefix
+                // with the existing actives, so it inherits their per-depth
+                // coincidence flags: an extension-introduced producer is
+                // tile-local (its writes land in tile-private scratch), so
+                // a dimension that is parallel for the consumers stays
+                // parallel with the producers fused in.
+                let flags = actives
+                    .first()
+                    .map(|a| a.flags.clone())
+                    .unwrap_or_else(|| vec![false; prefix_len]);
                 extended.push(Active {
                     name,
                     domain: part.range()?,
                     prefix: part.reverse(),
+                    flags,
                 });
             }
             walk(child, &extended, marks, out)
@@ -190,8 +241,15 @@ fn walk(
 /// `{ Stmt[i] -> [values...] }` over a statement's set space.
 fn const_map(stmt_space: &Space, values: &[i64]) -> Result<Map> {
     let params: Vec<&str> = stmt_space.params().iter().map(String::as_str).collect();
-    let space = Space::map(&params, stmt_space.tuple().clone(), Tuple::anonymous(values.len()));
-    let exprs: Vec<AffExpr> = values.iter().map(|&v| AffExpr::constant(&space, v)).collect();
+    let space = Space::map(
+        &params,
+        stmt_space.tuple().clone(),
+        Tuple::anonymous(values.len()),
+    );
+    let exprs: Vec<AffExpr> = values
+        .iter()
+        .map(|&v| AffExpr::constant(&space, v))
+        .collect();
     Ok(Map::from_affine(space, &exprs)?)
 }
 
@@ -217,7 +275,9 @@ mod tests {
     #[test]
     fn flatten_two_statement_sequence() {
         // domain { S[i]; T[i] }, sequence(filter S -> band i, filter T -> band i)
-        let dom = uset("{ S[i] : 0 <= i <= 3 }").union(&uset("{ T[i] : 0 <= i <= 3 }")).unwrap();
+        let dom = uset("{ S[i] : 0 <= i <= 3 }")
+            .union(&uset("{ T[i] : 0 <= i <= 3 }"))
+            .unwrap();
         let t = ScheduleTree::new(
             dom,
             sequence(vec![
@@ -245,7 +305,10 @@ mod tests {
                     uset("{ S[i] : i <= 1 }"),
                     mark(MARK_SKIPPED, band(band1("{ S[i] -> [i] }"), Node::Leaf)),
                 ),
-                filter(uset("{ S[i] : i >= 2 }"), band(band1("{ S[i] -> [i] }"), Node::Leaf)),
+                filter(
+                    uset("{ S[i] : i >= 2 }"),
+                    band(band1("{ S[i] -> [i] }"), Node::Leaf),
+                ),
             ]),
         );
         let flat = flatten(&t).unwrap();
@@ -270,8 +333,12 @@ mod tests {
         // Tile band over T[o] for S (o = i/2), extension adds P instances
         // per tile: (o) -> P[p] : 2o <= p <= 2o+2 (overlap!).
         let dom = uset("{ S[i] : 0 <= i <= 5 }");
-        let tile_band =
-            Band::new(umap("{ S[i] -> [o] : 2o <= i <= 2o + 1 }"), true, vec![true]).unwrap();
+        let tile_band = Band::new(
+            umap("{ S[i] -> [o] : 2o <= i <= 2o + 1 }"),
+            true,
+            vec![true],
+        )
+        .unwrap();
         let ext = umap("{ [o] -> P[p] : 2o <= p <= 2o + 2 and 0 <= p <= 6 }");
         let t = ScheduleTree::new(
             dom,
@@ -300,7 +367,9 @@ mod tests {
 
     #[test]
     fn band_pads_missing_statements() {
-        let dom = uset("{ S[i] : 0 <= i <= 1 }").union(&uset("{ T[i] : 0 <= i <= 1 }")).unwrap();
+        let dom = uset("{ S[i] : 0 <= i <= 1 }")
+            .union(&uset("{ T[i] : 0 <= i <= 1 }"))
+            .unwrap();
         // Band only schedules S; T must still flatten with padded zeros.
         let t = ScheduleTree::new(
             dom,
@@ -365,6 +434,62 @@ mod tests {
         let flat = flatten(&t).unwrap();
         assert_eq!(flat.len(), 2);
         assert!(flat.iter().all(|e| e.marks == vec!["kernel".to_owned()]));
+    }
+
+    #[test]
+    fn par_depths_track_band_coincidence() {
+        let dom = uset("{ S[i] : 0 <= i <= 3 }")
+            .union(&uset("{ T[i] : 0 <= i <= 3 }"))
+            .unwrap();
+        let seq_band = Band::new(umap("{ T[i] -> [i] }"), true, vec![false]).unwrap();
+        let t = ScheduleTree::new(
+            dom,
+            sequence(vec![
+                filter(uset("{ S[i] }"), band(band1("{ S[i] -> [i] }"), Node::Leaf)),
+                filter(uset("{ T[i] }"), band(seq_band, Node::Leaf)),
+            ]),
+        );
+        let flat = flatten(&t).unwrap();
+        let s = flat.iter().find(|e| e.stmt == "S").unwrap();
+        // Dim 0 is the sequence dim (never parallel); dim 1 is the
+        // coincident band member.
+        assert_eq!(s.par_depths, vec![false, true]);
+        let tt = flat.iter().find(|e| e.stmt == "T").unwrap();
+        assert_eq!(tt.par_depths, vec![false, false]);
+    }
+
+    #[test]
+    fn par_depths_inherited_by_extension_and_padded_with_false() {
+        // Same shape as extension_introduces_instances_per_tile: a
+        // coincident tile band, then an extension introducing P.
+        let dom = uset("{ S[i] : 0 <= i <= 5 }");
+        let tile_band = Band::new(
+            umap("{ S[i] -> [o] : 2o <= i <= 2o + 1 }"),
+            true,
+            vec![true],
+        )
+        .unwrap();
+        let ext = umap("{ [o] -> P[p] : 2o <= p <= 2o + 2 and 0 <= p <= 6 }");
+        let t = ScheduleTree::new(
+            dom,
+            band(
+                tile_band,
+                extension(
+                    ext,
+                    sequence(vec![
+                        filter(uset("{ P[p] }"), Node::Leaf),
+                        filter(uset("{ S[i] }"), band(band1("{ S[i] -> [i] }"), Node::Leaf)),
+                    ]),
+                ),
+            ),
+        );
+        let flat = flatten(&t).unwrap();
+        let p = flat.iter().find(|e| e.stmt == "P").unwrap();
+        // P inherits the tile dim's coincidence, gets false for the
+        // sequence dim, and false padding up to the common length.
+        assert_eq!(p.par_depths, vec![true, false, false]);
+        let s = flat.iter().find(|e| e.stmt == "S").unwrap();
+        assert_eq!(s.par_depths, vec![true, false, true]);
     }
 
     #[test]

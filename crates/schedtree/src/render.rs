@@ -14,8 +14,11 @@ pub fn render(tree: &ScheduleTree) -> String {
 
 fn band_label(b: &Band) -> String {
     let parts: Vec<String> = b.sched().parts().iter().map(|m| m.to_string()).collect();
-    let coincident: Vec<&str> =
-        b.coincident().iter().map(|&c| if c { "1" } else { "0" }).collect();
+    let coincident: Vec<&str> = b
+        .coincident()
+        .iter()
+        .map(|&c| if c { "1" } else { "0" })
+        .collect();
     format!(
         "band: {} permutable={} coincident=[{}]",
         parts.join(" ∪ "),
@@ -60,9 +63,13 @@ fn render_node(node: &Node, prefix: &str, is_last: bool, out: &mut String) {
         if matches!(c, Node::Leaf) {
             continue;
         }
-        let last = i == visible.len() - 1
-            || visible[i + 1..].iter().all(|n| matches!(n, Node::Leaf));
-        let p = if prefix.is_empty() { "  ".to_owned() } else { child_prefix.clone() };
+        let last =
+            i == visible.len() - 1 || visible[i + 1..].iter().all(|n| matches!(n, Node::Leaf));
+        let p = if prefix.is_empty() {
+            "  ".to_owned()
+        } else {
+            child_prefix.clone()
+        };
         render_node(c, &p, last, out);
     }
 }
@@ -119,8 +126,9 @@ mod tests {
     #[test]
     fn renders_mark_and_extension() {
         let dom = UnionSet::from_parts(["{ S[i] : 0 <= i <= 3 }".parse::<Set>().unwrap()]).unwrap();
-        let ext = UnionMap::from_parts(["{ [o] -> P[p] : o <= p <= o + 1 }".parse::<Map>().unwrap()])
-            .unwrap();
+        let ext =
+            UnionMap::from_parts(["{ [o] -> P[p] : o <= p <= o + 1 }".parse::<Map>().unwrap()])
+                .unwrap();
         let t = ScheduleTree::new(
             dom,
             crate::tree::mark(

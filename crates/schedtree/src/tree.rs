@@ -84,7 +84,9 @@ impl Node {
                 if i == 0 {
                     Ok(child)
                 } else {
-                    Err(Error::Structure(format!("node has one child, asked for {i}")))
+                    Err(Error::Structure(format!(
+                        "node has one child, asked for {i}"
+                    )))
                 }
             }
             Node::Sequence { children } => children
@@ -117,7 +119,12 @@ pub struct ScheduleTree {
 impl ScheduleTree {
     /// Creates a tree from the iteration domain and the scheduled child.
     pub fn new(domain: UnionSet, child: Node) -> Self {
-        ScheduleTree { root: Node::Domain { domain, child: Box::new(child) } }
+        ScheduleTree {
+            root: Node::Domain {
+                domain,
+                child: Box::new(child),
+            },
+        }
     }
 
     /// The root node.
@@ -176,7 +183,10 @@ impl ScheduleTree {
     pub fn mark_at(&mut self, path: &[usize], mark: &str) -> Result<()> {
         let slot = self.node_at_mut(path)?;
         let old = std::mem::replace(slot, Node::Leaf);
-        *slot = Node::Mark { mark: mark.to_owned(), child: Box::new(old) };
+        *slot = Node::Mark {
+            mark: mark.to_owned(),
+            child: Box::new(old),
+        };
         Ok(())
     }
 
@@ -272,12 +282,18 @@ impl ScheduleTree {
 
 /// Builds a filter node.
 pub fn filter(filter: UnionSet, child: Node) -> Node {
-    Node::Filter { filter, child: Box::new(child) }
+    Node::Filter {
+        filter,
+        child: Box::new(child),
+    }
 }
 
 /// Builds a band node.
 pub fn band(band: Band, child: Node) -> Node {
-    Node::Band { band, child: Box::new(child) }
+    Node::Band {
+        band,
+        child: Box::new(child),
+    }
 }
 
 /// Builds a sequence node.
@@ -287,12 +303,18 @@ pub fn sequence(children: Vec<Node>) -> Node {
 
 /// Builds a mark node.
 pub fn mark(mark: &str, child: Node) -> Node {
-    Node::Mark { mark: mark.to_owned(), child: Box::new(child) }
+    Node::Mark {
+        mark: mark.to_owned(),
+        child: Box::new(child),
+    }
 }
 
 /// Builds an extension node.
 pub fn extension(extension: UnionMap, child: Node) -> Node {
-    Node::Extension { extension, child: Box::new(child) }
+    Node::Extension {
+        extension,
+        child: Box::new(child),
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +389,9 @@ mod tests {
     #[test]
     fn replace_at_swaps_node() {
         let mut t = simple_tree();
-        let old = t.replace_at(&[0, 1, 0], band(simple_band(), Node::Leaf)).unwrap();
+        let old = t
+            .replace_at(&[0, 1, 0], band(simple_band(), Node::Leaf))
+            .unwrap();
         assert_eq!(old.kind(), "leaf");
         assert_eq!(t.node_at(&[0, 1, 0]).unwrap().kind(), "band");
     }

@@ -45,14 +45,15 @@ pub fn dim_satisfies(
     let src_vars = loop_vars(program, dep.src);
     let dst_vars = loop_vars(program, dep.dst);
     let (Some(&sv), Some(&dv)) = (src_vars.get(j), dst_vars.get(j)) else {
-        return Err(Error::Internal(format!("band level {j} out of range for dependence")));
+        return Err(Error::Internal(format!(
+            "band level {j} out of range for dependence"
+        )));
     };
     let space = dep.map.space().clone();
     let n_in = space.n_in();
-    let src = AffExpr::dim(&space, sv)?
-        .checked_add(&AffExpr::constant(&space, src_shift))?;
-    let dst = AffExpr::dim(&space, n_in + dv)?
-        .checked_add(&AffExpr::constant(&space, dst_shift))?;
+    let src = AffExpr::dim(&space, sv)?.checked_add(&AffExpr::constant(&space, src_shift))?;
+    let dst =
+        AffExpr::dim(&space, n_in + dv)?.checked_add(&AffExpr::constant(&space, dst_shift))?;
     let violating: Vec<tilefuse_presburger::Constraint> = match check {
         DimCheck::NonNegative => vec![dst.lt(&src)?],
         DimCheck::Zero => {
@@ -96,7 +97,9 @@ pub fn distance_range(
     let src_vars = loop_vars(program, dep.src);
     let dst_vars = loop_vars(program, dep.dst);
     let (Some(&sv), Some(&dv)) = (src_vars.get(j), dst_vars.get(j)) else {
-        return Err(Error::Internal(format!("band level {j} out of range for dependence")));
+        return Err(Error::Internal(format!(
+            "band level {j} out of range for dependence"
+        )));
     };
     let map_space = dep.map.space();
     let n_in = map_space.n_in();
@@ -107,8 +110,8 @@ pub fn distance_range(
     let flat_space = Space::set(&params, Tuple::anonymous(n_all));
     let wrapped = dep.map.as_wrapped_set().cast(flat_space.clone())?;
     let delta_space = flat_space.join_map(&Space::set(&params, Tuple::anonymous(1)))?;
-    let expr = AffExpr::dim(&delta_space, n_in + dv)?
-        .checked_sub(&AffExpr::dim(&delta_space, sv)?)?;
+    let expr =
+        AffExpr::dim(&delta_space, n_in + dv)?.checked_sub(&AffExpr::dim(&delta_space, sv)?)?;
     let delta_map = Map::from_affine(delta_space, &[expr])?;
     let deltas: Set = delta_map.apply(&wrapped)?;
     let hull = deltas.rect_hull(param_values)?;
@@ -118,9 +121,7 @@ pub fn distance_range(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tilefuse_pir::{
-        compute_dependences, ArrayKind, Body, DepKind, Expr, IdxExpr, Program,
-    };
+    use tilefuse_pir::{compute_dependences, ArrayKind, Body, DepKind, Expr, IdxExpr, Program};
 
     /// S0: A[i] = i ; S1: B[i] = A[i] + A[i+2]  (stencil offset 0..2).
     fn stencil_program() -> (Program, Vec<Dependence>) {
@@ -130,7 +131,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -191,7 +196,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(

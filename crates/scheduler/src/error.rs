@@ -69,8 +69,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(Error::Unsupported("x".into()).to_string().contains("cannot handle"));
-        assert!(Error::Internal("y".into()).to_string().contains("invariant"));
+        assert!(Error::Unsupported("x".into())
+            .to_string()
+            .contains("cannot handle"));
+        assert!(Error::Internal("y".into())
+            .to_string()
+            .contains("invariant"));
         let e = Error::from(tilefuse_presburger::Error::Overflow("mul"));
         assert!(e.to_string().contains("overflow"));
     }

@@ -10,8 +10,8 @@
 
 use crate::checks::{dim_satisfies, distance_range, loop_vars, DimCheck};
 use crate::error::{Error, Result};
-use tilefuse_pir::{DepGraph, Dependence, Program, StmtId};
 use std::collections::BTreeSet;
+use tilefuse_pir::{DepGraph, Dependence, Program, StmtId};
 
 /// The fusion strategies of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +77,10 @@ pub struct FuseBudget {
 impl FuseBudget {
     /// A budget of `max_steps` partition evaluations.
     pub fn new(max_steps: u64) -> Self {
-        FuseBudget { max_steps, steps: 0 }
+        FuseBudget {
+            max_steps,
+            steps: 0,
+        }
     }
 
     fn tick(&mut self) -> bool {
@@ -126,17 +129,29 @@ pub fn fuse(
                 .into_iter()
                 .flatten()
                 .collect();
-            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+            Ok(Fusion {
+                groups,
+                budget_exhausted: false,
+                steps: 0,
+            })
         }
         FusionHeuristic::SmartFuse => {
             let groups = greedy_fuse(program, deps, &graph, &sccs, false)?;
-            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+            Ok(Fusion {
+                groups,
+                budget_exhausted: false,
+                steps: 0,
+            })
         }
         FusionHeuristic::MaxFuse => maxfuse(program, deps, &graph, &sccs, budget),
         FusionHeuristic::HybridFuse => {
             reject_nonrectangular(program)?;
             let groups = greedy_fuse(program, deps, &graph, &sccs, false)?;
-            Ok(Fusion { groups, budget_exhausted: false, steps: 0 })
+            Ok(Fusion {
+                groups,
+                budget_exhausted: false,
+                steps: 0,
+            })
         }
     }
 }
@@ -178,7 +193,14 @@ pub fn analyze_group(
         for d in &deps_in {
             let si = stmts.iter().position(|&s| s == d.src).unwrap();
             let di = stmts.iter().position(|&s| s == d.dst).unwrap();
-            if !dim_satisfies(program, d, j, dim_shift[si], dim_shift[di], DimCheck::NonNegative)? {
+            if !dim_satisfies(
+                program,
+                d,
+                j,
+                dim_shift[si],
+                dim_shift[di],
+                DimCheck::NonNegative,
+            )? {
                 break 'dims;
             }
         }
@@ -215,7 +237,13 @@ pub fn analyze_group(
             innermost_parallel: false,
         }));
     }
-    Ok(Some(Group { stmts: stmts.to_vec(), depth, shifts, coincident, innermost_parallel }))
+    Ok(Some(Group {
+        stmts: stmts.to_vec(),
+        depth,
+        shifts,
+        coincident,
+        innermost_parallel,
+    }))
 }
 
 /// Whether every member statement's innermost loop is free of carried
@@ -341,13 +369,12 @@ fn greedy_fuse(
                         // smartfuse: keep outer parallelism AND tilability
                         // (fusion must not shrink the shared permutable
                         // band below what the parts had).
-                        let scc_depth = analyze_group(program, deps, scc, false)?
-                            .map_or(0, |s| s.depth);
+                        let scc_depth =
+                            analyze_group(program, deps, scc, false)?.map_or(0, |s| s.depth);
                         g.depth >= 1
                             && g.depth >= prev.depth.min(scc_depth)
                             && g.n_outer_parallel() >= 1
-                            && g.n_outer_parallel()
-                                >= prev.n_outer_parallel().min(g.depth)
+                            && g.n_outer_parallel() >= prev.n_outer_parallel().min(g.depth)
                     };
                     if ok {
                         *groups.last_mut().unwrap() = g;
@@ -385,7 +412,11 @@ fn maxfuse(
     // paper's Table I reports as ">24h".
     if n <= 1 || n > 60 {
         let groups = greedy_fuse(program, deps, graph, sccs, true)?;
-        return Ok(Fusion { groups, budget_exhausted: n > 60, steps: budget.steps });
+        return Ok(Fusion {
+            groups,
+            budget_exhausted: n > 60,
+            steps: budget.steps,
+        });
     }
     let bits = (n - 1) as u32;
     let limit = 1u64 << bits;
@@ -442,7 +473,11 @@ fn maxfuse(
         Some(g) => g,
         None => greedy_fuse(program, deps, graph, sccs, true)?,
     };
-    Ok(Fusion { groups, budget_exhausted: exhausted, steps: budget.steps })
+    Ok(Fusion {
+        groups,
+        budget_exhausted: exhausted,
+        steps: budget.steps,
+    })
 }
 
 /// hybridfuse's modeled limitation: crashes (✗ in Table II) on programs
@@ -483,19 +518,31 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: idx(), rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: idx(),
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
             "{ S1[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
-            Body { target: b, target_idx: idx(), rhs: Expr::load(a, idx()) },
+            Body {
+                target: b,
+                target_idx: idx(),
+                rhs: Expr::load(a, idx()),
+            },
         )
         .unwrap();
         p.add_stmt(
             "{ S2[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
-            Body { target: c, target_idx: idx(), rhs: Expr::load(b, idx()) },
+            Body {
+                target: c,
+                target_idx: idx(),
+                rhs: Expr::load(b, idx()),
+            },
         )
         .unwrap();
         let deps = compute_dependences(&p).unwrap();
@@ -510,7 +557,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -533,7 +584,13 @@ mod tests {
     #[test]
     fn minfuse_keeps_statements_apart() {
         let (p, deps) = pointwise3();
-        let f = fuse(&p, &deps, FusionHeuristic::MinFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::MinFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 3);
         assert!(f.groups.iter().all(|g| g.stmts.len() == 1));
         assert!(f.groups.iter().all(|g| g.coincident == vec![true]));
@@ -542,7 +599,13 @@ mod tests {
     #[test]
     fn smartfuse_fuses_pointwise_chain() {
         let (p, deps) = pointwise3();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 1);
         assert_eq!(f.groups[0].stmts.len(), 3);
         assert_eq!(f.groups[0].coincident, vec![true]); // parallel preserved
@@ -553,14 +616,26 @@ mod tests {
         // Fusing would lose parallelism (distance -2..0), so smartfuse
         // keeps the stages apart — the Fig. 1(b) behaviour.
         let (p, deps) = stencil2();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 2);
     }
 
     #[test]
     fn maxfuse_fuses_stencil_with_shift() {
         let (p, deps) = stencil2();
-        let f = fuse(&p, &deps, FusionHeuristic::MaxFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::MaxFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 1, "maxfuse should fuse via shifting");
         let g = &f.groups[0];
         // Consumer shifted by +2 relative to producer.
@@ -582,7 +657,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -654,14 +733,25 @@ mod tests {
         )
         .unwrap();
         let deps = compute_dependences(&p).unwrap();
-        let r = fuse(&p, &deps, FusionHeuristic::HybridFuse, &mut FuseBudget::default());
+        let r = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::HybridFuse,
+            &mut FuseBudget::default(),
+        );
         assert!(matches!(r, Err(Error::Unsupported(_))));
     }
 
     #[test]
     fn hybridfuse_accepts_rectangular() {
         let (p, deps) = pointwise3();
-        let f = fuse(&p, &deps, FusionHeuristic::HybridFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::HybridFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 1);
     }
 
@@ -676,15 +766,14 @@ mod tests {
             Body {
                 target: c,
                 target_idx: vec![IdxExpr::dim(2, 0)],
-                rhs: Expr::add(
-                    Expr::load(c, vec![IdxExpr::dim(2, 0)]),
-                    Expr::Iter(1),
-                ),
+                rhs: Expr::add(Expr::load(c, vec![IdxExpr::dim(2, 0)]), Expr::Iter(1)),
             },
         )
         .unwrap();
         let deps = compute_dependences(&p).unwrap();
-        let g = analyze_group(&p, &deps, &[StmtId(0)], false).unwrap().unwrap();
+        let g = analyze_group(&p, &deps, &[StmtId(0)], false)
+            .unwrap()
+            .unwrap();
         assert!(g.depth >= 1);
         assert!(g.coincident[0], "outer dim of a row-reduction is parallel");
         if g.depth > 1 {

@@ -30,8 +30,12 @@ pub struct LegalityReport {
 /// # Errors
 /// Returns an error on set-operation failure.
 pub fn check_schedule(deps: &[Dependence], entries: &[FlatEntry]) -> Result<LegalityReport> {
-    let mut report =
-        LegalityReport { legal: true, checked: 0, skipped: 0, violations: Vec::new() };
+    let mut report = LegalityReport {
+        legal: true,
+        checked: 0,
+        skipped: 0,
+        violations: Vec::new(),
+    };
     for dep in deps {
         let src_name = dep
             .map
@@ -47,10 +51,8 @@ pub fn check_schedule(deps: &[Dependence], entries: &[FlatEntry]) -> Result<Lega
             .name()
             .unwrap_or_default()
             .to_owned();
-        let src_entries: Vec<&FlatEntry> =
-            entries.iter().filter(|e| e.stmt == src_name).collect();
-        let dst_entries: Vec<&FlatEntry> =
-            entries.iter().filter(|e| e.stmt == dst_name).collect();
+        let src_entries: Vec<&FlatEntry> = entries.iter().filter(|e| e.stmt == src_name).collect();
+        let dst_entries: Vec<&FlatEntry> = entries.iter().filter(|e| e.stmt == dst_name).collect();
         if src_entries.len() != 1 || dst_entries.len() != 1 {
             report.skipped += 1;
             continue;
@@ -67,8 +69,13 @@ pub fn check_schedule(deps: &[Dependence], entries: &[FlatEntry]) -> Result<Lega
             continue;
         }
         let l = src.schedule.space().n_out();
-        let params: Vec<&str> =
-            src.schedule.space().params().iter().map(String::as_str).collect();
+        let params: Vec<&str> = src
+            .schedule
+            .space()
+            .params()
+            .iter()
+            .map(String::as_str)
+            .collect();
         let sched_space = Space::map(&params, Tuple::anonymous(l), Tuple::anonymous(l));
         let lex_lt = Map::lex_lt(sched_space.clone())?;
         let ident = {
@@ -98,9 +105,7 @@ mod tests {
     use super::*;
     use crate::fusion::{fuse, FuseBudget, FusionHeuristic};
     use crate::treebuild::build_tree;
-    use tilefuse_pir::{
-        compute_dependences, ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm,
-    };
+    use tilefuse_pir::{compute_dependences, ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
     use tilefuse_schedtree::flatten;
 
     fn stencil2() -> (Program, Vec<Dependence>) {
@@ -110,7 +115,11 @@ mod tests {
         p.add_stmt(
             "{ S0[i] : 0 <= i < N }",
             vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-            Body { target: a, target_idx: vec![IdxExpr::dim(1, 0)], rhs: Expr::Iter(0) },
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
         )
         .unwrap();
         p.add_stmt(

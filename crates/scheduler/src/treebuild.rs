@@ -12,12 +12,7 @@ use tilefuse_schedtree::{band, filter, sequence, Band, Node, ScheduleTree};
 ///
 /// # Errors
 /// Returns an error on set-operation failure.
-pub fn band_part(
-    program: &Program,
-    stmt: StmtId,
-    vars: &[usize],
-    shifts: &[i64],
-) -> Result<Map> {
+pub fn band_part(program: &Program, stmt: StmtId, vars: &[usize], shifts: &[i64]) -> Result<Map> {
     let s = program.stmt(stmt);
     let dom_space = s.domain().space();
     let params: Vec<&str> = dom_space.params().iter().map(String::as_str).collect();
@@ -82,7 +77,12 @@ pub fn group_subtree(program: &Program, group: &Group) -> Result<Node> {
     for (k, &s) in group.stmts.iter().enumerate() {
         let vars = loop_vars(program, s);
         let shifts = &group.shifts[k];
-        parts.push(band_part(program, s, &vars[..group.depth], &shifts[..group.depth])?);
+        parts.push(band_part(
+            program,
+            s,
+            &vars[..group.depth],
+            &shifts[..group.depth],
+        )?);
     }
     let b = Band::new(UnionMap::from_parts(parts)?, true, group.coincident.clone())?;
     Ok(band(b, child))
@@ -130,7 +130,11 @@ mod tests {
     fn conv_like() -> Program {
         let mut p = Program::new("conv").with_param("H", 6).with_param("W", 6);
         let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
-        let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+        let c = p.add_array(
+            "C",
+            vec![("H", -2).into(), ("W", -2).into()],
+            ArrayKind::Output,
+        );
         let d2 = |d| IdxExpr::dim(2, d);
         let d4 = |d| IdxExpr::dim(4, d);
         p.add_stmt(
@@ -151,7 +155,11 @@ mod tests {
                 SchedTerm::Var(1),
                 SchedTerm::Cst(0),
             ],
-            Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+            Body {
+                target: c,
+                target_idx: vec![d2(0), d2(1)],
+                rhs: Expr::Const(0.0),
+            },
         )
         .unwrap();
         p.add_stmt(
@@ -181,7 +189,13 @@ mod tests {
     fn smartfuse_tree_matches_fig2b_shape() {
         let p = conv_like();
         let deps = compute_dependences(&p).unwrap();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         // Conservative heuristic: ({S0}, {S1, S2}) as in the paper.
         assert_eq!(f.groups.len(), 2);
         assert_eq!(f.groups[1].stmts, vec![StmtId(1), StmtId(2)]);
@@ -199,7 +213,13 @@ mod tests {
     fn flattened_tree_orders_execution_correctly() {
         let p = conv_like();
         let deps = compute_dependences(&p).unwrap();
-        let f = fuse(&p, &deps, FusionHeuristic::SmartFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::SmartFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         let tree = build_tree(&p, &f.groups).unwrap();
         let flat = flatten(&tree).unwrap();
         assert_eq!(flat.len(), 3);
@@ -231,7 +251,13 @@ mod tests {
     fn minfuse_tree_has_three_groups() {
         let p = conv_like();
         let deps = compute_dependences(&p).unwrap();
-        let f = fuse(&p, &deps, FusionHeuristic::MinFuse, &mut FuseBudget::default()).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::MinFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
         assert_eq!(f.groups.len(), 3);
         let tree = build_tree(&p, &f.groups).unwrap();
         tree.validate().unwrap();

@@ -60,7 +60,11 @@ pub fn equake(size: EquakeSize, permuted: bool) -> Result<Workload> {
     let n = size.nodes();
     let band = 10i64;
     let mut p = Program::new("equake").with_param("N", n);
-    let k = p.add_array("K", vec!["N".into(), (2 * band + 1).into()], ArrayKind::Input);
+    let k = p.add_array(
+        "K",
+        vec!["N".into(), (2 * band + 1).into()],
+        ArrayKind::Input,
+    );
     let v = p.add_array("v", vec!["N".into()], ArrayKind::Input);
     let disp = p.add_array("disp", vec!["N".into()], ArrayKind::Temp);
     // The mesh is internal simulation state; the live-out results are the
@@ -73,7 +77,11 @@ pub fn equake(size: EquakeSize, permuted: bool) -> Result<Workload> {
     p.add_stmt(
         "{ S0[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(0)],
-        Body { target: disp, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+        Body {
+            target: disp,
+            target_idx: vec![d1(0)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S1: disp[i] += K[i][j+B] * v[i+j-B], j in [0, 2B]  — the banded SpMV
     // whose real counterpart iterates a data-dependent while loop.
@@ -85,7 +93,12 @@ pub fn equake(size: EquakeSize, permuted: bool) -> Result<Workload> {
             "{{ S1[i, j] : {band} <= i < N - {band} and 0 <= j <= {} }}",
             2 * band
         ),
-        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(1),
+        ],
         Body {
             target: disp,
             target_idx: vec![d2(0)],
@@ -174,8 +187,11 @@ mod tests {
         // Shrink N for interpretation.
         let overrides = [("N", 64)];
         let (r, _) = reference_execute(&w.program, &overrides).unwrap();
-        for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse, FusionHeuristic::MaxFuse]
-        {
+        for h in [
+            FusionHeuristic::MinFuse,
+            FusionHeuristic::SmartFuse,
+            FusionHeuristic::MaxFuse,
+        ] {
             let s = schedule(&w.program, h).unwrap();
             let (t, _) =
                 execute_tree(&w.program, &s.tree, &overrides, &Default::default()).unwrap();
@@ -193,8 +209,8 @@ mod tests {
             tile_sizes: vec![],
             parallel_cap: Some(1),
             startup: FusionHeuristic::SmartFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
         let (r, _) = reference_execute(&w.program, &overrides).unwrap();
         let (t, _) =

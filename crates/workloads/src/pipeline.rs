@@ -58,8 +58,14 @@ impl PipelineBuilder {
         };
         let stage = Stage {
             array: input,
-            h: Extent { offset: 0, divisor: 1 },
-            w: Extent { offset: 0, divisor: 1 },
+            h: Extent {
+                offset: 0,
+                divisor: 1,
+            },
+            w: Extent {
+                offset: 0,
+                divisor: 1,
+            },
         };
         (b, stage)
     }
@@ -69,13 +75,22 @@ impl PipelineBuilder {
         self.counter += 1;
         let arr = self.program.add_array(
             &format!("in{}", self.counter),
-            vec![(self.h_param.as_str(), 0).into(), (self.w_param.as_str(), 0).into()],
+            vec![
+                (self.h_param.as_str(), 0).into(),
+                (self.w_param.as_str(), 0).into(),
+            ],
             ArrayKind::Input,
         );
         Stage {
             array: arr,
-            h: Extent { offset: 0, divisor: 1 },
-            w: Extent { offset: 0, divisor: 1 },
+            h: Extent {
+                offset: 0,
+                divisor: 1,
+            },
+            w: Extent {
+                offset: 0,
+                divisor: 1,
+            },
         }
     }
 
@@ -108,12 +123,20 @@ impl PipelineBuilder {
         let hcond = if h.divisor == 1 {
             format!("0 <= h and h <= {hp} + {}", h.offset - 1)
         } else {
-            format!("0 <= h and {}h <= {hp} + {}", h.divisor, h.offset - h.divisor)
+            format!(
+                "0 <= h and {}h <= {hp} + {}",
+                h.divisor,
+                h.offset - h.divisor
+            )
         };
         let wcond = if w.divisor == 1 {
             format!("0 <= w and w <= {wp} + {}", w.offset - 1)
         } else {
-            format!("0 <= w and {}w <= {wp} + {}", w.divisor, w.offset - w.divisor)
+            format!(
+                "0 <= w and {}w <= {wp} + {}",
+                w.divisor,
+                w.offset - w.divisor
+            )
         };
         format!("{{ {name}[h, w] : {hcond} and {wcond} }}")
     }
@@ -137,7 +160,11 @@ impl PipelineBuilder {
         self.program.add_stmt_full(
             &domain,
             vec![SchedTerm::Cst(seq), SchedTerm::Var(0), SchedTerm::Var(1)],
-            Body { target, target_idx, rhs },
+            Body {
+                target,
+                target_idx,
+                rhs,
+            },
             false,
             work_scale,
         )?;
@@ -170,8 +197,14 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn combine(&mut self, a: Stage, b: Stage) -> Result<Stage> {
-        let h = Extent { offset: a.h.offset.min(b.h.offset), divisor: a.h.divisor };
-        let w = Extent { offset: a.w.offset.min(b.w.offset), divisor: a.w.divisor };
+        let h = Extent {
+            offset: a.h.offset.min(b.h.offset),
+            divisor: a.h.divisor,
+        };
+        let w = Extent {
+            offset: a.w.offset.min(b.w.offset),
+            divisor: a.w.divisor,
+        };
         let arr = self.fresh_array(h, w, ArrayKind::Temp);
         let d = |k| IdxExpr::dim(2, k);
         self.add_stage_stmt(
@@ -193,7 +226,10 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn stencil_x(&mut self, src: Stage, r: i64) -> Result<Stage> {
-        let w = Extent { offset: src.w.offset - 2 * r * src.w.divisor, divisor: src.w.divisor };
+        let w = Extent {
+            offset: src.w.offset - 2 * r * src.w.divisor,
+            divisor: src.w.divisor,
+        };
         let arr = self.fresh_array(src.h, w, ArrayKind::Temp);
         let d = |k| IdxExpr::dim(2, k);
         let mut rhs = Expr::load(src.array, vec![d(0), d(1)]);
@@ -208,7 +244,11 @@ impl PipelineBuilder {
         }
         rhs = Expr::mul(rhs, Expr::Const(1.0 / (2.0 * r as f64 + 1.0)));
         self.add_stage_stmt(src.h, w, arr, vec![d(0), d(1)], rhs, 1.0)?;
-        Ok(Stage { array: arr, h: src.h, w })
+        Ok(Stage {
+            array: arr,
+            h: src.h,
+            w,
+        })
     }
 
     /// An `r`-radius vertical stencil: shrinks `h` by `2r`.
@@ -216,7 +256,10 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn stencil_y(&mut self, src: Stage, r: i64) -> Result<Stage> {
-        let h = Extent { offset: src.h.offset - 2 * r * src.h.divisor, divisor: src.h.divisor };
+        let h = Extent {
+            offset: src.h.offset - 2 * r * src.h.divisor,
+            divisor: src.h.divisor,
+        };
         let arr = self.fresh_array(h, src.w, ArrayKind::Temp);
         let d = |k| IdxExpr::dim(2, k);
         let mut rhs = Expr::load(src.array, vec![d(0), d(1)]);
@@ -231,7 +274,11 @@ impl PipelineBuilder {
         }
         rhs = Expr::mul(rhs, Expr::Const(1.0 / (2.0 * r as f64 + 1.0)));
         self.add_stage_stmt(h, src.w, arr, vec![d(0), d(1)], rhs, 1.0)?;
-        Ok(Stage { array: arr, h, w: src.w })
+        Ok(Stage {
+            array: arr,
+            h,
+            w: src.w,
+        })
     }
 
     /// A full 3×3 stencil as *two* separable stages (x then y).
@@ -249,14 +296,23 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn stencil_box(&mut self, src: Stage, r: i64) -> Result<Stage> {
-        let h = Extent { offset: src.h.offset - 2 * r * src.h.divisor, divisor: src.h.divisor };
-        let w = Extent { offset: src.w.offset - 2 * r * src.w.divisor, divisor: src.w.divisor };
+        let h = Extent {
+            offset: src.h.offset - 2 * r * src.h.divisor,
+            divisor: src.h.divisor,
+        };
+        let w = Extent {
+            offset: src.w.offset - 2 * r * src.w.divisor,
+            divisor: src.w.divisor,
+        };
         let arr = self.fresh_array(h, w, ArrayKind::Temp);
         let d = |k| IdxExpr::dim(2, k);
         let mut rhs = Expr::Const(0.0);
         for oh in 0..=2 * r {
             for ow in 0..=2 * r {
-                rhs = Expr::add(rhs, Expr::load(src.array, vec![d(0).offset(oh), d(1).offset(ow)]));
+                rhs = Expr::add(
+                    rhs,
+                    Expr::load(src.array, vec![d(0).offset(oh), d(1).offset(ow)]),
+                );
             }
         }
         let win = (2 * r + 1) as f64;
@@ -270,14 +326,23 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn downsample(&mut self, src: Stage) -> Result<Stage> {
-        let h = Extent { offset: src.h.offset, divisor: src.h.divisor * 2 };
-        let w = Extent { offset: src.w.offset, divisor: src.w.divisor * 2 };
+        let h = Extent {
+            offset: src.h.offset,
+            divisor: src.h.divisor * 2,
+        };
+        let w = Extent {
+            offset: src.w.offset,
+            divisor: src.w.divisor * 2,
+        };
         let arr = self.fresh_array(h, w, ArrayKind::Temp);
         let d = |k: usize| IdxExpr::dim(2, k);
         let rhs = Expr::mul(
             Expr::add(
                 Expr::load(src.array, vec![d(0).scale(2), d(1).scale(2)]),
-                Expr::load(src.array, vec![d(0).scale(2).offset(1), d(1).scale(2).offset(1)]),
+                Expr::load(
+                    src.array,
+                    vec![d(0).scale(2).offset(1), d(1).scale(2).offset(1)],
+                ),
             ),
             Expr::Const(0.5),
         );
@@ -291,9 +356,18 @@ impl PipelineBuilder {
     /// # Errors
     /// Returns an error if program construction fails.
     pub fn upsample(&mut self, src: Stage) -> Result<Stage> {
-        let h = Extent { offset: src.h.offset, divisor: src.h.divisor / 2 };
-        let w = Extent { offset: src.w.offset, divisor: src.w.divisor / 2 };
-        debug_assert!(src.h.divisor >= 2 && src.w.divisor >= 2, "upsample below full size");
+        let h = Extent {
+            offset: src.h.offset,
+            divisor: src.h.divisor / 2,
+        };
+        let w = Extent {
+            offset: src.w.offset,
+            divisor: src.w.divisor / 2,
+        };
+        debug_assert!(
+            src.h.divisor >= 2 && src.w.divisor >= 2,
+            "upsample below full size"
+        );
         let arr = self.fresh_array(h, w, ArrayKind::Temp);
         let d = |k: usize| IdxExpr::dim(2, k);
         for (oh, ow) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
@@ -386,7 +460,13 @@ mod tests {
         let other = b.input();
         let c = b.combine(s0, other).unwrap();
         let p = b.output(c).unwrap();
-        assert_eq!(p.arrays().iter().filter(|a| a.kind() == ArrayKind::Input).count(), 2);
+        assert_eq!(
+            p.arrays()
+                .iter()
+                .filter(|a| a.kind() == ArrayKind::Input)
+                .count(),
+            2
+        );
         let (r, _) = reference_execute(&p, &[]).unwrap();
         assert!(r.buffer(p.array_named("t3").unwrap().id()).data().len() == 64);
     }
@@ -402,8 +482,8 @@ mod tests {
             tile_sizes: vec![4, 4],
             parallel_cap: None,
             startup: FusionHeuristic::SmartFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&p, &opts).unwrap();
         let (r, _) = reference_execute(&p, &[]).unwrap();
         let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();

@@ -24,8 +24,17 @@ pub fn two_mm(n: i64) -> Result<Workload> {
     // S0: tmp[i][j] = 0
     p.add_stmt(
         "{ S0[i, j] : 0 <= i < NI and 0 <= j < NJ }",
-        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
-        Body { target: tmp, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: tmp,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S1: tmp[i][j] += alpha * A[i][k] * B[k][j]
     p.add_stmt(
@@ -52,7 +61,12 @@ pub fn two_mm(n: i64) -> Result<Workload> {
     // S2: D[i][l] *= beta
     p.add_stmt(
         "{ S2[i, l] : 0 <= i < NI and 0 <= l < NL }",
-        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
         Body {
             target: d,
             target_idx: vec![d2(0), d2(1)],
@@ -74,7 +88,10 @@ pub fn two_mm(n: i64) -> Result<Workload> {
             target_idx: vec![d3(0), d3(1)],
             rhs: Expr::add(
                 Expr::load(d, vec![d3(0), d3(1)]),
-                Expr::mul(Expr::load(tmp, vec![d3(0), d3(2)]), Expr::load(c, vec![d3(2), d3(1)])),
+                Expr::mul(
+                    Expr::load(tmp, vec![d3(0), d3(2)]),
+                    Expr::load(c, vec![d3(2), d3(1)]),
+                ),
             ),
         },
     )?;
@@ -126,12 +143,21 @@ pub fn gemver(n: i64) -> Result<Workload> {
     p.add_stmt(
         "{ S1[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Cst(0)],
-        Body { target: x, target_idx: vec![d1(0)], rhs: Expr::load(z, vec![d1(0)]) },
+        Body {
+            target: x,
+            target_idx: vec![d1(0)],
+            rhs: Expr::load(z, vec![d1(0)]),
+        },
     )?;
     // S2: x[i] += beta * Ahat[j][i] * y[j]
     p.add_stmt(
         "{ S2[i, j] : 0 <= i < N and 0 <= j < N }",
-        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(1),
+        ],
         Body {
             target: x,
             target_idx: vec![d2(0)],
@@ -148,12 +174,21 @@ pub fn gemver(n: i64) -> Result<Workload> {
     p.add_stmt(
         "{ S3[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Cst(0)],
-        Body { target: w, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+        Body {
+            target: w,
+            target_idx: vec![d1(0)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S4: w[i] += alpha * Ahat[i][j] * x[j]
     p.add_stmt(
         "{ S4[i, j] : 0 <= i < N and 0 <= j < N }",
-        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        vec![
+            SchedTerm::Cst(2),
+            SchedTerm::Var(0),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(1),
+        ],
         Body {
             target: w,
             target_idx: vec![d2(0)],
@@ -182,7 +217,9 @@ pub fn gemver(n: i64) -> Result<Workload> {
 /// # Errors
 /// Returns an error if program construction fails.
 pub fn covariance(n: i64, m: i64) -> Result<Workload> {
-    let mut p = Program::new("covariance").with_param("N", n).with_param("M", m);
+    let mut p = Program::new("covariance")
+        .with_param("N", n)
+        .with_param("M", m);
     let data = p.add_array("data", vec!["N".into(), "M".into()], ArrayKind::Input);
     let centered = p.add_array("centered", vec!["N".into(), "M".into()], ArrayKind::Temp);
     let mean = p.add_array("mean", vec!["M".into()], ArrayKind::Temp);
@@ -194,18 +231,30 @@ pub fn covariance(n: i64, m: i64) -> Result<Workload> {
     p.add_stmt(
         "{ S0[j] : 0 <= j < M }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(0)],
-        Body { target: mean, target_idx: vec![d1(0)], rhs: Expr::Const(0.0) },
+        Body {
+            target: mean,
+            target_idx: vec![d1(0)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S1: mean[j] += data[i][j] / N
     p.add_stmt(
         "{ S1[j, i] : 0 <= j < M and 0 <= i < N }",
-        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Cst(1), SchedTerm::Var(1)],
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(1),
+        ],
         Body {
             target: mean,
             target_idx: vec![d2(0)],
             rhs: Expr::add(
                 Expr::load(mean, vec![d2(0)]),
-                Expr::mul(Expr::load(data, vec![d2(1), d2(0)]), Expr::Const(1.0 / 64.0)),
+                Expr::mul(
+                    Expr::load(data, vec![d2(1), d2(0)]),
+                    Expr::Const(1.0 / 64.0),
+                ),
             ),
         },
     )?;
@@ -216,14 +265,26 @@ pub fn covariance(n: i64, m: i64) -> Result<Workload> {
         Body {
             target: centered,
             target_idx: vec![d2(0), d2(1)],
-            rhs: Expr::sub(Expr::load(data, vec![d2(0), d2(1)]), Expr::load(mean, vec![d2(1)])),
+            rhs: Expr::sub(
+                Expr::load(data, vec![d2(0), d2(1)]),
+                Expr::load(mean, vec![d2(1)]),
+            ),
         },
     )?;
     // S3: cov[i][j] = 0 for the triangular j >= i
     p.add_stmt(
         "{ S3[i, j] : 0 <= i < M and i <= j < M }",
-        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
-        Body { target: cov, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        vec![
+            SchedTerm::Cst(2),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: cov,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S4: cov[i][j] += centered[k][i] * centered[k][j], j >= i
     p.add_stmt(
@@ -282,7 +343,11 @@ mod tests {
     fn gemver_heuristics_correct() {
         let w = gemver(10).unwrap();
         let (r, _) = reference_execute(&w.program, &[]).unwrap();
-        for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse, FusionHeuristic::MaxFuse] {
+        for h in [
+            FusionHeuristic::MinFuse,
+            FusionHeuristic::SmartFuse,
+            FusionHeuristic::MaxFuse,
+        ] {
             let s = schedule(&w.program, h).unwrap();
             let (t, _) = execute_tree(&w.program, &s.tree, &[], &Default::default()).unwrap();
             check_outputs_match(&w.program, &r, &t, 1e-9).unwrap();
@@ -308,8 +373,8 @@ mod tests {
             tile_sizes: vec![4, 4],
             parallel_cap: None,
             startup: FusionHeuristic::MinFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
         let (r, _) = reference_execute(&w.program, &[]).unwrap();
         let (t, _) = execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes).unwrap();
@@ -323,8 +388,8 @@ mod tests {
             tile_sizes: vec![4, 4],
             parallel_cap: None,
             startup: FusionHeuristic::MinFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
         let (r, _) = reference_execute(&w.program, &[]).unwrap();
         let (t, _) = execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes).unwrap();

@@ -302,17 +302,13 @@ mod tests {
             tile_sizes: vec![4, 4],
             parallel_cap: None,
             startup: tilefuse_scheduler::FusionHeuristic::MinFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
         let (r, _) = tilefuse_codegen::reference_execute(&w.program, &[]).unwrap();
-        let (t, stats) = tilefuse_codegen::execute_tree(
-            &w.program,
-            &o.tree,
-            &[],
-            &o.report.scratch_scopes,
-        )
-        .unwrap();
+        let (t, stats) =
+            tilefuse_codegen::execute_tree(&w.program, &o.tree, &[], &o.report.scratch_scopes)
+                .unwrap();
         tilefuse_codegen::check_outputs_match(&w.program, &r, &t, 1e-10).unwrap();
         assert!(stats.scratch_hits > 0);
         assert!(o.report.n_final_groups() < o.report.groups.len());

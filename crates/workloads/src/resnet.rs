@@ -28,19 +28,110 @@ pub struct ConvBlock {
 /// The distinct convolution configurations of ResNet-50's forward pass.
 pub fn blocks() -> Vec<ConvBlock> {
     vec![
-        ConvBlock { name: "conv1 7x7", c_in: 3, c_out: 64, hw: 224, k: 7, repeat: 1 },
-        ConvBlock { name: "res2 1x1a", c_in: 64, c_out: 64, hw: 56, k: 1, repeat: 3 },
-        ConvBlock { name: "res2 3x3", c_in: 64, c_out: 64, hw: 56, k: 3, repeat: 3 },
-        ConvBlock { name: "res2 1x1b", c_in: 64, c_out: 256, hw: 56, k: 1, repeat: 3 },
-        ConvBlock { name: "res3 1x1a", c_in: 256, c_out: 128, hw: 28, k: 1, repeat: 4 },
-        ConvBlock { name: "res3 3x3", c_in: 128, c_out: 128, hw: 28, k: 3, repeat: 4 },
-        ConvBlock { name: "res3 1x1b", c_in: 128, c_out: 512, hw: 28, k: 1, repeat: 4 },
-        ConvBlock { name: "res4 1x1a", c_in: 512, c_out: 256, hw: 14, k: 1, repeat: 6 },
-        ConvBlock { name: "res4 3x3", c_in: 256, c_out: 256, hw: 14, k: 3, repeat: 6 },
-        ConvBlock { name: "res4 1x1b", c_in: 256, c_out: 1024, hw: 14, k: 1, repeat: 6 },
-        ConvBlock { name: "res5 1x1a", c_in: 1024, c_out: 512, hw: 7, k: 1, repeat: 3 },
-        ConvBlock { name: "res5 3x3", c_in: 512, c_out: 512, hw: 7, k: 3, repeat: 3 },
-        ConvBlock { name: "res5 1x1b", c_in: 512, c_out: 2048, hw: 7, k: 1, repeat: 3 },
+        ConvBlock {
+            name: "conv1 7x7",
+            c_in: 3,
+            c_out: 64,
+            hw: 224,
+            k: 7,
+            repeat: 1,
+        },
+        ConvBlock {
+            name: "res2 1x1a",
+            c_in: 64,
+            c_out: 64,
+            hw: 56,
+            k: 1,
+            repeat: 3,
+        },
+        ConvBlock {
+            name: "res2 3x3",
+            c_in: 64,
+            c_out: 64,
+            hw: 56,
+            k: 3,
+            repeat: 3,
+        },
+        ConvBlock {
+            name: "res2 1x1b",
+            c_in: 64,
+            c_out: 256,
+            hw: 56,
+            k: 1,
+            repeat: 3,
+        },
+        ConvBlock {
+            name: "res3 1x1a",
+            c_in: 256,
+            c_out: 128,
+            hw: 28,
+            k: 1,
+            repeat: 4,
+        },
+        ConvBlock {
+            name: "res3 3x3",
+            c_in: 128,
+            c_out: 128,
+            hw: 28,
+            k: 3,
+            repeat: 4,
+        },
+        ConvBlock {
+            name: "res3 1x1b",
+            c_in: 128,
+            c_out: 512,
+            hw: 28,
+            k: 1,
+            repeat: 4,
+        },
+        ConvBlock {
+            name: "res4 1x1a",
+            c_in: 512,
+            c_out: 256,
+            hw: 14,
+            k: 1,
+            repeat: 6,
+        },
+        ConvBlock {
+            name: "res4 3x3",
+            c_in: 256,
+            c_out: 256,
+            hw: 14,
+            k: 3,
+            repeat: 6,
+        },
+        ConvBlock {
+            name: "res4 1x1b",
+            c_in: 256,
+            c_out: 1024,
+            hw: 14,
+            k: 1,
+            repeat: 6,
+        },
+        ConvBlock {
+            name: "res5 1x1a",
+            c_in: 1024,
+            c_out: 512,
+            hw: 7,
+            k: 1,
+            repeat: 3,
+        },
+        ConvBlock {
+            name: "res5 3x3",
+            c_in: 512,
+            c_out: 512,
+            hw: 7,
+            k: 3,
+            repeat: 3,
+        },
+        ConvBlock {
+            name: "res5 1x1b",
+            c_in: 512,
+            c_out: 2048,
+            hw: 7,
+            k: 1,
+            repeat: 3,
+        },
     ]
 }
 
@@ -55,7 +146,11 @@ pub fn conv_bn_program(b: &ConvBlock) -> Result<Workload> {
         .with_param("CI", b.c_in)
         .with_param("HW", b.hw)
         .with_param("K", b.k);
-    let input = p.add_array("input", vec![b.c_in.into(), b.hw.into(), b.hw.into()], ArrayKind::Input);
+    let input = p.add_array(
+        "input",
+        vec![b.c_in.into(), b.hw.into(), b.hw.into()],
+        ArrayKind::Input,
+    );
     let weight = p.add_array(
         "weight",
         vec![b.c_out.into(), b.c_in.into(), b.k.into(), b.k.into()],
@@ -63,16 +158,41 @@ pub fn conv_bn_program(b: &ConvBlock) -> Result<Workload> {
     );
     let gamma = p.add_array("gamma", vec![b.c_out.into()], ArrayKind::Input);
     let beta = p.add_array("beta", vec![b.c_out.into()], ArrayKind::Input);
-    let conv = p.add_array("conv", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Temp);
-    let bn = p.add_array("bn", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Temp);
-    let out = p.add_array("out", vec![b.c_out.into(), out_hw.into(), out_hw.into()], ArrayKind::Output);
+    let conv = p.add_array(
+        "conv",
+        vec![b.c_out.into(), out_hw.into(), out_hw.into()],
+        ArrayKind::Temp,
+    );
+    let bn = p.add_array(
+        "bn",
+        vec![b.c_out.into(), out_hw.into(), out_hw.into()],
+        ArrayKind::Temp,
+    );
+    let out = p.add_array(
+        "out",
+        vec![b.c_out.into(), out_hw.into(), out_hw.into()],
+        ArrayKind::Output,
+    );
     let d3 = |k| IdxExpr::dim(3, k);
     let d6 = |k| IdxExpr::dim(6, k);
     // S0: conv[co][h][w] = 0
     p.add_stmt(
-        &format!("{{ S0[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
-        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2), SchedTerm::Cst(0)],
-        Body { target: conv, target_idx: vec![d3(0), d3(1), d3(2)], rhs: Expr::Const(0.0) },
+        &format!(
+            "{{ S0[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}",
+            o = out_hw - 1
+        ),
+        vec![
+            SchedTerm::Cst(0),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Var(2),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: conv,
+            target_idx: vec![d3(0), d3(1), d3(2)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     // S1: conv[co][h][w] += input[ci][h+kh][w+kw] * weight[co][ci][kh][kw]
     p.add_stmt(
@@ -105,21 +225,40 @@ pub fn conv_bn_program(b: &ConvBlock) -> Result<Workload> {
     )?;
     // S2: bn[co][h][w] = gamma[co] * conv[co][h][w] + beta[co]
     p.add_stmt(
-        &format!("{{ S2[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
-        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2)],
+        &format!(
+            "{{ S2[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}",
+            o = out_hw - 1
+        ),
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Var(2),
+        ],
         Body {
             target: bn,
             target_idx: vec![d3(0), d3(1), d3(2)],
             rhs: Expr::add(
-                Expr::mul(Expr::load(gamma, vec![d3(0)]), Expr::load(conv, vec![d3(0), d3(1), d3(2)])),
+                Expr::mul(
+                    Expr::load(gamma, vec![d3(0)]),
+                    Expr::load(conv, vec![d3(0), d3(1), d3(2)]),
+                ),
                 Expr::load(beta, vec![d3(0)]),
             ),
         },
     )?;
     // S3: out[co][h][w] = relu(bn[co][h][w])
     p.add_stmt(
-        &format!("{{ S3[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}", o = out_hw - 1),
-        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Var(2)],
+        &format!(
+            "{{ S3[co, h, w] : 0 <= co < CO and 0 <= h <= {o} and 0 <= w <= {o} }}",
+            o = out_hw - 1
+        ),
+        vec![
+            SchedTerm::Cst(2),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Var(2),
+        ],
         Body {
             target: out,
             target_idx: vec![d3(0), d3(1), d3(2)],
@@ -153,7 +292,14 @@ mod tests {
     fn smartfuse_fails_to_fuse_conv_and_bn() {
         // The paper: "The smartfuse heuristic of isl failed to fuse
         // convolutions and batch normalizations."
-        let b = ConvBlock { name: "t", c_in: 4, c_out: 4, hw: 8, k: 3, repeat: 1 };
+        let b = ConvBlock {
+            name: "t",
+            c_in: 4,
+            c_out: 4,
+            hw: 8,
+            k: 3,
+            repeat: 1,
+        };
         let w = conv_bn_program(&b).unwrap();
         let s = schedule(&w.program, FusionHeuristic::SmartFuse).unwrap();
         let conv_group = s
@@ -171,14 +317,21 @@ mod tests {
 
     #[test]
     fn post_tiling_fusion_fuses_conv_into_bn_tiles_correctly() {
-        let b = ConvBlock { name: "t", c_in: 3, c_out: 4, hw: 8, k: 3, repeat: 1 };
+        let b = ConvBlock {
+            name: "t",
+            c_in: 3,
+            c_out: 4,
+            hw: 8,
+            k: 3,
+            repeat: 1,
+        };
         let w = conv_bn_program(&b).unwrap();
         let opts = tilefuse_core::Options {
             tile_sizes: vec![2, 3, 3],
             parallel_cap: None,
             startup: FusionHeuristic::SmartFuse,
-        ..Default::default()
-    };
+            ..Default::default()
+        };
         let o = tilefuse_core::optimize(&w.program, &opts).unwrap();
         assert!(
             !o.report.scratch_arrays.is_empty(),

@@ -10,18 +10,24 @@
 //!
 //! Run with `cargo run --example conv2d_pipeline`.
 
-use tilefuse::codegen::{check_outputs_match, execute_tree, generate, print, reference_execute, Target};
+use tilefuse::codegen::{
+    check_outputs_match, execute_tree, generate, print, reference_execute, Target,
+};
 use tilefuse::core::{optimize, recomputation_factor, Options};
 use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
-use tilefuse::scheduler::{schedule, FusionHeuristic};
 use tilefuse::schedtree::render;
+use tilefuse::scheduler::{schedule, FusionHeuristic};
 
 /// Builds Fig. 1(a) with Quant(x) = x/2 and a 3×3 kernel.
 fn conv2d(h: i64, w: i64) -> Result<Program, tilefuse::pir::Error> {
     let mut p = Program::new("conv2d").with_param("H", h).with_param("W", w);
     let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
     let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
-    let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+    let c = p.add_array(
+        "C",
+        vec![("H", -2).into(), ("W", -2).into()],
+        ArrayKind::Output,
+    );
     let d2 = |d| IdxExpr::dim(2, d);
     let d4 = |d| IdxExpr::dim(4, d);
     p.add_stmt(
@@ -35,8 +41,17 @@ fn conv2d(h: i64, w: i64) -> Result<Program, tilefuse::pir::Error> {
     )?;
     p.add_stmt(
         "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
-        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
-        Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
     )?;
     p.add_stmt(
         "{ S2[h, w, kh, kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }",
@@ -84,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fusion
             .groups
             .iter()
-            .map(|g| g.stmts.iter().map(|s| p.stmt(*s).name()).collect::<Vec<_>>())
+            .map(|g| g
+                .stmts
+                .iter()
+                .map(|s| p.stmt(*s).name())
+                .collect::<Vec<_>>())
             .collect::<Vec<_>>()
     );
 
@@ -96,7 +115,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fusion
             .groups
             .iter()
-            .map(|g| g.stmts.iter().map(|s| p.stmt(*s).name()).collect::<Vec<_>>())
+            .map(|g| g
+                .stmts
+                .iter()
+                .map(|s| p.stmt(*s).name())
+                .collect::<Vec<_>>())
             .collect::<Vec<_>>()
     );
     for g in &aggressive.fusion.groups {
@@ -107,7 +130,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 g.depth,
                 g.coincident,
                 g.shifts,
-                if g.n_outer_parallel() == 0 { "LOST" } else { "kept" }
+                if g.n_outer_parallel() == 0 {
+                    "LOST"
+                } else {
+                    "kept"
+                }
             );
         }
     }
@@ -118,8 +145,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_sizes: vec![2, 2],
         parallel_cap: None,
         startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let optimized = optimize(&p, &opts)?;
     println!("{}", render(&optimized.tree));
 

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = harris(128, 128)?;
     let p = &w.program;
     let params = p.param_values(&[]);
-    println!("Harris corner detection: {} stages, {} statements\n", w.stages, p.stmts().len());
+    println!(
+        "Harris corner detection: {} stages, {} statements\n",
+        w.stages,
+        p.stmts().len()
+    );
 
     let model = CpuModel::xeon_e5_2683_v4();
 
@@ -37,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_sizes: w.tile_sizes.clone(),
         parallel_cap: Some(1),
         startup: FusionHeuristic::MinFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let o = optimize(p, &opts)?;
     let sums = summarize_optimized(p, &o, &w.tile_sizes, &params)?;
     let t = cpu_time(&model, &sums)?;
@@ -65,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &o_small.report.scratch_scopes,
     )?;
     check_outputs_match(&w_small.program, &r, &tr, 1e-10)?;
-    println!("\nvalidated on a 24x24 instance ✓ (scratch hits: {})", stats.scratch_hits);
+    println!(
+        "\nvalidated on a 24x24 instance ✓ (scratch hits: {})",
+        stats.scratch_hits
+    );
     Ok(())
 }

@@ -7,11 +7,13 @@
 //! cargo run --example quickstart
 //! ```
 
-use tilefuse::codegen::{check_outputs_match, execute_tree, generate, print, reference_execute, Target};
+use tilefuse::codegen::{
+    check_outputs_match, execute_tree, generate, print, reference_execute, Target,
+};
 use tilefuse::core::{optimize, Options};
 use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
-use tilefuse::scheduler::FusionHeuristic;
 use tilefuse::schedtree::render;
+use tilefuse::scheduler::FusionHeuristic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 1-D pipeline: blur (3-point stencil) then brighten, 64 elements.
@@ -59,8 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_sizes: vec![16],
         parallel_cap: Some(1),
         startup: FusionHeuristic::MinFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let optimized = optimize(&p, &opts)?;
 
     println!("=== Schedule tree after post-tiling fusion ===\n");
@@ -78,8 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== Validation ===\n");
     println!("reference instances:   {}", ref_stats.total_instances());
-    println!("transformed instances: {} (tile-halo recomputation)", stats.total_instances());
-    println!("scratch hits:          {} (producer values read tile-locally)", stats.scratch_hits);
+    println!(
+        "transformed instances: {} (tile-halo recomputation)",
+        stats.total_instances()
+    );
+    println!(
+        "scratch hits:          {} (producer values read tile-locally)",
+        stats.scratch_hits
+    );
     println!("\noutputs match bit-for-bit ✓");
     Ok(())
 }

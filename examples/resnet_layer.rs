@@ -7,8 +7,8 @@
 use tilefuse::codegen::{check_outputs_match, execute_tree, reference_execute};
 use tilefuse::core::{optimize, Options};
 use tilefuse::memsim::{davinci_time, summarize_groups, summarize_optimized, DavinciModel};
-use tilefuse::scheduler::{schedule, FusionHeuristic};
 use tilefuse::schedtree::render;
+use tilefuse::scheduler::{schedule, FusionHeuristic};
 use tilefuse::workloads::resnet::{blocks, conv_bn_program, ConvBlock};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,8 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: smartfuse cannot fuse the 6-D convolution with the 3-D
     // batchnorm; the conv output round-trips through DDR.
     let s = schedule(p, FusionHeuristic::SmartFuse)?;
-    let base = davinci_time(&npu, &summarize_groups(p, &s.fusion.groups, &w.tile_sizes, &params)?)?;
-    println!("smartfuse: {} operator groups, modeled {:.3} ms", s.fusion.groups.len(), base.total * 1e3);
+    let base = davinci_time(
+        &npu,
+        &summarize_groups(p, &s.fusion.groups, &w.tile_sizes, &params)?,
+    )?;
+    println!(
+        "smartfuse: {} operator groups, modeled {:.3} ms",
+        s.fusion.groups.len(),
+        base.total * 1e3
+    );
 
     // Ours: post-tiling fusion pulls the convolution into the bn/relu
     // tiles; the conv output lives in the unified buffer.
@@ -38,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_sizes: w.tile_sizes.clone(),
         parallel_cap: None,
         startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let o = optimize(p, &opts)?;
     let ours = davinci_time(&npu, &summarize_optimized(p, &o, &w.tile_sizes, &params)?)?;
     println!(
@@ -53,18 +60,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", render(&o.tree));
 
     // Validate on a tiny configuration.
-    let tiny = ConvBlock { name: "tiny", c_in: 3, c_out: 4, hw: 8, k: 3, repeat: 1 };
+    let tiny = ConvBlock {
+        name: "tiny",
+        c_in: 3,
+        c_out: 4,
+        hw: 8,
+        k: 3,
+        repeat: 1,
+    };
     let tw = conv_bn_program(&tiny)?;
-    let to = optimize(&tw.program, &Options {
-        tile_sizes: vec![2, 3, 3],
-        parallel_cap: None,
-        startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-})?;
+    let to = optimize(
+        &tw.program,
+        &Options {
+            tile_sizes: vec![2, 3, 3],
+            parallel_cap: None,
+            startup: FusionHeuristic::SmartFuse,
+            ..Default::default()
+        },
+    )?;
     let (r, _) = reference_execute(&tw.program, &[])?;
     let (t, stats) = execute_tree(&tw.program, &to.tree, &[], &to.report.scratch_scopes)?;
     check_outputs_match(&tw.program, &r, &t, 1e-9)?;
-    println!("validated on a tiny block ✓ (scratch hits: {})\n", stats.scratch_hits);
+    println!(
+        "validated on a tiny block ✓ (scratch hits: {})\n",
+        stats.scratch_hits
+    );
 
     println!("=== CCE-style code (DaVinci memory scopes, tiny block) ===\n");
     let ast = tilefuse::codegen::generate(&to.tree)?;

@@ -23,6 +23,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use tilefuse_bench as bench;
 pub use tilefuse_codegen as codegen;
 pub use tilefuse_core as core;
 pub use tilefuse_memsim as memsim;
@@ -30,7 +31,6 @@ pub use tilefuse_pir as pir;
 pub use tilefuse_presburger as presburger;
 pub use tilefuse_schedtree as schedtree;
 pub use tilefuse_scheduler as scheduler;
-pub use tilefuse_bench as bench;
 pub use tilefuse_workloads as workloads;
 
 pub use tilefuse_core::{optimize, Optimized, Options};

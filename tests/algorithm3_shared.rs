@@ -67,8 +67,8 @@ fn opts() -> Options {
         tile_sizes: vec![4],
         parallel_cap: None,
         startup: FusionHeuristic::MinFuse,
-    ..Default::default()
-}
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -77,7 +77,11 @@ fn disjoint_slices_fuse_into_both_liveouts() {
     let o = optimize(&p, &opts()).unwrap();
     // The producer is fused (into both live-outs' tiles), its original
     // schedule skipped, and no conflict was recorded.
-    assert!(o.report.is_fused(0), "producer should fuse: {:?}", o.report.shared_unfused);
+    assert!(
+        o.report.is_fused(0),
+        "producer should fuse: {:?}",
+        o.report.shared_unfused
+    );
     assert!(o.report.shared_unfused.is_empty());
     let fused_in: usize = o
         .report
@@ -105,7 +109,11 @@ fn disjoint_slices_enable_dead_code_elimination() {
     p.add_stmt(
         "{ P[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
     )
     .unwrap();
     // Only the first quarter of A is ever used.
@@ -165,7 +173,11 @@ fn chain_through_unfused_shared_producer_stays_correct() {
     p.add_stmt(
         "{ P[i] : 0 <= i < N }",
         vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
-        Body { target: a, target_idx: vec![i1(0)], rhs: Expr::Iter(0) },
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
     )
     .unwrap();
     p.add_stmt(
@@ -178,9 +190,10 @@ fn chain_through_unfused_shared_producer_stays_correct() {
         },
     )
     .unwrap();
-    for (name, dom, arr, seq) in
-        [("C1", "{ C1[i] : 0 <= i < N }", x, 2), ("C2", "{ C2[i] : 0 <= i < N }", y, 3)]
-    {
+    for (name, dom, arr, seq) in [
+        ("C1", "{ C1[i] : 0 <= i < N }", x, 2),
+        ("C2", "{ C2[i] : 0 <= i < N }", y, 3),
+    ] {
         let _ = name;
         p.add_stmt(
             dom,

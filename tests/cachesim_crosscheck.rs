@@ -47,8 +47,8 @@ fn fused_schedule_misses_less_than_unfused() {
         tile_sizes: vec![8, 8],
         parallel_cap: None,
         startup: FusionHeuristic::MinFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let o = optimize(p, &opts).unwrap();
     let (m_fused, _) = trace_misses(p, &o.tree, &o.report.scratch_scopes);
 
@@ -66,15 +66,14 @@ fn trace_is_consistent_with_stats() {
     let s = schedule(p, FusionHeuristic::MinFuse).unwrap();
     let mut n_reads = 0u64;
     let mut n_writes = 0u64;
-    let (_, stats) =
-        execute_tree_traced(p, &s.tree, &[], &Default::default(), &mut |acc| {
-            if acc.is_write {
-                n_writes += 1;
-            } else {
-                n_reads += 1;
-            }
-        })
-        .unwrap();
+    let (_, stats) = execute_tree_traced(p, &s.tree, &[], &Default::default(), &mut |acc| {
+        if acc.is_write {
+            n_writes += 1;
+        } else {
+            n_reads += 1;
+        }
+    })
+    .unwrap();
     assert_eq!(n_reads, stats.loads);
     assert_eq!(n_writes, stats.stores);
     // Untraced execution gives the same stats.

@@ -8,15 +8,19 @@
 use tilefuse::codegen::{check_outputs_match, execute_tree, reference_execute};
 use tilefuse::core::{optimize, recomputation_factor, Options};
 use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
-use tilefuse::scheduler::{check_schedule, schedule, FusionHeuristic};
 use tilefuse::schedtree::flatten;
+use tilefuse::scheduler::{check_schedule, schedule, FusionHeuristic};
 
 /// The paper's Fig. 1(a), with Quant(x) = 0.5x and a 3x3 kernel.
 fn conv2d(h: i64, w: i64) -> Program {
     let mut p = Program::new("conv2d").with_param("H", h).with_param("W", w);
     let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
     let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
-    let c = p.add_array("C", vec![("H", -2).into(), ("W", -2).into()], ArrayKind::Output);
+    let c = p.add_array(
+        "C",
+        vec![("H", -2).into(), ("W", -2).into()],
+        ArrayKind::Output,
+    );
     let d2 = |d| IdxExpr::dim(2, d);
     let d4 = |d| IdxExpr::dim(4, d);
     p.add_stmt(
@@ -31,8 +35,17 @@ fn conv2d(h: i64, w: i64) -> Program {
     .unwrap();
     p.add_stmt(
         "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
-        vec![SchedTerm::Cst(1), SchedTerm::Var(0), SchedTerm::Var(1), SchedTerm::Cst(0)],
-        Body { target: c, target_idx: vec![d2(0), d2(1)], rhs: Expr::Const(0.0) },
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
     )
     .unwrap();
     p.add_stmt(
@@ -75,7 +88,11 @@ fn conv2d(h: i64, w: i64) -> Program {
 fn heuristic_schedules_compute_correct_outputs() {
     let p = conv2d(10, 10);
     let (reference, _) = reference_execute(&p, &[]).unwrap();
-    for h in [FusionHeuristic::MinFuse, FusionHeuristic::SmartFuse, FusionHeuristic::MaxFuse] {
+    for h in [
+        FusionHeuristic::MinFuse,
+        FusionHeuristic::SmartFuse,
+        FusionHeuristic::MaxFuse,
+    ] {
         let s = schedule(&p, h).unwrap();
         let flat = flatten(&s.tree).unwrap();
         let legality = check_schedule(&s.deps, &flat).unwrap();
@@ -93,25 +110,23 @@ fn post_tiling_fusion_computes_correct_outputs() {
         tile_sizes: vec![4, 4],
         parallel_cap: None,
         startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let optimized = optimize(&p, &opts).unwrap();
     // The quantization stage is fused into the tiles of the reduction
     // space; tensor A becomes tile-local.
     assert!(optimized.report.is_fused(0), "S0's group should be fused");
     assert_eq!(optimized.report.scratch_arrays.len(), 1);
-    let (out, stats) = execute_tree(
-        &p,
-        &optimized.tree,
-        &[],
-        &optimized.report.scratch_scopes,
-    )
-    .unwrap();
+    let (out, stats) =
+        execute_tree(&p, &optimized.tree, &[], &optimized.report.scratch_scopes).unwrap();
     check_outputs_match(&p, &reference, &out, 1e-12).unwrap();
     // Overlapped tiling recomputes boundary quantizations: strictly more
     // S0 executions than the reference, never fewer.
     assert!(stats.instances["S0"] >= ref_stats.instances["S0"] - 36); // DCE may drop dead border
-    assert!(stats.scratch_hits > 0, "consumers must hit tile-local scratch");
+    assert!(
+        stats.scratch_hits > 0,
+        "consumers must hit tile-local scratch"
+    );
     // The recomputation factor is bounded by the overlap ratio.
     let rf = recomputation_factor(&optimized, &p.param_values(&[])).unwrap();
     let f = rf["S0"];
@@ -122,7 +137,10 @@ fn post_tiling_fusion_computes_correct_outputs() {
 fn post_tiling_fusion_with_cpu_cap_still_correct() {
     let p = conv2d(9, 11);
     let (reference, _) = reference_execute(&p, &[]).unwrap();
-    let opts = Options { tile_sizes: vec![2, 2], ..Options::cpu(&[2, 2]) };
+    let opts = Options {
+        tile_sizes: vec![2, 2],
+        ..Options::cpu(&[2, 2])
+    };
     let optimized = optimize(&p, &opts).unwrap();
     let (out, _) =
         execute_tree(&p, &optimized.tree, &[], &optimized.report.scratch_scopes).unwrap();
@@ -138,8 +156,8 @@ fn fusion_without_tiling_is_correct() {
         tile_sizes: vec![],
         parallel_cap: None,
         startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let optimized = optimize(&p, &opts).unwrap();
     let (out, _) =
         execute_tree(&p, &optimized.tree, &[], &optimized.report.scratch_scopes).unwrap();
@@ -153,13 +171,19 @@ fn printed_code_has_fig5_shape() {
         tile_sizes: vec![2, 2],
         parallel_cap: None,
         startup: FusionHeuristic::SmartFuse,
-    ..Default::default()
-};
+        ..Default::default()
+    };
     let optimized = optimize(&p, &opts).unwrap();
     let ast = tilefuse::codegen::generate(&optimized.tree).unwrap();
     let text = tilefuse::codegen::print(&ast, tilefuse::codegen::Target::OpenMp);
-    assert!(text.contains("skipped"), "original S0 loop must be skipped:\n{text}");
-    assert!(text.contains("S0("), "S0 must appear inside the fused tile:\n{text}");
+    assert!(
+        text.contains("skipped"),
+        "original S0 loop must be skipped:\n{text}"
+    );
+    assert!(
+        text.contains("S0("),
+        "S0 must appear inside the fused tile:\n{text}"
+    );
     assert!(text.contains("#pragma omp parallel for"), "{text}");
     let tree_text = tilefuse::schedtree::render(&optimized.tree);
     assert!(tree_text.contains("extension:"), "{tree_text}");

@@ -2,13 +2,37 @@
 //! stencil, downsample and combine stages are optimized with random tile
 //! sizes and executed; the output must always match the reference
 //! execution, and fusion must never lose instances (recomputation only
-//! ever adds).
+//! ever adds). Randomness comes from a deterministic in-tree xorshift
+//! generator so the suite is reproducible without external dependencies.
 
-use proptest::prelude::*;
-use tilefuse::codegen::{check_outputs_match, execute_tree, reference_execute};
+use tilefuse::codegen::{
+    check_outputs_match, execute_tree, execute_tree_parallel, reference_execute,
+};
 use tilefuse::core::{optimize, Options};
 use tilefuse::scheduler::FusionHeuristic;
 use tilefuse::workloads::pipeline::PipelineBuilder;
+
+/// Deterministic xorshift64* PRNG for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
 
 /// Kinds of stages the generator may append.
 #[derive(Debug, Clone, Copy)]
@@ -19,13 +43,16 @@ enum StageKind {
     CombineWithInput,
 }
 
-fn stage_kind() -> impl Strategy<Value = StageKind> {
-    prop_oneof![
-        Just(StageKind::Pointwise),
-        Just(StageKind::StencilX),
-        Just(StageKind::StencilY),
-        Just(StageKind::CombineWithInput),
-    ]
+const KINDS: [StageKind; 4] = [
+    StageKind::Pointwise,
+    StageKind::StencilX,
+    StageKind::StencilY,
+    StageKind::CombineWithInput,
+];
+
+fn random_kinds(rng: &mut Rng) -> Vec<StageKind> {
+    let n = rng.range(1, 5) as usize;
+    (0..n).map(|_| KINDS[rng.range(0, 4) as usize]).collect()
 }
 
 fn build_pipeline(kinds: &[StageKind], size: i64) -> tilefuse::pir::Program {
@@ -42,15 +69,13 @@ fn build_pipeline(kinds: &[StageKind], size: i64) -> tilefuse::pir::Program {
     b.output(cur).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    #[test]
-    fn random_pipeline_post_tiling_fusion_is_correct(
-        kinds in prop::collection::vec(stage_kind(), 1..5),
-        tile in 2i64..5,
-        startup_smart in any::<bool>(),
-    ) {
+#[test]
+fn random_pipeline_post_tiling_fusion_is_correct() {
+    let mut rng = Rng::new(0x70f1);
+    for _ in 0..12 {
+        let kinds = random_kinds(&mut rng);
+        let tile = rng.range(2, 5) as i64;
+        let startup_smart = rng.next().is_multiple_of(2);
         let size = 14;
         let p = build_pipeline(&kinds, size);
         let opts = Options {
@@ -72,19 +97,60 @@ proptest! {
         // statements execute exactly once per domain point.
         for s in p.stmts() {
             if p.is_live_out(s.id()) {
-                prop_assert_eq!(
+                assert_eq!(
                     stats.instances.get(s.name()),
-                    ref_stats.instances.get(s.name())
+                    ref_stats.instances.get(s.name()),
+                    "kinds = {kinds:?} tile = {tile}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn random_pipeline_heuristics_are_correct(
-        kinds in prop::collection::vec(stage_kind(), 1..5),
-        which in 0usize..3,
-    ) {
+/// The parallel interpreter must be *bit-identical* to the sequential one
+/// — buffers and statistics — on optimized (tiled, post-tiling-fused,
+/// scratch-carrying) schedules, for every thread count.
+#[test]
+fn random_pipeline_parallel_execution_is_bit_identical() {
+    let mut rng = Rng::new(0xd1ce);
+    for case in 0..10 {
+        let kinds = random_kinds(&mut rng);
+        let tile = rng.range(2, 5) as i64;
+        let size = 14;
+        let p = build_pipeline(&kinds, size);
+        let opts = Options {
+            tile_sizes: vec![tile, tile],
+            parallel_cap: None,
+            ..Default::default()
+        };
+        let o = optimize(&p, &opts).unwrap();
+        let (seq, seq_stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+        for threads in [2, 5] {
+            let (par, par_stats) =
+                execute_tree_parallel(&p, &o.tree, &[], &o.report.scratch_scopes, threads).unwrap();
+            for a in p.arrays() {
+                assert_eq!(
+                    seq.max_diff(&par, a.id()).unwrap(),
+                    0.0,
+                    "case {case}: array {} differs with {threads} threads \
+                     (kinds = {kinds:?}, tile = {tile})",
+                    a.name()
+                );
+            }
+            assert_eq!(
+                seq_stats, par_stats,
+                "case {case}: stats differ with {threads} threads (kinds = {kinds:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_pipeline_heuristics_are_correct() {
+    let mut rng = Rng::new(0xac3);
+    for _ in 0..12 {
+        let kinds = random_kinds(&mut rng);
+        let which = rng.range(0, 3) as usize;
         let p = build_pipeline(&kinds, 12);
         let h = [
             FusionHeuristic::MinFuse,
@@ -95,10 +161,9 @@ proptest! {
         // Legality double-check with the exact checker.
         let flat = tilefuse::schedtree::flatten(&s.tree).unwrap();
         let report = tilefuse::scheduler::check_schedule(&s.deps, &flat).unwrap();
-        prop_assert!(report.legal, "{:?}", report.violations);
+        assert!(report.legal, "{:?}", report.violations);
         let (reference, _) = reference_execute(&p, &[]).unwrap();
-        let (transformed, _) =
-            execute_tree(&p, &s.tree, &[], &Default::default()).unwrap();
+        let (transformed, _) = execute_tree(&p, &s.tree, &[], &Default::default()).unwrap();
         check_outputs_match(&p, &reference, &transformed, 1e-9).unwrap();
     }
 }

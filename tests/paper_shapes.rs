@@ -7,14 +7,19 @@ use tilefuse::memsim::{cpu_time, davinci_time, gpu_time, CpuModel, DavinciModel,
 use tilefuse::workloads::{polybench, polymage, resnet};
 
 fn cpu(v: &[tilefuse::memsim::ExecGroup], threads: usize) -> f64 {
-    cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(threads), v).unwrap().total
+    cpu_time(&CpuModel::xeon_e5_2683_v4().with_threads(threads), v)
+        .unwrap()
+        .total
 }
 
 #[test]
 fn unsharp_mask_ordering_ours_beats_polymage_beats_naive() {
     let w = polymage::unsharp_mask(512, 512).unwrap();
     let naive = cpu(&summaries(&w, Version::Naive, TargetKind::Cpu).unwrap(), 1);
-    let pm = cpu(&summaries(&w, Version::PolyMage, TargetKind::Cpu).unwrap(), 32);
+    let pm = cpu(
+        &summaries(&w, Version::PolyMage, TargetKind::Cpu).unwrap(),
+        32,
+    );
     let ours = cpu(&summaries(&w, Version::Ours, TargetKind::Cpu).unwrap(), 32);
     assert!(ours <= pm, "ours {ours} <= polymage {pm}");
     assert!(pm < naive, "polymage {pm} < naive {naive}");
@@ -25,22 +30,37 @@ fn harris_halide_misses_inlining() {
     // Table I: the manual Halide schedule is ~2x the automatic versions.
     let w = polymage::harris(512, 512).unwrap();
     let ours = cpu(&summaries(&w, Version::Ours, TargetKind::Cpu).unwrap(), 32);
-    let halide = cpu(&summaries(&w, Version::Halide, TargetKind::Cpu).unwrap(), 32);
+    let halide = cpu(
+        &summaries(&w, Version::Halide, TargetKind::Cpu).unwrap(),
+        32,
+    );
     assert!(halide > 1.5 * ours, "halide {halide} vs ours {ours}");
 }
 
 #[test]
 fn gpu_ours_never_loses_to_minfuse() {
     let gpu = GpuModel::quadro_p6000();
-    for w in [polymage::unsharp_mask(512, 512).unwrap(), polymage::harris(512, 512).unwrap()] {
-        let minfuse =
-            gpu_time(&gpu, &summaries(&w, Version::MinFuse, TargetKind::Gpu).unwrap())
-                .unwrap()
-                .total;
-        let ours = gpu_time(&gpu, &summaries(&w, Version::Ours, TargetKind::Gpu).unwrap())
-            .unwrap()
-            .total;
-        assert!(ours <= minfuse, "{}: ours {ours} <= minfuse {minfuse}", w.name);
+    for w in [
+        polymage::unsharp_mask(512, 512).unwrap(),
+        polymage::harris(512, 512).unwrap(),
+    ] {
+        let minfuse = gpu_time(
+            &gpu,
+            &summaries(&w, Version::MinFuse, TargetKind::Gpu).unwrap(),
+        )
+        .unwrap()
+        .total;
+        let ours = gpu_time(
+            &gpu,
+            &summaries(&w, Version::Ours, TargetKind::Gpu).unwrap(),
+        )
+        .unwrap()
+        .total;
+        assert!(
+            ours <= minfuse,
+            "{}: ours {ours} <= minfuse {minfuse}",
+            w.name
+        );
     }
 }
 
@@ -48,7 +68,10 @@ fn gpu_ours_never_loses_to_minfuse() {
 fn two_mm_recompute_guard_prevents_catastrophic_fusion() {
     // Table II: ours performs like minfuse on 2mm (no fusion blow-up).
     let w = polybench::two_mm(128).unwrap();
-    let minfuse = cpu(&summaries(&w, Version::MinFuse, TargetKind::Cpu).unwrap(), 32);
+    let minfuse = cpu(
+        &summaries(&w, Version::MinFuse, TargetKind::Cpu).unwrap(),
+        32,
+    );
     let ours = cpu(&summaries(&w, Version::Ours, TargetKind::Cpu).unwrap(), 32);
     assert!(
         ours <= minfuse * 1.05,
@@ -84,13 +107,18 @@ fn resnet_block_fusion_wins_on_davinci() {
     let npu = DavinciModel::ascend_910();
     let b = resnet::blocks()[2]; // res2 3x3
     let w = resnet::conv_bn_program(&b).unwrap();
-    let smart =
-        davinci_time(&npu, &summaries(&w, Version::SmartFuse, TargetKind::Davinci).unwrap())
-            .unwrap()
-            .total;
-    let ours = davinci_time(&npu, &summaries(&w, Version::Ours, TargetKind::Davinci).unwrap())
-        .unwrap()
-        .total;
+    let smart = davinci_time(
+        &npu,
+        &summaries(&w, Version::SmartFuse, TargetKind::Davinci).unwrap(),
+    )
+    .unwrap()
+    .total;
+    let ours = davinci_time(
+        &npu,
+        &summaries(&w, Version::Ours, TargetKind::Davinci).unwrap(),
+    )
+    .unwrap()
+    .total;
     assert!(ours < smart, "ours {ours} < smartfuse {smart}");
     // And the speedup is in a sane band around the paper's 1.72x.
     let speedup = smart / ours;
@@ -103,13 +131,17 @@ fn equake_fusion_order_minfuse_smartfuse_ours() {
     let cpu_model = CpuModel::xeon_e5_2683_v4();
     let permuted = equake(EquakeSize::Test, true).unwrap();
     let original = equake(EquakeSize::Test, false).unwrap();
-    let minfuse =
-        cpu_time(&cpu_model, &summaries(&permuted, Version::MinFuse, TargetKind::Cpu).unwrap())
-            .unwrap()
-            .total;
-    let ours =
-        cpu_time(&cpu_model, &summaries(&original, Version::Ours, TargetKind::Cpu).unwrap())
-            .unwrap()
-            .total;
+    let minfuse = cpu_time(
+        &cpu_model,
+        &summaries(&permuted, Version::MinFuse, TargetKind::Cpu).unwrap(),
+    )
+    .unwrap()
+    .total;
+    let ours = cpu_time(
+        &cpu_model,
+        &summaries(&original, Version::Ours, TargetKind::Cpu).unwrap(),
+    )
+    .unwrap()
+    .total;
     assert!(ours < minfuse, "ours {ours} < minfuse {minfuse}");
 }
