@@ -40,6 +40,89 @@ pub enum AstNode {
     Comment(String),
 }
 
+/// A borrowed view of an [`AstNode::For`]'s fields, produced by
+/// [`AstNode::as_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForView<'a> {
+    /// Loop variable name.
+    pub var: &'a str,
+    /// Lower bound (rendered expression).
+    pub lb: &'a str,
+    /// Upper bound (inclusive, rendered expression).
+    pub ub: &'a str,
+    /// Whether the loop is parallel.
+    pub parallel: bool,
+    /// Band role marker: `"tile"`, `"point"` or `""`.
+    pub role: &'static str,
+    /// Loop body.
+    pub body: &'a [AstNode],
+}
+
+/// A borrowed view of an [`AstNode::Stmt`]'s fields, produced by
+/// [`AstNode::as_stmt`].
+#[derive(Debug, Clone, Copy)]
+pub struct StmtView<'a> {
+    /// Statement name.
+    pub name: &'a str,
+    /// Instance coordinates as rendered expressions.
+    pub args: &'a [String],
+}
+
+impl AstNode {
+    /// The node's kind as a short name (for diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AstNode::For { .. } => "for",
+            AstNode::Stmt { .. } => "stmt",
+            AstNode::Comment(_) => "comment",
+        }
+    }
+
+    /// Typed accessor: this node as a `for` loop.
+    ///
+    /// # Errors
+    /// Returns [`Error::Shape`] when the node is not a `For`, so callers
+    /// walking machine-generated (possibly malformed) trees report instead
+    /// of aborting.
+    pub fn as_for(&self) -> Result<ForView<'_>> {
+        match self {
+            AstNode::For {
+                var,
+                lb,
+                ub,
+                parallel,
+                role,
+                body,
+            } => Ok(ForView {
+                var,
+                lb,
+                ub,
+                parallel: *parallel,
+                role,
+                body,
+            }),
+            other => Err(Error::Shape {
+                expected: "for",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Typed accessor: this node as a statement instance.
+    ///
+    /// # Errors
+    /// Returns [`Error::Shape`] when the node is not a `Stmt`.
+    pub fn as_stmt(&self) -> Result<StmtView<'_>> {
+        match self {
+            AstNode::Stmt { name, args } => Ok(StmtView { name, args }),
+            other => Err(Error::Shape {
+                expected: "stmt",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
 /// One active statement during AST generation.
 #[derive(Debug, Clone)]
 struct Active {
@@ -469,39 +552,18 @@ mod tests {
         let t = ScheduleTree::new(dom, band_node(b, Node::Leaf));
         let ast = generate(&t).unwrap();
         assert_eq!(ast.len(), 1);
-        let AstNode::For {
-            var,
-            lb,
-            ub,
-            parallel,
-            body,
-            ..
-        } = &ast[0]
-        else {
-            panic!("expected for");
-        };
-        assert_eq!(var, "c0");
-        assert_eq!(lb, "0");
-        assert_eq!(ub, "N - 1");
-        assert!(*parallel);
-        let AstNode::For {
-            lb: lb2,
-            ub: ub2,
-            parallel: p2,
-            body: inner,
-            ..
-        } = &body[0]
-        else {
-            panic!("expected inner for");
-        };
-        assert_eq!(lb2, "0");
-        assert_eq!(ub2, "c0");
-        assert!(!*p2);
-        let AstNode::Stmt { name, args } = &inner[0] else {
-            panic!("expected stmt");
-        };
-        assert_eq!(name, "S");
-        assert_eq!(args, &["c0".to_owned(), "c1".to_owned()]);
+        let outer = ast[0].as_for().unwrap();
+        assert_eq!(outer.var, "c0");
+        assert_eq!(outer.lb, "0");
+        assert_eq!(outer.ub, "N - 1");
+        assert!(outer.parallel);
+        let inner = outer.body[0].as_for().unwrap();
+        assert_eq!(inner.lb, "0");
+        assert_eq!(inner.ub, "c0");
+        assert!(!inner.parallel);
+        let stmt = inner.body[0].as_stmt().unwrap();
+        assert_eq!(stmt.name, "S");
+        assert_eq!(stmt.args, &["c0".to_owned(), "c1".to_owned()]);
     }
 
     #[test]
@@ -516,22 +578,33 @@ mod tests {
         let (tile, point) = orig.tile(&[4]).unwrap();
         let t = ScheduleTree::new(dom, band_node(tile, band_node(point, Node::Leaf)));
         let ast = generate(&t).unwrap();
-        let AstNode::For {
-            var, role, body, ..
-        } = &ast[0]
-        else {
-            panic!("expected for");
+        let tile_loop = ast[0].as_for().unwrap();
+        assert_eq!(tile_loop.role, "tile");
+        assert_eq!(tile_loop.var, "t0");
+        let point_loop = tile_loop.body[0].as_for().unwrap();
+        assert_eq!(point_loop.role, "point");
+        assert_eq!(point_loop.var, "c1");
+    }
+
+    #[test]
+    fn typed_accessors_report_shape_mismatches() {
+        let c = AstNode::Comment("x".into());
+        let err = c.as_for().unwrap_err();
+        assert_eq!(
+            err,
+            Error::Shape {
+                expected: "for",
+                found: "comment"
+            }
+        );
+        let s = AstNode::Stmt {
+            name: "S".into(),
+            args: vec![],
         };
-        assert_eq!(*role, "tile");
-        assert_eq!(var, "t0");
-        let AstNode::For {
-            var: v2, role: r2, ..
-        } = &body[0]
-        else {
-            panic!("expected inner for");
-        };
-        assert_eq!(*r2, "point");
-        assert_eq!(v2, "c1");
+        assert!(s.as_for().is_err());
+        assert!(s.as_stmt().is_ok());
+        assert_eq!(s.kind(), "stmt");
+        assert!(c.as_stmt().unwrap_err().to_string().contains("comment"));
     }
 
     #[test]

@@ -10,6 +10,15 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// Execution failed (out-of-bounds access, missing buffer, ...).
     Exec(String),
+    /// An AST node had an unexpected shape (e.g. a statement where a loop
+    /// was required). Produced by the typed [`crate::AstNode`] accessors
+    /// instead of a panic, so malformed trees report rather than abort.
+    Shape {
+        /// The node kind the caller required.
+        expected: &'static str,
+        /// The node kind actually found.
+        found: &'static str,
+    },
     /// Underlying IR error.
     Pir(tilefuse_pir::Error),
     /// Underlying schedule-tree error.
@@ -22,6 +31,9 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Shape { expected, found } => {
+                write!(f, "AST shape error: expected {expected}, found {found}")
+            }
             Error::Pir(e) => write!(f, "IR error: {e}"),
             Error::SchedTree(e) => write!(f, "schedule tree error: {e}"),
             Error::Presburger(e) => write!(f, "set operation failed: {e}"),
@@ -35,7 +47,7 @@ impl std::error::Error for Error {
             Error::Pir(e) => Some(e),
             Error::SchedTree(e) => Some(e),
             Error::Presburger(e) => Some(e),
-            Error::Exec(_) => None,
+            Error::Exec(_) | Error::Shape { .. } => None,
         }
     }
 }
@@ -67,5 +79,11 @@ mod tests {
         assert!(Error::Exec("oob".into()).to_string().contains("oob"));
         let e = Error::from(tilefuse_presburger::Error::Overflow("mul"));
         assert!(e.to_string().contains("overflow"));
+        let s = Error::Shape {
+            expected: "for",
+            found: "stmt",
+        };
+        assert!(s.to_string().contains("expected for, found stmt"));
+        assert!(std::error::Error::source(&s).is_none());
     }
 }

@@ -244,13 +244,16 @@ impl Mem for OverlayMem<'_> {
 }
 
 fn make_binding<'a>(program: &'a Program, values: &'a [i64]) -> impl Fn(&str) -> i64 + 'a {
+    // Undeclared names resolve to 0: every execution entry point runs
+    // `Program::validate_params` first, so by the time this closure is
+    // consulted all referenced parameters are known to be declared.
     move |name: &str| {
         program
             .params()
             .iter()
             .position(|(n, _)| n == name)
             .map(|i| values[i])
-            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+            .unwrap_or(0)
     }
 }
 
@@ -262,6 +265,7 @@ pub fn reference_execute(
     program: &Program,
     overrides: &[(&str, i64)],
 ) -> Result<(ExecContext, ExecStats)> {
+    program.validate_params()?;
     let values = program.param_values(overrides);
     let len = program.sched_len();
     // Collect (schedule tuple, stmt, instance).
@@ -335,6 +339,7 @@ pub fn execute_tree_traced(
     scratch_scopes: &BTreeMap<ArrayId, usize>,
     sink: &mut dyn FnMut(Access),
 ) -> Result<(ExecContext, ExecStats)> {
+    program.validate_params()?;
     let values = program.param_values(overrides);
     let entries = flatten(tree)?;
     // Collect (sched tuple, order, stmt, instance) from each entry's
@@ -425,6 +430,7 @@ pub fn execute_tree_parallel(
     scratch_scopes: &BTreeMap<ArrayId, usize>,
     n_threads: usize,
 ) -> Result<(ExecContext, ExecStats)> {
+    program.validate_params()?;
     let n_threads = if n_threads == 0 {
         default_threads()
     } else {

@@ -16,7 +16,7 @@ mod error;
 mod interp;
 mod printer;
 
-pub use ast::{generate, AstNode};
+pub use ast::{generate, AstNode, ForView, StmtView};
 pub use error::{Error, Result};
 pub use interp::{
     check_outputs_match, default_threads, execute_tree, execute_tree_parallel, execute_tree_traced,

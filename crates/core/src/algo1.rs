@@ -15,6 +15,25 @@ use tilefuse_presburger::Map;
 use tilefuse_schedtree::Band;
 use tilefuse_scheduler::{band_part, loop_vars, Group};
 
+/// Deliberate legality bugs for validating external checkers.
+///
+/// The differential fuzzing oracle (`crates/fuzzgen`) proves it can catch
+/// real fusion-legality regressions by injecting one on purpose and
+/// demanding a detection. Production callers always use
+/// [`FaultInjection::None`]; the other variants exist only so a test can
+/// flip a known-correct guard off and watch the oracle object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No fault: the optimizer behaves as published.
+    #[default]
+    None,
+    /// Skip Algorithm 3's Rule 2: fuse a shared producer even when the
+    /// per-consumer slices intersect, silently introducing recomputation
+    /// of the intersection (and, for accumulating consumers, wrong
+    /// results).
+    SkipSharedSliceCheck,
+}
+
 /// Optimizer options (the paper's target-specific knobs).
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -35,6 +54,9 @@ pub struct Options {
     /// it — the storage-vs-recomputation judgement the akg cost model
     /// makes in the paper's Section V-A.
     pub max_recompute: f64,
+    /// Deliberate legality bug to inject (testing only; see
+    /// [`FaultInjection`]).
+    pub fault: FaultInjection,
 }
 
 impl Default for Options {
@@ -44,6 +66,7 @@ impl Default for Options {
             parallel_cap: None,
             startup: tilefuse_scheduler::FusionHeuristic::MinFuse,
             max_recompute: 3.0,
+            fault: FaultInjection::None,
         }
     }
 }
@@ -206,10 +229,35 @@ pub fn algorithm1(
             .position(|g| g.stmts.contains(&s))
             .expect("statement belongs to a group")
     };
-    while let Some(&s) = remaining
-        .iter()
-        .find(|&&s| needed.contains_key(&program.stmt(s).body().target))
-    {
+    let reads_array = |s: StmtId, arr: ArrayId| -> bool {
+        program
+            .stmt(s)
+            .body()
+            .rhs
+            .loads()
+            .iter()
+            .any(|&(a, _)| a == arr)
+    };
+    loop {
+        // Consumer-before-producer order: a statement's extension is
+        // computed from the footprint of its target array, so every fused
+        // reader of that array must have contributed its chained footprint
+        // first. Otherwise a producer read both directly by the live-out
+        // and by a fused stencil (a diamond) gets a slice missing the
+        // stencil's halo rows. Fall back to any needed statement when no
+        // reader-free one exists (cyclic array dataflow).
+        let strict = remaining.iter().copied().find(|&s| {
+            let t = program.stmt(s).body().target;
+            needed.contains_key(&t) && !remaining.iter().any(|&o| o != s && reads_array(o, t))
+        });
+        let Some(s) = strict.or_else(|| {
+            remaining
+                .iter()
+                .copied()
+                .find(|&s| needed.contains_key(&program.stmt(s).body().target))
+        }) else {
+            break;
+        };
         remaining.remove(&s);
         let g = group_of(s);
         if untiled.contains(&g) {
@@ -231,7 +279,7 @@ pub fn algorithm1(
         let target = program.stmt(s).body().target;
         let fp = needed.get(&target).expect("checked above").clone();
         let write = program.write_access(s)?;
-        let ext = extension_schedule(&fp, &write)?;
+        let ext = coalesced(&extension_schedule(&fp, &write)?)?;
         // Recomputation budget (see Options::max_recompute): estimate how
         // many times the producer would re-execute across tiles.
         if recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute {
@@ -251,14 +299,15 @@ pub fn algorithm1(
                 if extra.is_empty()? {
                     continue;
                 }
-                needed
-                    .entry(arr)
-                    .and_modify(|m| {
-                        if let Ok(u) = m.union(&extra) {
-                            *m = u;
-                        }
-                    })
-                    .or_insert(extra);
+                // Coalesce after every union: deep multi-consumer DAGs
+                // (pyramids) otherwise snowball near-duplicate disjuncts —
+                // each level's point read is subsumed by its stencil
+                // sibling's halo read.
+                let merged = match needed.get(&arr) {
+                    Some(m) => m.union(&extra)?,
+                    None => extra,
+                };
+                needed.insert(arr, coalesced(&merged)?);
             }
         }
         extensions.push(ExtensionPart {
@@ -283,6 +332,32 @@ pub fn algorithm1(
             fused_groups.push(g);
         }
     }
+    // Stale-read guard: skipping a fused group's original schedule is
+    // only sound when every producer group reading its outputs is itself
+    // fused (the live-out reads through the extension slices instead).
+    // An unfused reader would consume an array nobody writes any more.
+    // Dropping a group can strand new readers, so iterate to a fixpoint.
+    loop {
+        let stale = fused_groups.iter().copied().find(|&g| {
+            let written: BTreeSet<ArrayId> = groups[g]
+                .stmts
+                .iter()
+                .map(|&s| program.stmt(s).body().target)
+                .collect();
+            producers.iter().any(|&h| {
+                h != g
+                    && !fused_groups.contains(&h)
+                    && groups[h]
+                        .stmts
+                        .iter()
+                        .any(|&s| written.iter().any(|&a| reads_array(s, a)))
+            })
+        });
+        match stale {
+            Some(g) => fused_groups.retain(|&x| x != g),
+            None => break,
+        }
+    }
     fused_groups.sort_unstable();
     extensions.retain(|e| fused_groups.contains(&e.group));
     extensions.sort_by_key(|e| e.stmt);
@@ -296,6 +371,27 @@ pub fn algorithm1(
         fused_groups,
         untiled_groups: untiled.into_iter().collect(),
     })
+}
+
+/// Disjunct budget for footprints and extension schedules. Deep
+/// multi-consumer DAGs (image pyramids with up/downsampling) produce
+/// footprint unions whose parity-constrained pieces cannot be merged
+/// exactly; past this budget the count compounds geometrically with
+/// pipeline depth. Over-approximating the footprint is sound — the
+/// extension is clipped to the producer's domain by composition with the
+/// write access, so a looser footprint only adds recomputation (which the
+/// `max_recompute` budget then prices in).
+const FOOTPRINT_DISJUNCT_CAP: usize = 12;
+
+/// Simplifies a map viewed as a wrapped set: exact coalescing first
+/// (drop empty/subsumed disjuncts, merge adjacent ones), then a
+/// single-disjunct hull over-approximation when still over budget.
+fn coalesced(m: &Map) -> Result<Map> {
+    let mut s = m.as_wrapped_set().coalesce()?;
+    if s.n_basic() > FOOTPRINT_DISJUNCT_CAP {
+        s = s.simple_hull()?;
+    }
+    Ok(Map::from_wrapped_set(s)?)
 }
 
 /// Estimated recomputation factor of fusing `stmt` via `ext`:
@@ -501,6 +597,78 @@ mod tests {
         let mixed = algorithm1(&p, &deps, &groups, 1, &[0], &opts).unwrap();
         assert_eq!(mixed.m, 1);
         assert_eq!(mixed.fused_groups, vec![0]);
+    }
+
+    #[test]
+    fn diamond_footprint_includes_fused_stencil_halo() {
+        // The live-out reads A both directly and through a fused stencil:
+        //   S0: A[i] = i            S1: B[i] = A[i] + A[i+2]
+        //   S2 (live-out): C[i] = A[i] + B[i]
+        // S0's slice must not be finalized from the live-out's direct
+        // (point) read before S1's chained stencil footprint lands —
+        // tile o needs A[4o .. 4o+5], not just A[4o .. 4o+3].
+        let mut p = Program::new("diamond").with_param("N", 12);
+        let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+        let b = p.add_array("B", vec![("N", -2).into()], ArrayKind::Temp);
+        let c = p.add_array("C", vec![("N", -2).into()], ArrayKind::Output);
+        p.add_stmt(
+            "{ S0[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::Iter(0),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S1[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+            Body {
+                target: b,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(a, vec![IdxExpr::dim(1, 0).offset(2)]),
+                ),
+            },
+        )
+        .unwrap();
+        p.add_stmt(
+            "{ S2[i] : 0 <= i < N - 2 }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+            Body {
+                target: c,
+                target_idx: vec![IdxExpr::dim(1, 0)],
+                rhs: Expr::add(
+                    Expr::load(a, vec![IdxExpr::dim(1, 0)]),
+                    Expr::load(b, vec![IdxExpr::dim(1, 0)]),
+                ),
+            },
+        )
+        .unwrap();
+        let deps = compute_dependences(&p).unwrap();
+        let f = fuse(
+            &p,
+            &deps,
+            FusionHeuristic::MinFuse,
+            &mut FuseBudget::default(),
+        )
+        .unwrap();
+        let opts = Options {
+            tile_sizes: vec![4],
+            ..Options::default()
+        };
+        let mixed = algorithm1(&p, &deps, &f.groups, 2, &[0, 1], &opts).unwrap();
+        assert_eq!(mixed.fused_groups, vec![0, 1]);
+        let e0 = mixed
+            .extensions
+            .iter()
+            .find(|e| e.stmt == StmtId(0))
+            .unwrap();
+        let inst = e0.ext.image_of(&[0]).unwrap().fixed_params(&[12]).unwrap();
+        // 4 tile points + the stencil's 2-element halo.
+        assert_eq!(inst.count_points(&[12]).unwrap(), 6);
     }
 
     #[test]

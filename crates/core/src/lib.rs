@@ -33,7 +33,7 @@ mod optimize;
 #[cfg(test)]
 mod tests_optimize;
 
-pub use algo1::{algorithm1, ExtensionPart, MixedSchedules, Options};
+pub use algo1::{algorithm1, ExtensionPart, FaultInjection, MixedSchedules, Options};
 pub use algo2::{algorithm2, plain_tile_group};
 pub use error::{Error, Result};
 pub use footprint::{

@@ -149,8 +149,10 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
                 continue;
             }
             // Rule 2: slices used by different live-outs must not
-            // intersect (no recomputation across live-outs).
-            if fused_in.len() >= 2 {
+            // intersect (no recomputation across live-outs). Skippable
+            // only via FaultInjection so the fuzz oracle can prove it
+            // catches the resulting illegal fusion.
+            if opts.fault != crate::FaultInjection::SkipSharedSliceCheck && fused_in.len() >= 2 {
                 'pairs: for i in 0..fused_in.len() {
                     for j in i + 1..fused_in.len() {
                         for &s in &groups[g].stmts {

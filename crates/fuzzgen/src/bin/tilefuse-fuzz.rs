@@ -1,0 +1,145 @@
+//! `tilefuse-fuzz` — drive the differential oracle over random programs.
+//!
+//! ```text
+//! tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS]
+//!               [--threads LIST] [--no-memo-diff] [--inject-bug]
+//!               [--artifacts-dir PATH]
+//! ```
+//!
+//! Each iteration derives its own generator from `seed + i`, draws a
+//! random spec, and runs every oracle cross-check. On the first failure
+//! the spec is shrunk to a minimal reproducer, written to the artifacts
+//! directory, printed, and the process exits 1. A clean run exits 0.
+//!
+//! `--inject-bug` enables `FaultInjection::SkipSharedSliceCheck` in the
+//! optimizer — a deliberate Rule 2 legality bug — and is expected to make
+//! the run *fail*: it is the oracle's self-test.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tilefuse_fuzzgen::{describe, random_spec, run_oracle, shrink, OracleConfig, Rng};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    time_budget: Option<Duration>,
+    threads: Vec<usize>,
+    memo_diff: bool,
+    inject_bug: bool,
+    artifacts_dir: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS] \
+         [--threads LIST] [--no-memo-diff] [--inject-bug] [--artifacts-dir PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        iters: 500,
+        time_budget: None,
+        threads: vec![2, 5],
+        memo_diff: true,
+        inject_bug: false,
+        artifacts_dir: "fuzz-artifacts".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
+            "--time-budget" => {
+                let secs: u64 = value("--time-budget").parse().unwrap_or_else(|_| usage());
+                args.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--threads" => {
+                args.threads = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--no-memo-diff" => args.memo_diff = false,
+            "--inject-bug" => args.inject_bug = true,
+            "--artifacts-dir" => args.artifacts_dir = value("--artifacts-dir"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = OracleConfig {
+        threads: args.threads.clone(),
+        memo_diff: args.memo_diff,
+        fault: if args.inject_bug {
+            tilefuse_core::FaultInjection::SkipSharedSliceCheck
+        } else {
+            tilefuse_core::FaultInjection::None
+        },
+    };
+    let start = Instant::now();
+    let mut ran = 0u64;
+    for i in 0..args.iters {
+        if let Some(budget) = args.time_budget {
+            if start.elapsed() >= budget {
+                println!("time budget reached after {ran} iterations");
+                break;
+            }
+        }
+        let mut rng = Rng::new(args.seed.wrapping_add(i));
+        let spec = random_spec(&mut rng);
+        ran += 1;
+        match run_oracle(&spec, &cfg) {
+            Ok(()) => {
+                if ran.is_multiple_of(50) {
+                    println!(
+                        "{ran} iterations clean ({:.1}s)",
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+            }
+            Err(first) => {
+                eprintln!("seed {} iteration {i}: {first}", args.seed);
+                eprintln!("shrinking...");
+                let (min_spec, min_fail) = shrink(&spec, &cfg);
+                let artifact = format!(
+                    "tilefuse-fuzz failure\nseed: {}\niteration: {i}\nfailure: {min_fail}\n\
+                     \n== minimal reproducer ==\n{}\n== original spec ==\n{}",
+                    args.seed,
+                    describe(&min_spec),
+                    describe(&spec),
+                );
+                eprint!("{artifact}");
+                let dir = std::path::Path::new(&args.artifacts_dir);
+                let path = dir.join(format!("repro-seed{}-iter{i}.txt", args.seed));
+                match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &artifact)) {
+                    Ok(()) => eprintln!("repro written to {}", path.display()),
+                    Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "ok: {ran} iterations, 0 mismatches (seed {}, {:.1}s)",
+        args.seed,
+        start.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,464 @@
+//! The differential oracle: one spec, every cross-check this repository
+//! can make.
+//!
+//! A single oracle run drives the full pipeline — conservative start-up
+//! fusion, live-out tiling, extension-schedule construction, Algorithm 2/3
+//! grafting, interpretation — and fails on the *first* of:
+//!
+//! 1. a build/optimize/codegen error;
+//! 2. the exact legality checker rejecting the transformed tree;
+//! 3. live-out buffers differing **bit-exactly** (tolerance 0) from the
+//!    reference interpretation of the original program;
+//! 4. the parallel interpreter (2 and 5 threads) differing from the
+//!    sequential one in any buffer or statistic;
+//! 5. interpreter instance counts differing from the Presburger
+//!    `count_points` of each flattened entry's schedule graph (a Scanner
+//!    enumeration vs. symbolic counting differential);
+//! 6. a live-out or unfused statement executing a different number of
+//!    instances than the reference (fusion must not introduce
+//!    recomputation there, and DCE may only drop *dead* instances —
+//!    live-outs never shrink);
+//! 7. a shared producer fused into several live-outs with per-live-out
+//!    slices that intersect (an independent re-verification of
+//!    Algorithm 3's Rule 2, which is what catches the deliberately
+//!    injected `FaultInjection::SkipSharedSliceCheck` bug);
+//! 8. any of the above differing when the presburger memo layers
+//!    (structural cache, inline emptiness flags, interval pre-check) are
+//!    disabled — memoization must be semantically invisible.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::spec::{build_program, ProgramSpec};
+use tilefuse_codegen::{
+    check_outputs_match, execute_tree, execute_tree_parallel, reference_execute, ExecStats,
+};
+use tilefuse_core::{optimize, FaultInjection, Optimized, Options};
+use tilefuse_pir::Program;
+use tilefuse_presburger::stats as pstats;
+use tilefuse_schedtree::flatten;
+use tilefuse_scheduler::{check_schedule, FusionHeuristic};
+
+/// What the oracle runs and compares.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Thread counts for the parallel-interpreter differential.
+    pub threads: Vec<usize>,
+    /// Re-run the pipeline with the presburger memo disabled and compare.
+    pub memo_diff: bool,
+    /// Deliberate optimizer bug to inject (the oracle must catch it).
+    pub fault: FaultInjection,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            threads: vec![2, 5],
+            memo_diff: true,
+            fault: FaultInjection::None,
+        }
+    }
+}
+
+/// One oracle failure: which check tripped, and the evidence.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Stable check identifier (the shrinker preserves it).
+    pub check: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Failure {
+    /// The failure's equivalence class for shrinking. All *semantic*
+    /// violations (wrong buffers, wrong counts, broken legality or
+    /// disjointness) are one class — the same underlying optimizer bug
+    /// routinely surfaces through different checks as a program shrinks —
+    /// while operational errors (build/optimize/execute refusing to run)
+    /// each keep their own identity so the shrinker never slides from a
+    /// miscompile into a mere crash.
+    pub fn class(&self) -> &'static str {
+        match self.check {
+            "legality"
+            | "output-mismatch"
+            | "parallel-mismatch"
+            | "instance-count"
+            | "liveout-count"
+            | "unfused-count"
+            | "shared-slice-overlap"
+            | "memo-diff" => "semantic",
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+fn fail(check: &'static str, detail: impl std::fmt::Display) -> Failure {
+    Failure {
+        check,
+        detail: detail.to_string(),
+    }
+}
+
+/// Restores the presburger memo on drop, so an early `?` return cannot
+/// leave the process with caching disabled.
+struct MemoOff;
+
+impl MemoOff {
+    fn new() -> Self {
+        pstats::set_memo_enabled(false);
+        MemoOff
+    }
+}
+
+impl Drop for MemoOff {
+    fn drop(&mut self) {
+        pstats::set_memo_enabled(true);
+    }
+}
+
+fn options_for(spec: &ProgramSpec, cfg: &OracleConfig) -> Options {
+    Options {
+        tile_sizes: vec![spec.tile, spec.tile],
+        parallel_cap: spec.parallel_cap,
+        startup: if spec.smart_startup {
+            FusionHeuristic::SmartFuse
+        } else {
+            FusionHeuristic::MinFuse
+        },
+        fault: cfg.fault,
+        ..Default::default()
+    }
+}
+
+fn nonzero(counts: &BTreeMap<String, u64>) -> BTreeMap<&str, u64> {
+    counts
+        .iter()
+        .filter(|(_, &n)| n > 0)
+        .map(|(k, &n)| (k.as_str(), n))
+        .collect()
+}
+
+/// One full pipeline run: optimize + sequential interpretation.
+struct PipelineRun {
+    optimized: Optimized,
+    context: tilefuse_codegen::ExecContext,
+    stats: ExecStats,
+}
+
+fn run_pipeline(
+    program: &Program,
+    opts: &Options,
+    overrides: &[(&str, i64)],
+) -> Result<PipelineRun, Failure> {
+    let optimized = optimize(program, opts).map_err(|e| fail("optimize", e))?;
+    let (context, stats) = execute_tree(
+        program,
+        &optimized.tree,
+        overrides,
+        &optimized.report.scratch_scopes,
+    )
+    .map_err(|e| fail("execute", e))?;
+    Ok(PipelineRun {
+        optimized,
+        context,
+        stats,
+    })
+}
+
+/// Runs every cross-check on `spec`. `Ok(())` means the whole pipeline is
+/// consistent; `Err` carries the first failed check.
+///
+/// # Errors
+/// Returns the first [`Failure`] encountered (see the module docs for the
+/// check list).
+pub fn run_oracle(spec: &ProgramSpec, cfg: &OracleConfig) -> Result<(), Failure> {
+    let program = build_program(spec).map_err(|e| fail("build", e))?;
+    let ov_h = spec.size + spec.param_delta;
+    let overrides: Vec<(&str, i64)> = vec![("H", ov_h), ("W", ov_h)];
+    let opts = options_for(spec, cfg);
+
+    let run = run_pipeline(&program, &opts, &overrides)?;
+    let o = &run.optimized;
+
+    // Exact legality re-check of the transformed tree. Fused producers
+    // carry multi-valued schedule relations (one instance recomputed in
+    // several tiles, with tile-local scratch semantics) that the pairwise
+    // lexicographic check cannot model — exactly the case
+    // `LegalityReport::skipped` documents — so dependences touching them
+    // are validated end-to-end by the buffer and count checks below
+    // instead.
+    let fused_ids: BTreeSet<tilefuse_pir::StmtId> = o
+        .report
+        .groups
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| o.report.is_fused(*g))
+        .flat_map(|(_, grp)| grp.stmts.iter().copied())
+        .collect();
+    let checkable: Vec<tilefuse_pir::Dependence> = o
+        .report
+        .deps
+        .iter()
+        .filter(|d| !fused_ids.contains(&d.src) && !fused_ids.contains(&d.dst))
+        .cloned()
+        .collect();
+    let entries = flatten(&o.tree).map_err(|e| fail("flatten", e))?;
+    let legality = check_schedule(&checkable, &entries).map_err(|e| fail("legality", e))?;
+    if !legality.legal {
+        return Err(fail(
+            "legality",
+            format!("violations: {:?}", legality.violations),
+        ));
+    }
+
+    // Bit-exact output comparison against the reference interpretation.
+    let (reference, ref_stats) =
+        reference_execute(&program, &overrides).map_err(|e| fail("reference", e))?;
+    check_outputs_match(&program, &reference, &run.context, 0.0)
+        .map_err(|e| fail("output-mismatch", e))?;
+
+    // Sequential vs. parallel interpreter: buffers AND statistics.
+    for &threads in &cfg.threads {
+        let (par, par_stats) = execute_tree_parallel(
+            &program,
+            &o.tree,
+            &overrides,
+            &o.report.scratch_scopes,
+            threads,
+        )
+        .map_err(|e| fail("parallel-execute", e))?;
+        for a in program.arrays() {
+            let d = run
+                .context
+                .max_diff(&par, a.id())
+                .map_err(|e| fail("parallel-execute", e))?;
+            if d != 0.0 {
+                return Err(fail(
+                    "parallel-mismatch",
+                    format!("array {} differs by {d} with {threads} threads", a.name()),
+                ));
+            }
+        }
+        if par_stats != run.stats {
+            return Err(fail(
+                "parallel-mismatch",
+                format!(
+                    "stats differ with {threads} threads: {par_stats:?} vs {:?}",
+                    run.stats
+                ),
+            ));
+        }
+    }
+
+    // Scanner enumeration vs. symbolic point counting: the interpreter's
+    // per-statement instance counts must equal the count_points of each
+    // flattened entry's schedule graph.
+    let values = program.param_values(&overrides);
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &entries {
+        let n = e
+            .schedule
+            .intersect_domain(&e.domain)
+            .and_then(|m| m.as_wrapped_set().fixed_params(&values))
+            .and_then(|s| s.count_points(&values))
+            .map_err(|e| fail("count-points", e))?;
+        *expected.entry(e.stmt.clone()).or_insert(0) += n;
+    }
+    if nonzero(&expected) != nonzero(&run.stats.instances) {
+        return Err(fail(
+            "instance-count",
+            format!(
+                "interpreter {:?} vs count_points {:?}",
+                nonzero(&run.stats.instances),
+                nonzero(&expected)
+            ),
+        ));
+    }
+
+    // No recomputation where the paper forbids it, and DCE only ever
+    // drops instances of producers that were fused (their originals are
+    // legally skipped; outputs above prove nothing needed was lost).
+    let fused_stmts: BTreeSet<&str> = fused_ids.iter().map(|&s| program.stmt(s).name()).collect();
+    for s in program.stmts() {
+        let got = run.stats.instances.get(s.name()).copied().unwrap_or(0);
+        let want = ref_stats.instances.get(s.name()).copied().unwrap_or(0);
+        if program.is_live_out(s.id()) && got != want {
+            return Err(fail(
+                "liveout-count",
+                format!("{} executed {got} instances, reference {want}", s.name()),
+            ));
+        }
+        if !fused_stmts.contains(s.name()) && got != want {
+            return Err(fail(
+                "unfused-count",
+                format!(
+                    "unfused {} executed {got} instances, reference {want}",
+                    s.name()
+                ),
+            ));
+        }
+    }
+
+    // Independent Rule 2 re-verification: a producer fused into several
+    // live-outs must have pairwise-disjoint per-live-out slices, or
+    // fusion has introduced recomputation across live-outs. This check
+    // does not trust the optimizer's own conflict bookkeeping, so it
+    // catches FaultInjection::SkipSharedSliceCheck.
+    for (g, grp) in o.report.groups.iter().enumerate() {
+        let fused_in: Vec<_> = o
+            .report
+            .mixed
+            .iter()
+            .filter(|m| m.fused_groups.contains(&g))
+            .collect();
+        if fused_in.len() < 2 {
+            continue;
+        }
+        for &s in &grp.stmts {
+            let mut slices = Vec::new();
+            for m in &fused_in {
+                if let Some(e) = m.extensions.iter().find(|e| e.stmt == s) {
+                    slices.push((
+                        m.liveout,
+                        e.ext.range().map_err(|e| fail("shared-slice-overlap", e))?,
+                    ));
+                }
+            }
+            for i in 0..slices.len() {
+                for j in i + 1..slices.len() {
+                    let inter = slices[i]
+                        .1
+                        .intersect(&slices[j].1)
+                        .and_then(|s| s.fixed_params(&values))
+                        .map_err(|e| fail("shared-slice-overlap", e))?;
+                    let n = inter
+                        .count_points(&values)
+                        .map_err(|e| fail("shared-slice-overlap", e))?;
+                    if n > 0 {
+                        return Err(fail(
+                            "shared-slice-overlap",
+                            format!(
+                                "{} fused into live-out groups {} and {} with {n} \
+                                 shared instance(s) — recomputation across live-outs",
+                                program.stmt(s).name(),
+                                slices[i].0,
+                                slices[j].0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Memo differential: the whole pipeline re-run with every presburger
+    // memo layer disabled must produce the same tree semantics — same
+    // dependences, bit-identical buffers, identical instance counts.
+    if cfg.memo_diff {
+        let p2 = build_program(spec).map_err(|e| fail("build", e))?;
+        let _restore = MemoOff::new();
+        let run2 = run_pipeline(&p2, &opts, &overrides)?;
+        if run2.optimized.report.deps.len() != o.report.deps.len() {
+            return Err(fail(
+                "memo-diff",
+                format!(
+                    "{} dependences with memo off, {} with memo on",
+                    run2.optimized.report.deps.len(),
+                    o.report.deps.len()
+                ),
+            ));
+        }
+        for a in program.arrays() {
+            let d = run
+                .context
+                .max_diff(&run2.context, a.id())
+                .map_err(|e| fail("memo-diff", e))?;
+            if d != 0.0 {
+                return Err(fail(
+                    "memo-diff",
+                    format!("array {} differs by {d} with memo disabled", a.name()),
+                ));
+            }
+        }
+        if run2.stats != run.stats {
+            return Err(fail(
+                "memo-diff",
+                format!(
+                    "stats differ with memo disabled: {:?} vs {:?}",
+                    run2.stats, run.stats
+                ),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{StageKind, StageSpec};
+
+    fn chain_spec() -> ProgramSpec {
+        ProgramSpec {
+            size: 12,
+            tile: 3,
+            smart_startup: true,
+            parallel_cap: None,
+            param_delta: 0,
+            stages: vec![
+                StageSpec {
+                    kind: StageKind::Point,
+                    src: 0,
+                    liveout: false,
+                },
+                StageSpec {
+                    kind: StageKind::StencilX(1),
+                    src: 1,
+                    liveout: false,
+                },
+                StageSpec {
+                    kind: StageKind::StencilY(1),
+                    src: 2,
+                    liveout: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_chain_passes_every_check() {
+        run_oracle(&chain_spec(), &OracleConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn parametric_override_passes() {
+        let spec = ProgramSpec {
+            param_delta: 3,
+            ..chain_spec()
+        };
+        run_oracle(&spec, &OracleConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn memo_toggle_is_restored_after_failure() {
+        // A spec that fails at build: the guard never engages, and a spec
+        // failing later must still leave the memo enabled.
+        let bad = ProgramSpec {
+            stages: vec![],
+            ..chain_spec()
+        };
+        assert_eq!(
+            run_oracle(&bad, &OracleConfig::default())
+                .unwrap_err()
+                .check,
+            "build"
+        );
+        assert!(pstats::memo_enabled());
+    }
+}

@@ -1,0 +1,187 @@
+//! Greedy spec shrinking: once the oracle fails, reduce the spec while
+//! the *same check* keeps failing, so repro artifacts are minimal.
+//!
+//! Candidates, tried cheapest-win-first each round:
+//! stage removal (with source re-wiring), kind demotion to pointwise,
+//! clearing extra live-out flags, and shrinking size/tile/knobs. The loop
+//! re-runs the oracle on every candidate and accepts the first that still
+//! fails in the original failure's *class* (see [`Failure::class`] — all
+//! semantic violations are interchangeable, operational errors are not);
+//! it stops at a fixpoint.
+
+use crate::oracle::{run_oracle, Failure, OracleConfig};
+use crate::spec::{ProgramSpec, StageKind, StageSpec};
+
+/// Removes stage `i`, re-wiring readers of its output to its own source.
+/// Returns `None` when the result would be empty.
+fn remove_stage(spec: &ProgramSpec, i: usize) -> Option<ProgramSpec> {
+    if spec.stages.len() <= 1 {
+        return None;
+    }
+    let removed_src = spec.stages[i].src;
+    let remap = |s: usize| -> usize {
+        use std::cmp::Ordering;
+        match s.cmp(&(i + 1)) {
+            Ordering::Equal => removed_src,
+            Ordering::Greater => s - 1,
+            Ordering::Less => s,
+        }
+    };
+    let mut stages = Vec::with_capacity(spec.stages.len() - 1);
+    for (j, st) in spec.stages.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let mut st = *st;
+        st.src = remap(st.src);
+        if let StageKind::Combine { src2 } = st.kind {
+            st.kind = StageKind::Combine { src2: remap(src2) };
+        }
+        stages.push(st);
+    }
+    stages.last_mut()?.liveout = true;
+    Some(ProgramSpec {
+        stages,
+        ..spec.clone()
+    })
+}
+
+fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    let mut out = Vec::new();
+    for i in (0..spec.stages.len()).rev() {
+        if let Some(c) = remove_stage(spec, i) {
+            out.push(c);
+        }
+    }
+    for (i, st) in spec.stages.iter().enumerate() {
+        if st.kind != StageKind::Point {
+            let mut c = spec.clone();
+            c.stages[i] = StageSpec {
+                kind: StageKind::Point,
+                ..*st
+            };
+            out.push(c);
+        }
+        if st.liveout && i + 1 != spec.stages.len() {
+            let mut c = spec.clone();
+            c.stages[i].liveout = false;
+            out.push(c);
+        }
+    }
+    if spec.size > 8 {
+        out.push(ProgramSpec {
+            size: 8,
+            ..spec.clone()
+        });
+    }
+    if spec.tile > 2 {
+        out.push(ProgramSpec {
+            tile: 2,
+            ..spec.clone()
+        });
+    }
+    if spec.param_delta != 0 {
+        out.push(ProgramSpec {
+            param_delta: 0,
+            ..spec.clone()
+        });
+    }
+    if spec.smart_startup {
+        out.push(ProgramSpec {
+            smart_startup: false,
+            ..spec.clone()
+        });
+    }
+    if spec.parallel_cap.is_some() {
+        out.push(ProgramSpec {
+            parallel_cap: None,
+            ..spec.clone()
+        });
+    }
+    out
+}
+
+/// Shrinks a failing spec to a local minimum that still fails in the
+/// same failure class, returning the minimal spec and its failure.
+///
+/// # Panics
+/// Panics if `spec` does not fail under `cfg` (shrinking a passing spec
+/// is a caller bug).
+pub fn shrink(spec: &ProgramSpec, cfg: &OracleConfig) -> (ProgramSpec, Failure) {
+    let mut cur = spec.clone();
+    let mut cur_fail = run_oracle(&cur, cfg).expect_err("shrink requires a failing spec");
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if let Err(f) = run_oracle(&cand, cfg) {
+                if f.class() == cur_fail.class() {
+                    cur = cand;
+                    cur_fail = f;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return (cur, cur_fail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_program;
+
+    fn point(src: usize, liveout: bool) -> StageSpec {
+        StageSpec {
+            kind: StageKind::Point,
+            src,
+            liveout,
+        }
+    }
+
+    #[test]
+    fn remove_stage_rewires_readers() {
+        let spec = ProgramSpec {
+            size: 10,
+            tile: 2,
+            smart_startup: false,
+            parallel_cap: None,
+            param_delta: 0,
+            stages: vec![
+                point(0, false),
+                StageSpec {
+                    kind: StageKind::StencilX(1),
+                    src: 1,
+                    liveout: false,
+                },
+                point(2, true),
+            ],
+        };
+        // Dropping the middle stencil re-wires the consumer to stage 0.
+        let c = remove_stage(&spec, 1).unwrap();
+        assert_eq!(c.stages.len(), 2);
+        assert_eq!(c.stages[1].src, 1);
+        build_program(&c).unwrap();
+        // Dropping the head re-wires the stencil to the input.
+        let c = remove_stage(&spec, 0).unwrap();
+        assert_eq!(c.stages[0].src, 0);
+        assert_eq!(c.stages[1].src, 1);
+        build_program(&c).unwrap();
+    }
+
+    #[test]
+    fn remove_stage_keeps_a_liveout() {
+        let spec = ProgramSpec {
+            size: 10,
+            tile: 2,
+            smart_startup: false,
+            parallel_cap: None,
+            param_delta: 0,
+            stages: vec![point(0, false), point(1, true)],
+        };
+        let c = remove_stage(&spec, 1).unwrap();
+        assert!(c.stages.last().unwrap().liveout);
+    }
+}

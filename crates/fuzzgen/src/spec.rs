@@ -1,0 +1,541 @@
+//! Program specifications: a compact, shrinkable description of an affine
+//! producer/consumer program, plus the lowering to a [`Program`].
+//!
+//! A spec is a list of stages over a parametric `H × W` input image. Each
+//! stage reads one (or, for diamonds, two) earlier stage outputs through an
+//! affine access — pointwise, stencil window, shifted, or strided — and
+//! writes a fresh array; stages marked live-out write `Output` arrays. Slice
+//! stages restrict their domain to the lower/upper half of the rows, which
+//! is how shared-intermediate scenarios (paper Fig. 6, Algorithm 3's rules)
+//! arise: one producer, several live-out consumers over (disjoint or
+//! intersecting) slices.
+//!
+//! The shrinker operates on specs, not programs: removing a stage or
+//! demoting its kind keeps the description well-formed by construction,
+//! and [`build_program`] re-derives extents and domains from scratch.
+
+use tilefuse_pir::{ArrayId, ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
+
+/// One image dimension's extent relative to the `H`/`W` parameter:
+/// `(param + off) / div` rows, exactly as the workloads pipeline builder
+/// tracks stencil shrinkage and decimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ext {
+    /// Additive offset on the parameter (stencils and shifts make it
+    /// negative).
+    pub off: i64,
+    /// Decimation divisor (strided stages double it).
+    pub div: i64,
+}
+
+impl Ext {
+    /// The full-size extent.
+    pub fn id() -> Self {
+        Ext { off: 0, div: 1 }
+    }
+
+    /// Number of valid indices at parameter value `size`.
+    pub fn rows(&self, size: i64) -> i64 {
+        (size + self.off).div_euclid(self.div)
+    }
+}
+
+/// Both dimensions of a stage output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extents {
+    /// Row extent.
+    pub h: Ext,
+    /// Column extent.
+    pub w: Ext,
+}
+
+impl Extents {
+    /// The full-size `H × W` extents (the input image).
+    pub fn id() -> Self {
+        Extents {
+            h: Ext::id(),
+            w: Ext::id(),
+        }
+    }
+
+    /// The smaller of the two dimensions' index counts at `size`.
+    pub fn min_rows(&self, size: i64) -> i64 {
+        self.h.rows(size).min(self.w.rows(size))
+    }
+}
+
+/// How a stage reads its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// `out[h,w] = f(src[h,w])`.
+    Point,
+    /// Horizontal window of radius `r`: reads `src[h, w..=w+2r]`.
+    StencilX(i64),
+    /// Vertical window of radius `r`: reads `src[h..=h+2r, w]`.
+    StencilY(i64),
+    /// Shifted access `src[h+dh, w+dw]`.
+    Shift {
+        /// Row shift (≥ 0).
+        dh: i64,
+        /// Column shift (≥ 0).
+        dw: i64,
+    },
+    /// Strided (2× decimating) access: reads `src[2h, 2w]` and
+    /// `src[2h+1, 2w+1]`.
+    Stride2,
+    /// Diamond join: combines `src` with a second earlier output.
+    Combine {
+        /// The second source (same encoding as [`StageSpec::src`]).
+        src2: usize,
+    },
+    /// Pointwise consumer over a half-row slice of the source. `lo`
+    /// selects the lower half; with `overlap` the two halves share a few
+    /// rows (the Rule 2 conflict scenario), otherwise they are disjoint.
+    Slice {
+        /// Lower (true) or upper (false) half.
+        lo: bool,
+        /// Whether the halves intersect.
+        overlap: bool,
+    },
+}
+
+/// One stage of a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// The access pattern.
+    pub kind: StageKind,
+    /// Source: `0` is the input image, `k ≥ 1` is stage `k-1`'s output.
+    pub src: usize,
+    /// Whether this stage's array is live-out (`Output` kind). The last
+    /// stage is always treated as live-out regardless of this flag.
+    pub liveout: bool,
+}
+
+/// A complete program description plus the optimizer knobs to fuzz it
+/// under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Default value of the `H` and `W` parameters.
+    pub size: i64,
+    /// Tile size (used for both dimensions).
+    pub tile: i64,
+    /// SmartFuse (true) or MinFuse start-up heuristic.
+    pub smart_startup: bool,
+    /// The target's parallelism cap (None / CPU / GPU).
+    pub parallel_cap: Option<usize>,
+    /// Added to `H` and `W` at execution time, exercising parametric
+    /// bounds away from the compile-time defaults.
+    pub param_delta: i64,
+    /// The stages, in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+/// The output extents a `kind` stage would have, or `None` when the kind
+/// is not applicable to these sources (divisor mismatch on a combine,
+/// slicing a decimated stage).
+pub fn kind_extents(kind: &StageKind, srcs: &[Extents], src: usize) -> Option<Extents> {
+    let s = srcs[src];
+    Some(match *kind {
+        StageKind::Point => s,
+        StageKind::StencilX(r) => Extents {
+            h: s.h,
+            w: Ext {
+                off: s.w.off - 2 * r * s.w.div,
+                div: s.w.div,
+            },
+        },
+        StageKind::StencilY(r) => Extents {
+            h: Ext {
+                off: s.h.off - 2 * r * s.h.div,
+                div: s.h.div,
+            },
+            w: s.w,
+        },
+        StageKind::Shift { dh, dw } => Extents {
+            h: Ext {
+                off: s.h.off - dh * s.h.div,
+                div: s.h.div,
+            },
+            w: Ext {
+                off: s.w.off - dw * s.w.div,
+                div: s.w.div,
+            },
+        },
+        StageKind::Stride2 => Extents {
+            h: Ext {
+                off: s.h.off,
+                div: s.h.div * 2,
+            },
+            w: Ext {
+                off: s.w.off,
+                div: s.w.div * 2,
+            },
+        },
+        StageKind::Combine { src2 } => {
+            let t = srcs[src2];
+            if s.h.div != t.h.div || s.w.div != t.w.div {
+                return None;
+            }
+            Extents {
+                h: Ext {
+                    off: s.h.off.min(t.h.off),
+                    div: s.h.div,
+                },
+                w: Ext {
+                    off: s.w.off.min(t.w.off),
+                    div: s.w.div,
+                },
+            }
+        }
+        StageKind::Slice { .. } => {
+            if s.h.div != 1 || s.w.div != 1 {
+                return None;
+            }
+            s
+        }
+    })
+}
+
+/// Extents of every source index (`0` = input, `k` = stage `k-1`).
+///
+/// # Errors
+/// Returns a message when a stage references a later/own output or its
+/// kind does not apply to its sources.
+pub fn spec_extents(spec: &ProgramSpec) -> Result<Vec<Extents>, String> {
+    let mut exts = vec![Extents::id()];
+    for (i, st) in spec.stages.iter().enumerate() {
+        if st.src >= exts.len() {
+            return Err(format!(
+                "stage {i} reads source {} before it exists",
+                st.src
+            ));
+        }
+        if let StageKind::Combine { src2 } = st.kind {
+            if src2 >= exts.len() {
+                return Err(format!("stage {i} combines source {src2} before it exists"));
+            }
+        }
+        let e = kind_extents(&st.kind, &exts, st.src)
+            .ok_or_else(|| format!("stage {i}: {:?} not applicable to its sources", st.kind))?;
+        exts.push(e);
+    }
+    Ok(exts)
+}
+
+fn dim_cond(var: &str, param: &str, e: Ext) -> String {
+    if e.div == 1 {
+        format!("0 <= {var} and {var} <= {param} + {}", e.off - 1)
+    } else {
+        format!(
+            "0 <= {var} and {}{var} <= {param} + {}",
+            e.div,
+            e.off - e.div
+        )
+    }
+}
+
+/// Lowers a spec to a [`Program`] (parameters `H`, `W`; arrays `in0`,
+/// `t1..tn`; statements `S0..Sn-1`).
+///
+/// # Errors
+/// Returns a message for ill-formed specs (bad source references,
+/// inapplicable kinds, or IR construction failures).
+pub fn build_program(spec: &ProgramSpec) -> Result<Program, String> {
+    if spec.stages.is_empty() {
+        return Err("spec has no stages".into());
+    }
+    let exts = spec_extents(spec)?;
+    let mut p = Program::new("fuzz")
+        .with_param("H", spec.size)
+        .with_param("W", spec.size);
+    let mk_ext = |e: Ext, name: &str| -> tilefuse_pir::Extent {
+        // Decimated buffers are sized generously at `param + off` (the
+        // same convention as the workloads pipeline builder); domains are
+        // exact, the surplus is unused.
+        if e.div == 1 {
+            tilefuse_pir::Extent::param(name, e.off)
+        } else {
+            tilefuse_pir::Extent::param(name, e.off.max(0))
+        }
+    };
+    let mut arrays: Vec<ArrayId> = vec![p.add_array(
+        "in0",
+        vec![
+            tilefuse_pir::Extent::param("H", 0),
+            tilefuse_pir::Extent::param("W", 0),
+        ],
+        ArrayKind::Input,
+    )];
+    let last = spec.stages.len() - 1;
+    for (i, st) in spec.stages.iter().enumerate() {
+        let e = exts[i + 1];
+        let kind = if st.liveout || i == last {
+            ArrayKind::Output
+        } else {
+            ArrayKind::Temp
+        };
+        arrays.push(p.add_array(
+            &format!("t{}", i + 1),
+            vec![mk_ext(e.h, "H"), mk_ext(e.w, "W")],
+            kind,
+        ));
+    }
+    let d = |k: usize| IdxExpr::dim(2, k);
+    for (i, st) in spec.stages.iter().enumerate() {
+        let e = exts[i + 1];
+        let name = format!("S{i}");
+        let mut conds = vec![dim_cond("h", "H", e.h), dim_cond("w", "W", e.w)];
+        if let StageKind::Slice { lo, overlap } = st.kind {
+            // Halves of the valid row range [0, H + off - 1]: disjoint
+            // splits at 2h < H + off vs 2h >= H + off; the overlapping
+            // variants widen each side by a few rows so the slices
+            // intersect (Rule 2's conflict case).
+            let off = e.h.off;
+            conds.push(match (lo, overlap) {
+                (true, false) => format!("2h <= H + {}", off - 1),
+                (false, false) => format!("2h >= H + {off}"),
+                (true, true) => format!("2h <= H + {}", off + 3),
+                (false, true) => format!("2h >= H + {}", off - 4),
+            });
+        }
+        let domain = format!("{{ {name}[h, w] : {} }}", conds.join(" and "));
+        let src = arrays[st.src];
+        let rhs = match st.kind {
+            StageKind::Point => Expr::add(
+                Expr::mul(Expr::load(src, vec![d(0), d(1)]), Expr::Const(0.75)),
+                Expr::Const(0.125),
+            ),
+            StageKind::StencilX(r) => {
+                let mut sum = Expr::load(src, vec![d(0), d(1)]);
+                for o in 1..=2 * r {
+                    sum = Expr::add(sum, Expr::load(src, vec![d(0), d(1).offset(o)]));
+                }
+                Expr::mul(sum, Expr::Const(1.0 / (2.0 * r as f64 + 1.0)))
+            }
+            StageKind::StencilY(r) => {
+                let mut sum = Expr::load(src, vec![d(0), d(1)]);
+                for o in 1..=2 * r {
+                    sum = Expr::add(sum, Expr::load(src, vec![d(0).offset(o), d(1)]));
+                }
+                Expr::mul(sum, Expr::Const(1.0 / (2.0 * r as f64 + 1.0)))
+            }
+            StageKind::Shift { dh, dw } => Expr::add(
+                Expr::mul(
+                    Expr::load(src, vec![d(0).offset(dh), d(1).offset(dw)]),
+                    Expr::Const(0.9),
+                ),
+                Expr::Const(0.05),
+            ),
+            StageKind::Stride2 => Expr::mul(
+                Expr::add(
+                    Expr::load(src, vec![d(0).scale(2), d(1).scale(2)]),
+                    Expr::load(src, vec![d(0).scale(2).offset(1), d(1).scale(2).offset(1)]),
+                ),
+                Expr::Const(0.5),
+            ),
+            StageKind::Combine { src2 } => Expr::add(
+                Expr::mul(Expr::load(src, vec![d(0), d(1)]), Expr::Const(0.625)),
+                Expr::mul(
+                    Expr::load(arrays[src2], vec![d(0), d(1)]),
+                    Expr::Const(0.375),
+                ),
+            ),
+            StageKind::Slice { lo: true, .. } => {
+                Expr::add(Expr::load(src, vec![d(0), d(1)]), Expr::Const(1.0))
+            }
+            StageKind::Slice { lo: false, .. } => Expr::sub(
+                Expr::mul(Expr::load(src, vec![d(0), d(1)]), Expr::Const(1.25)),
+                Expr::Const(0.25),
+            ),
+        };
+        p.add_stmt(
+            &domain,
+            vec![
+                SchedTerm::Cst(i as i64),
+                SchedTerm::Var(0),
+                SchedTerm::Var(1),
+            ],
+            Body {
+                target: arrays[i + 1],
+                target_idx: vec![d(0), d(1)],
+                rhs,
+            },
+        )
+        .map_err(|e| format!("stage {i}: {e}"))?;
+    }
+    Ok(p)
+}
+
+/// Human-readable rendering of a spec plus its lowered statements — what
+/// goes into shrunk-repro artifacts.
+pub fn describe(spec: &ProgramSpec) -> String {
+    let mut s = format!(
+        "spec: size={} tile={} startup={} parallel_cap={:?} param_delta={}\n",
+        spec.size,
+        spec.tile,
+        if spec.smart_startup {
+            "SmartFuse"
+        } else {
+            "MinFuse"
+        },
+        spec.parallel_cap,
+        spec.param_delta,
+    );
+    for (i, st) in spec.stages.iter().enumerate() {
+        s.push_str(&format!(
+            "  stage {i}: {:?} src={}{}\n",
+            st.kind,
+            st.src,
+            if st.liveout || i == spec.stages.len() - 1 {
+                " (live-out)"
+            } else {
+                ""
+            }
+        ));
+    }
+    match build_program(spec) {
+        Ok(p) => {
+            s.push_str("statements:\n");
+            for st in p.stmts() {
+                s.push_str(&format!(
+                    "  {}: {} writes {}\n",
+                    st.name(),
+                    st.domain(),
+                    p.array(st.body().target).name()
+                ));
+            }
+        }
+        Err(e) => s.push_str(&format!("(build failed: {e})\n")),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(src: usize) -> StageSpec {
+        StageSpec {
+            kind: StageKind::Point,
+            src,
+            liveout: false,
+        }
+    }
+
+    fn spec_of(stages: Vec<StageSpec>) -> ProgramSpec {
+        ProgramSpec {
+            size: 10,
+            tile: 3,
+            smart_startup: false,
+            parallel_cap: None,
+            param_delta: 0,
+            stages,
+        }
+    }
+
+    #[test]
+    fn chain_lowers_and_last_stage_is_liveout() {
+        let p = build_program(&spec_of(vec![point(0), point(1)])).unwrap();
+        assert_eq!(p.stmts().len(), 2);
+        assert_eq!(p.array_named("t1").unwrap().kind(), ArrayKind::Temp);
+        assert_eq!(p.array_named("t2").unwrap().kind(), ArrayKind::Output);
+    }
+
+    #[test]
+    fn stencil_and_shift_shrink_extents() {
+        let spec = spec_of(vec![
+            StageSpec {
+                kind: StageKind::StencilX(2),
+                src: 0,
+                liveout: false,
+            },
+            StageSpec {
+                kind: StageKind::Shift { dh: 1, dw: 0 },
+                src: 1,
+                liveout: false,
+            },
+        ]);
+        let exts = spec_extents(&spec).unwrap();
+        assert_eq!(exts[1].w.off, -4);
+        assert_eq!(exts[2].h.off, -1);
+        let p = build_program(&spec).unwrap();
+        let hull = p
+            .stmt_named("S1")
+            .unwrap()
+            .domain()
+            .rect_hull(&[10, 10])
+            .unwrap()
+            .unwrap();
+        assert_eq!(hull[0], (0, 8));
+        assert_eq!(hull[1], (0, 5));
+    }
+
+    #[test]
+    fn stride_doubles_divisor_and_stays_in_bounds() {
+        let spec = spec_of(vec![StageSpec {
+            kind: StageKind::Stride2,
+            src: 0,
+            liveout: false,
+        }]);
+        let exts = spec_extents(&spec).unwrap();
+        assert_eq!(exts[1].h.div, 2);
+        let p = build_program(&spec).unwrap();
+        let (_, stats) = tilefuse_codegen::reference_execute(&p, &[]).unwrap();
+        assert_eq!(stats.instances["S0"], 25);
+    }
+
+    #[test]
+    fn disjoint_slices_partition_overlapping_slices_intersect() {
+        for (overlap, expect_overlap) in [(false, false), (true, true)] {
+            let spec = spec_of(vec![
+                point(0),
+                StageSpec {
+                    kind: StageKind::Slice { lo: true, overlap },
+                    src: 1,
+                    liveout: true,
+                },
+                StageSpec {
+                    kind: StageKind::Slice { lo: false, overlap },
+                    src: 1,
+                    liveout: true,
+                },
+            ]);
+            let p = build_program(&spec).unwrap();
+            let lo = p.stmt_named("S1").unwrap().domain();
+            let hi = p.stmt_named("S2").unwrap().domain();
+            // Compare row coverage through the common array space: a
+            // point [h, w] is in both slices iff the halves overlap.
+            let lo_h = lo.rect_hull(&[10, 10]).unwrap().unwrap()[0];
+            let hi_h = hi.rect_hull(&[10, 10]).unwrap().unwrap()[0];
+            assert_eq!(
+                lo_h.1 >= hi_h.0,
+                expect_overlap,
+                "lo={lo_h:?} hi={hi_h:?} overlap={overlap}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_requires_matching_divisors() {
+        // in0 (div 1) combined with a stride-2 stage (div 2) is rejected.
+        let spec = spec_of(vec![
+            StageSpec {
+                kind: StageKind::Stride2,
+                src: 0,
+                liveout: false,
+            },
+            StageSpec {
+                kind: StageKind::Combine { src2: 0 },
+                src: 1,
+                liveout: false,
+            },
+        ]);
+        assert!(build_program(&spec).is_err());
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let spec = spec_of(vec![point(2)]);
+        assert!(build_program(&spec).is_err());
+    }
+}

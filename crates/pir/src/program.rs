@@ -50,6 +50,11 @@ impl Extent {
     pub fn eval(&self, params: &dyn Fn(&str) -> i64) -> i64 {
         self.terms.iter().map(|(n, c)| c * params(n)).sum::<i64>() + self.constant
     }
+
+    /// The symbolic terms `(parameter name, coefficient)`.
+    pub fn terms(&self) -> &[(String, i64)] {
+        &self.terms
+    }
 }
 
 impl From<i64> for Extent {
@@ -249,19 +254,24 @@ impl Program {
 
     /// Default value of parameter `name`.
     ///
-    /// # Panics
-    /// Panics if the parameter is not declared.
-    pub fn param_default(&self, name: &str) -> i64 {
+    /// # Errors
+    /// Returns an error if the parameter is not declared.
+    pub fn param_default(&self, name: &str) -> Result<i64> {
         self.params
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+            .ok_or_else(|| Error::Build(format!("unknown parameter {name}")))
     }
 
     /// A resolver closure over the default parameter values.
+    ///
+    /// Undeclared names resolve to 0. They cannot occur for programs built
+    /// through [`Program::add_array`] / [`Program::add_stmt`], which reject
+    /// references to undeclared parameters at construction time; use
+    /// [`Program::param_default`] directly when a typed error is needed.
     pub fn default_binding(&self) -> impl Fn(&str) -> i64 + '_ {
-        move |name| self.param_default(name)
+        move |name| self.param_default(name).unwrap_or(0)
     }
 
     /// Parameter values in declaration order (defaults overridden by
@@ -383,6 +393,13 @@ impl Program {
                         e.n_dims()
                     )));
                 }
+                for (pname, _) in e.param_terms() {
+                    if !self.params.iter().any(|(n, _)| n == pname) {
+                        return Err(Error::Build(format!(
+                            "unknown parameter {pname} in index of statement {name}"
+                        )));
+                    }
+                }
             }
             Ok(())
         };
@@ -401,6 +418,53 @@ impl Program {
             work_scale,
         });
         Ok(id)
+    }
+
+    /// Checks that every symbolic parameter referenced anywhere in the
+    /// program — array extents and statement-body index expressions — is
+    /// declared, so downstream consumers (the interpreter, cost models)
+    /// can resolve parameter names without aborting.
+    ///
+    /// Statement bodies are already validated by [`Program::add_stmt`];
+    /// this additionally covers array extents, which are accepted
+    /// unchecked by [`Program::add_array`].
+    ///
+    /// # Errors
+    /// Returns a [`Error::Build`] naming the first undeclared parameter.
+    pub fn validate_params(&self) -> Result<()> {
+        let declared = |name: &str| self.params.iter().any(|(n, _)| n == name);
+        for a in &self.arrays {
+            for e in &a.extents {
+                for (pname, _) in e.terms() {
+                    if !declared(pname) {
+                        return Err(Error::Build(format!(
+                            "unknown parameter {pname} in extent of array {}",
+                            a.name
+                        )));
+                    }
+                }
+            }
+        }
+        for s in &self.stmts {
+            let check = |idx: &[IdxExpr]| -> Result<()> {
+                for e in idx {
+                    for (pname, _) in e.param_terms() {
+                        if !declared(pname) {
+                            return Err(Error::Build(format!(
+                                "unknown parameter {pname} in index of statement {}",
+                                s.name
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            check(&s.body.target_idx)?;
+            for (_, idx) in s.body.rhs.loads() {
+                check(idx)?;
+            }
+        }
+        Ok(())
     }
 
     /// The statements in original order.
@@ -715,6 +779,44 @@ mod tests {
     fn sched_len_is_padded_max() {
         let (p, ..) = sample();
         assert_eq!(p.sched_len(), 2);
+    }
+
+    #[test]
+    fn param_default_is_typed() {
+        let (p, ..) = sample();
+        assert_eq!(p.param_default("N").unwrap(), 10);
+        let err = p.param_default("Z").unwrap_err();
+        assert!(err.to_string().contains("unknown parameter Z"));
+        // The binding closure resolves declared names and never aborts.
+        let bind = p.default_binding();
+        assert_eq!(bind("N"), 10);
+        assert_eq!(bind("Z"), 0);
+    }
+
+    #[test]
+    fn unknown_param_in_index_rejected_at_build() {
+        let (mut p, a, ..) = sample();
+        let r = p.add_stmt(
+            "{ S9[i] : 0 <= i < N }",
+            vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+            Body {
+                target: a,
+                target_idx: vec![IdxExpr::param(1, "Q", 0)],
+                rhs: Expr::Const(0.0),
+            },
+        );
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("unknown parameter Q"), "{err}");
+    }
+
+    #[test]
+    fn validate_params_catches_undeclared_extent() {
+        let (mut p, ..) = sample();
+        p.add_array("Bad", vec!["M".into()], ArrayKind::Temp);
+        let err = p.validate_params().unwrap_err();
+        assert!(err.to_string().contains("unknown parameter M"), "{err}");
+        let (q, ..) = sample();
+        q.validate_params().unwrap();
     }
 
     #[test]

@@ -222,18 +222,24 @@ impl BasicSet {
     /// # Errors
     /// Returns an error on arithmetic overflow.
     pub fn is_empty(&self) -> Result<bool> {
+        // All fast paths (inline flag, interval pre-check, memo table) are
+        // gated on the global memo switch so a differential run can force
+        // the full Omega test (see `stats::set_memo_enabled`).
+        let memo = crate::stats::memo_enabled();
         // Inline fast path: this object (or the one it was cloned from) was
         // already tested, so skip the key construction + global lookup.
-        match self.emptiness.load(Ordering::Relaxed) {
-            EMPTINESS_NONEMPTY => return Ok(false),
-            EMPTINESS_EMPTY => return Ok(true),
-            _ => {}
+        if memo {
+            match self.emptiness.load(Ordering::Relaxed) {
+                EMPTINESS_NONEMPTY => return Ok(false),
+                EMPTINESS_EMPTY => return Ok(true),
+                _ => {}
+            }
         }
         // Interval pre-check: pairwise intersections of tile/disjunct boxes
         // are overwhelmingly *disjoint*, and the contradiction already shows
         // in single-variable bounds. Proving those empty here is O(rows) and
         // skips both the Omega test and the memo-table machinery.
-        if self.interval_empty() {
+        if memo && self.interval_empty() {
             debug_assert!(
                 !omega::feasible(&self.to_system())?,
                 "interval_empty wrongly claimed empty: eqs={:?} ineqs={:?}",
@@ -588,8 +594,14 @@ impl BasicSet {
         });
         self.eqs.sort();
         self.eqs.dedup();
+        // Parallel inequalities (identical coefficient vector) — keep only
+        // the tightest. Sorting puts same-coefficient rows adjacent with
+        // the smallest constant (the binding one) first. Repeated
+        // intersections of translated copies of a set otherwise pile up
+        // dozens of slack parallel rows and every later Omega solve pays
+        // for them.
         self.ineqs.sort();
-        self.ineqs.dedup();
+        self.ineqs.dedup_by(|a, b| a[..cols - 1] == b[..cols - 1]);
     }
 
     /// The negation of each constraint, as div-free rows suitable for

@@ -156,15 +156,25 @@ pub(crate) fn set_key(s: &Set) -> SetKey {
     }
 }
 
-/// Looks `key` up, recording a hit or miss for its operation.
+/// Looks `key` up, recording a hit or miss for its operation. Always a
+/// miss (without touching the table) when memoization is disabled via
+/// [`stats::set_memo_enabled`].
 pub(crate) fn lookup(key: &CacheKey) -> Option<CacheVal> {
+    if !stats::memo_enabled() {
+        stats::record(key.op(), false);
+        return None;
+    }
     let hit = lock(&TABLE).get(key).cloned();
     stats::record(key.op(), hit.is_some());
     hit
 }
 
 /// Stores a computed result, clearing the table first if it is full.
+/// A no-op when memoization is disabled.
 pub(crate) fn insert(key: CacheKey, val: CacheVal) {
+    if !stats::memo_enabled() {
+        return;
+    }
     let mut g = lock(&TABLE);
     if g.len() >= CACHE_CAP {
         g.clear();

@@ -256,7 +256,18 @@ impl Set {
         Ok(Set { space, basics })
     }
 
-    /// Removes empty disjuncts and disjuncts subsumed by another disjunct.
+    /// Removes empty disjuncts and disjuncts subsumed by another disjunct,
+    /// then merges pairs of disjuncts whose union is exactly representable
+    /// as a single basic set (e.g. the adjacent slabs `x = 2i` and
+    /// `x = 2i + 1` become `2i ≤ x ≤ 2i + 1`).
+    ///
+    /// The merge test is the valid-constraint hull: a candidate is built
+    /// from every constraint of either disjunct that also holds for the
+    /// other (so it contains both), and the pair is replaced when the
+    /// candidate has no integer point outside the pair's union. Constraints
+    /// involving existential columns are never transferred — that only
+    /// relaxes the candidate, so it can fail the exactness check but never
+    /// produce a wrong merge.
     ///
     /// # Errors
     /// Returns an error on overflow.
@@ -266,10 +277,24 @@ impl Set {
             if b.is_empty()? {
                 continue;
             }
-            kept.push(b.clone());
+            // Drop redundant rows first: every subset/merge test below
+            // pays per constraint row.
+            let mut b = b.clone();
+            b.simplify();
+            kept.push(b);
         }
         // Singleton wrappers built once, not inside the O(n²) loop.
         let singles: Vec<Set> = kept.iter().map(|b| Set::from_basic(b.clone())).collect();
+        // Subset test that treats "complement not representable" (awkward
+        // existentials) as unknown — the caller then keeps the disjunct,
+        // which is always sound.
+        let subset = |x: &Set, y: &Set| -> Result<bool> {
+            match x.is_subset(y) {
+                Ok(r) => Ok(r),
+                Err(Error::KindMismatch { .. }) => Ok(false),
+                Err(e) => Err(e),
+            }
+        };
         // Drop disjuncts contained in another disjunct.
         let mut result: Vec<BasicSet> = Vec::new();
         'outer: for (i, b) in kept.iter().enumerate() {
@@ -278,18 +303,79 @@ impl Set {
                     continue;
                 }
                 // Keep the earlier one when mutually contained.
-                if singles[i].is_subset(&singles[j])?
-                    && (j < i || !singles[j].is_subset(&singles[i])?)
+                if subset(&singles[i], &singles[j])?
+                    && (j < i || !subset(&singles[j], &singles[i])?)
                 {
                     continue 'outer;
                 }
             }
             result.push(b.clone());
         }
+        // Merge pass: each successful merge shrinks the list by one, so the
+        // scan restarts at most n − 1 times.
+        let mut basics = result;
+        let mut i = 0;
+        while i < basics.len() {
+            let mut merged = false;
+            let mut j = i + 1;
+            while j < basics.len() {
+                if let Some(m) = merge_pair(&self.space, &basics[i], &basics[j])? {
+                    basics[i] = m;
+                    basics.remove(j);
+                    merged = true;
+                } else {
+                    j += 1;
+                }
+            }
+            // A grown disjunct may now merge with an earlier one.
+            i = if merged { 0 } else { i + 1 };
+        }
         Ok(Set {
             space: self.space.clone(),
-            basics: result,
+            basics,
         })
+    }
+
+    /// A single-disjunct over-approximation: the conjunction of every
+    /// transferable constraint (over params and dims, no existentials)
+    /// that holds on all of `self`. Always a superset of `self`; exact
+    /// only when the union happens to be convex and div-free. Use to cap
+    /// disjunct growth where a larger set is sound (e.g. footprints, where
+    /// over-approximation only means extra recomputation).
+    ///
+    /// # Errors
+    /// Returns an error on overflow.
+    pub fn simple_hull(&self) -> Result<Set> {
+        let mut nonempty: Vec<BasicSet> = Vec::new();
+        for b in &self.basics {
+            if !b.is_empty()? {
+                nonempty.push(b.clone());
+            }
+        }
+        if nonempty.len() <= 1 {
+            return Ok(Set {
+                space: self.space.clone(),
+                basics: nonempty,
+            });
+        }
+        let nv = self.space.n_param() + self.space.n_dim();
+        let mut valid: Vec<Vec<i64>> = Vec::new();
+        for (k, own) in nonempty.iter().enumerate() {
+            'row: for row in pub_rows(own, nv) {
+                if valid.contains(&row) {
+                    continue;
+                }
+                for (j, other) in nonempty.iter().enumerate() {
+                    if j != k && !row_holds_for(&row, other, nv)? {
+                        continue 'row;
+                    }
+                }
+                valid.push(row);
+            }
+        }
+        let mut hull = BasicSet::from_rows(self.space.clone(), 0, Vec::new(), valid);
+        hull.simplify();
+        Ok(Set::from_basic(hull))
     }
 
     /// Counts the integer points of the set for the given parameter values.
@@ -401,6 +487,93 @@ fn one_dim_bounds(b: &BasicSet, param_values: &[i64]) -> Result<Option<(i64, i64
         }
     }
     Ok(if any { Some((lo, hi)) } else { None })
+}
+
+/// A disjunct's transferable constraints as ineq rows over
+/// `[params | dims | const]` (`nv = n_param + n_dim`); rows touching
+/// existential columns are skipped, equalities contribute both directions.
+fn pub_rows(bs: &BasicSet, nv: usize) -> Vec<Vec<i64>> {
+    let dv = bs.n_div();
+    let narrow = |r: &[i64]| -> Option<Vec<i64>> {
+        if r[nv..nv + dv].iter().any(|&c| c != 0) {
+            return None;
+        }
+        let mut row = r[..nv].to_vec();
+        row.push(r[nv + dv]);
+        Some(row)
+    };
+    let mut rows = Vec::new();
+    for r in bs.ineq_rows() {
+        rows.extend(narrow(r));
+    }
+    for r in bs.eq_rows() {
+        if let Some(row) = narrow(r) {
+            rows.push(row.iter().map(|&c| -c).collect());
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Whether `row ≥ 0` holds everywhere on `bs`: bs ∩ { row ≤ −1 } = ∅.
+fn row_holds_for(row: &[i64], bs: &BasicSet, nv: usize) -> Result<bool> {
+    let dv = bs.n_div();
+    let mut neg = vec![0i64; nv + dv + 1];
+    for (dst, &c) in neg[..nv].iter_mut().zip(&row[..nv]) {
+        *dst = -c;
+    }
+    neg[nv + dv] = -row[nv] - 1;
+    let mut cut = bs.clone();
+    cut.push_ineq(neg);
+    cut.is_empty()
+}
+
+/// Attempts to replace `a ∪ b` with one basic set via the valid-constraint
+/// hull: collect every constraint of `a` (over params and dims only — rows
+/// touching existential columns are skipped) that also holds for `b`, and
+/// vice versa. The candidate built from those rows contains both disjuncts
+/// by construction; when it additionally has no integer point outside
+/// `a ∪ b`, it equals the union exactly and is returned.
+fn merge_pair(space: &Space, a: &BasicSet, b: &BasicSet) -> Result<Option<BasicSet>> {
+    // Cheap pre-filters keep the expensive exactness subtract rare: only
+    // div-free pairs (existential complements are costly and such merges
+    // almost never succeed), and at most one "cut" constraint per side —
+    // a mergeable adjacent pair disagrees in exactly the facet where the
+    // two pieces meet.
+    if a.n_div() != 0 || b.n_div() != 0 {
+        return Ok(None);
+    }
+    let nv = space.n_param() + space.n_dim();
+    let mut valid: Vec<Vec<i64>> = Vec::new();
+    for (own, other) in [(a, b), (b, a)] {
+        let mut cuts = 0usize;
+        for row in pub_rows(own, nv) {
+            if row_holds_for(&row, other, nv)? {
+                if !valid.contains(&row) {
+                    valid.push(row);
+                }
+            } else {
+                cuts += 1;
+                if cuts > 1 {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let mut cand = BasicSet::from_rows(space.clone(), 0, Vec::new(), valid);
+    cand.simplify();
+    let outside = Set {
+        space: space.clone(),
+        basics: vec![a.clone(), b.clone()],
+    };
+    // A disjunct whose existentials cannot be complemented makes the
+    // exactness test unanswerable — skip the merge rather than fail.
+    match Set::from_basic(cand.clone()).subtract(&outside) {
+        Ok(diff) if diff.is_empty()? => Ok(Some(cand)),
+        Ok(_) => Ok(None),
+        Err(Error::KindMismatch { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
 }
 
 /// `part − b` as a union of basic sets: `part ∩ piece` for each piece of
@@ -517,6 +690,51 @@ mod tests {
         assert!(!u.is_empty().unwrap());
         assert!(e.is_subset(&u).unwrap());
         assert!(u.subtract(&e).unwrap().is_equal(&u).unwrap());
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_intervals() {
+        // [0,4] ∪ [5,9] is exactly [0,9] over the integers.
+        let s = interval(0, 4).union(&interval(5, 9)).unwrap();
+        let c = s.coalesce().unwrap();
+        assert_eq!(c.n_basic(), 1);
+        assert!(c.is_equal(&interval(0, 9)).unwrap());
+        // [0,4] ∪ [6,9] has a hole at 5 and must stay two disjuncts.
+        let gap = interval(0, 4).union(&interval(6, 9)).unwrap();
+        assert_eq!(gap.coalesce().unwrap().n_basic(), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_shifted_equalities() {
+        // { [i, x] : x = 2i } ∪ { x = 2i + 1 } ∪ { x = 2i + 2 } collapses
+        // to the slab 2i ≤ x ≤ 2i + 2 — the downsample-footprint shape.
+        let sp = Space::set(&[], Tuple::new(Some("S"), &["i", "x"]));
+        let i = AffExpr::dim(&sp, 0).unwrap();
+        let x = AffExpr::dim(&sp, 1).unwrap();
+        let line = |off: i64| {
+            let rhs = i.scale(2).unwrap().with_constant(off);
+            Set::from_basic(
+                BasicSet::universe(sp.clone())
+                    .constrain(&x.eq(&rhs).unwrap())
+                    .unwrap(),
+            )
+        };
+        let s = line(0).union(&line(1)).unwrap().union(&line(2)).unwrap();
+        let c = s.coalesce().unwrap();
+        assert_eq!(c.n_basic(), 1);
+        assert!(c.is_equal(&s).unwrap());
+        assert!(c.contains(&[3, 7]).unwrap());
+        assert!(!c.contains(&[3, 9]).unwrap());
+    }
+
+    #[test]
+    fn simple_hull_bounds_the_union() {
+        let s = interval(0, 3).union(&interval(8, 10)).unwrap();
+        let h = s.simple_hull().unwrap();
+        assert_eq!(h.n_basic(), 1);
+        // Over-approximation: contains the gap, keeps the outer bounds.
+        assert!(s.is_subset(&h).unwrap());
+        assert!(h.is_equal(&interval(0, 10)).unwrap());
     }
 
     #[test]

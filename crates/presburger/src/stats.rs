@@ -7,7 +7,7 @@
 //! safe to read from any thread.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Which memoized operation a lookup belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +137,31 @@ pub fn reset() {
 /// combine with [`reset`] for a fully cold start.
 pub fn clear_cache() {
     crate::cache::clear();
+}
+
+/// Whether the memo layers (global table, inline emptiness flag, interval
+/// emptiness pre-check) are consulted. Default `true`.
+static MEMO_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables every memo layer: the structural memo
+/// table, the inline per-object emptiness flag and the O(rows) interval
+/// emptiness pre-check. With memoization disabled every operation runs
+/// the full uncached algorithm (e.g. the Omega test for emptiness).
+///
+/// This exists for *differential validation*: the fuzzing oracle in
+/// `crates/fuzzgen` recomputes analyses with the memo off and compares
+/// results bit-for-bit against the memoized run, so a stale or wrongly
+/// keyed cache entry can never silently change an answer. The flag is
+/// process-global; toggling it from concurrent threads only changes
+/// whether work is cached, never the results.
+pub fn set_memo_enabled(enabled: bool) {
+    MEMO_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the memo layers are currently consulted (see
+/// [`set_memo_enabled`]).
+pub fn memo_enabled() -> bool {
+    MEMO_ENABLED.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

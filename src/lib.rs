@@ -20,12 +20,14 @@
 //! | [`codegen`] | `tilefuse-codegen` | interpreter + OpenMP/CUDA printers |
 //! | [`memsim`] | `tilefuse-memsim` | CPU/GPU/DaVinci memory-hierarchy models |
 //! | [`workloads`] | `tilefuse-workloads` | the 11 paper benchmarks + ResNet-50 |
+//! | [`fuzzgen`] | `tilefuse-fuzzgen` | differential fuzzing oracle + `tilefuse-fuzz` |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use tilefuse_bench as bench;
 pub use tilefuse_codegen as codegen;
 pub use tilefuse_core as core;
+pub use tilefuse_fuzzgen as fuzzgen;
 pub use tilefuse_memsim as memsim;
 pub use tilefuse_pir as pir;
 pub use tilefuse_presburger as presburger;

@@ -160,6 +160,161 @@ fn overlapping_slices_prevent_fusion() {
 }
 
 #[test]
+fn partially_overlapping_slices_prevent_fusion() {
+    // Consumer X reads A[0..5N/8), consumer Y reads A[3N/8..N): the middle
+    // quarter is wanted by both, so rule 2 must refuse fusion even though
+    // neither slice covers the whole array.
+    let mut p = Program::new("partial").with_param("N", 16);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let x = p.add_array("X", vec!["N".into()], ArrayKind::Output);
+    let y = p.add_array("Y", vec!["N".into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ C1[i] : 0 <= i < N and 8i < 5N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: x,
+            target_idx: vec![i1(0)],
+            rhs: Expr::add(Expr::load(a, vec![i1(0)]), Expr::Const(1.0)),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ C2[i] : 0 <= i < N and 8i >= 3N }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+        Body {
+            target: y,
+            target_idx: vec![i1(0)],
+            rhs: Expr::mul(Expr::load(a, vec![i1(0)]), Expr::Const(2.0)),
+        },
+    )
+    .unwrap();
+    let o = optimize(&p, &opts()).unwrap();
+    assert!(!o.report.is_fused(0), "partial overlap must block fusion");
+    assert_eq!(o.report.shared_unfused, vec![0]);
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    assert_eq!(stats.instances["P"], ref_stats.instances["P"]);
+}
+
+#[test]
+fn one_intersecting_pair_among_three_consumers_prevents_fusion() {
+    // Three live-out consumers: C1 and C2 take disjoint halves, but C3
+    // re-reads the lower half. The single intersecting pair (C1, C3) is
+    // enough — the producer keeps its original schedule for all three.
+    let mut p = Program::new("three").with_param("N", 16);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
+    )
+    .unwrap();
+    for (k, dom) in [
+        "{ C1[i] : 0 <= i < N and 2i < N }",
+        "{ C2[i] : 0 <= i < N and 2i >= N }",
+        "{ C3[i] : 0 <= i < N and 2i < N }",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let out = p.add_array(&format!("O{k}"), vec!["N".into()], ArrayKind::Output);
+        p.add_stmt(
+            dom,
+            vec![SchedTerm::Cst(k as i64 + 1), SchedTerm::Var(0)],
+            Body {
+                target: out,
+                target_idx: vec![i1(0)],
+                rhs: Expr::add(Expr::load(a, vec![i1(0)]), Expr::Const(k as f64)),
+            },
+        )
+        .unwrap();
+    }
+    let o = optimize(&p, &opts()).unwrap();
+    assert!(!o.report.is_fused(0), "one intersecting pair must block");
+    assert_eq!(o.report.shared_unfused, vec![0]);
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    assert_eq!(stats.instances["P"], ref_stats.instances["P"]);
+}
+
+#[test]
+fn stencil_halo_overlap_at_slice_boundary_prevents_fusion() {
+    // The consumers split the domain in halves, but each reads a 3-point
+    // stencil of A — the halos reach one element across the boundary into
+    // the other consumer's slice, so the slices intersect and rule 2 must
+    // keep the producer unfused.
+    let mut p = Program::new("halo").with_param("N", 16);
+    let a = p.add_array("A", vec!["N".into()], ArrayKind::Temp);
+    let x = p.add_array("X", vec!["N".into()], ArrayKind::Output);
+    let y = p.add_array("Y", vec!["N".into()], ArrayKind::Output);
+    let i1 = |d| IdxExpr::dim(1, d);
+    p.add_stmt(
+        "{ P[i] : 0 <= i < N }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0)],
+        Body {
+            target: a,
+            target_idx: vec![i1(0)],
+            rhs: Expr::Iter(0),
+        },
+    )
+    .unwrap();
+    let stencil = |arr| {
+        Expr::add(
+            Expr::load(arr, vec![i1(0).plus(&IdxExpr::constant(1, -1))]),
+            Expr::add(
+                Expr::load(arr, vec![i1(0)]),
+                Expr::load(arr, vec![i1(0).plus(&IdxExpr::constant(1, 1))]),
+            ),
+        )
+    };
+    p.add_stmt(
+        "{ C1[i] : 1 <= i and 2i < N }",
+        vec![SchedTerm::Cst(1), SchedTerm::Var(0)],
+        Body {
+            target: x,
+            target_idx: vec![i1(0)],
+            rhs: stencil(a),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ C2[i] : i < N - 1 and 2i >= N }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0)],
+        Body {
+            target: y,
+            target_idx: vec![i1(0)],
+            rhs: stencil(a),
+        },
+    )
+    .unwrap();
+    let o = optimize(&p, &opts()).unwrap();
+    assert!(!o.report.is_fused(0), "halo overlap must block fusion");
+    assert_eq!(o.report.shared_unfused, vec![0]);
+    let (r, ref_stats) = reference_execute(&p, &[]).unwrap();
+    let (t, stats) = execute_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    check_outputs_match(&p, &r, &t, 1e-12).unwrap();
+    assert_eq!(stats.instances["P"], ref_stats.instances["P"]);
+}
+
+#[test]
 fn chain_through_unfused_shared_producer_stays_correct() {
     // P -> Q -> two overlapping consumers: Q unfuses (rule 2); P, feeding
     // only Q, must then not be fused either (its consumer keeps the

@@ -1,0 +1,166 @@
+//! Golden snapshots of `schedtree::render` on the paper's running example
+//! (Fig. 1(a) conv2d): the initial sequence/filter tree produced by the
+//! startup heuristic, and the post-tiling-fusion tree with its extension
+//! node and skipped-mark subtree (compare with the paper's Fig. 2/Fig. 5).
+//!
+//! These tests pin the exact ASCII rendering. If a change to the scheduler
+//! or optimizer alters the tree *intentionally*, re-bless the snapshot by
+//! running with `RENDER_GOLDEN_PRINT=1` and pasting the new output; any
+//! unintentional drift (lost extension node, missing skipped mark, filter
+//! reordering) fails loudly here.
+
+use tilefuse::core::{optimize, Options};
+use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
+use tilefuse::schedtree::render;
+use tilefuse::scheduler::{schedule, FusionHeuristic};
+
+/// The paper's Fig. 1(a) at 6x6 with a 3x3 kernel (same shape as the
+/// conv2d end-to-end test, small enough for a readable snapshot).
+fn conv2d(h: i64, w: i64) -> Program {
+    let mut p = Program::new("conv2d").with_param("H", h).with_param("W", w);
+    let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
+    let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
+    let c = p.add_array(
+        "C",
+        vec![("H", -2).into(), ("W", -2).into()],
+        ArrayKind::Output,
+    );
+    let d2 = |d| IdxExpr::dim(2, d);
+    let d4 = |d| IdxExpr::dim(4, d);
+    p.add_stmt(
+        "{ S0[h, w] : 0 <= h < H and 0 <= w < W }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: a,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::mul(Expr::load(a, vec![d2(0), d2(1)]), Expr::Const(0.5)),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S2[h, w, kh, kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }",
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(2),
+            SchedTerm::Var(3),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d4(0), d4(1)],
+            rhs: Expr::add(
+                Expr::load(c, vec![d4(0), d4(1)]),
+                Expr::mul(
+                    Expr::load(a, vec![d4(0).plus(&d4(2)), d4(1).plus(&d4(3))]),
+                    Expr::load(b, vec![d4(2), d4(3)]),
+                ),
+            ),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S3[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::relu(Expr::load(c, vec![d2(0), d2(1)])),
+        },
+    )
+    .unwrap();
+    p
+}
+
+/// Compares against a golden snapshot with a helpful diff on mismatch;
+/// set `RENDER_GOLDEN_PRINT=1` to print the actual text for re-blessing.
+fn assert_golden(actual: &str, golden: &str) {
+    if std::env::var_os("RENDER_GOLDEN_PRINT").is_some() {
+        println!("{actual}");
+    }
+    if actual.trim_end() != golden.trim_end() {
+        let mismatch = actual
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, g)| a != g)
+            .unwrap_or_else(|| actual.lines().count().min(golden.lines().count()));
+        panic!(
+            "render drifted from golden snapshot (first differing line {}):\n--- actual ---\n{actual}\n--- golden ---\n{golden}",
+            mismatch + 1
+        );
+    }
+}
+
+const GOLDEN_SMARTFUSE: &str = r#"domain: { S0[h, w] : h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0; S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0; S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0; S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+  └─ sequence
+     ├─ filter: { S0[h, w] : h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 }
+     │  └─ band: [H, W] -> { S0[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 } permutable=1 coincident=[1, 1]
+     └─ filter: { S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0; S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0; S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+        └─ band: [H, W] -> { S1[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 } ∪ [H, W] -> { S2[h, w, kh, kw] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 } ∪ [H, W] -> { S3[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 } permutable=1 coincident=[1, 1]
+           └─ sequence
+              ├─ filter: { S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+              ├─ filter: { S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 }
+              │  └─ band: [H, W] -> { S2[h, w, kh, kw] -> [i0, i1] : -kh + i0 = 0 and -kw + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 } permutable=0 coincident=[0, 0]
+              └─ filter: { S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }"#;
+
+const GOLDEN_OPTIMIZED: &str = r#"domain: { S0[h, w] : h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0; S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0; S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0; S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+  └─ sequence
+     ├─ filter: { S0[h, w] : h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 }
+     │  └─ mark: "skipped"
+     │     └─ band: [H, W] -> { S0[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 } permutable=1 coincident=[1, 1]
+     └─ filter: { S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0; S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0; S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+        └─ band: [H, W] -> { S1[h, w] -> [i0, i1] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and h - 2i0 >= 0 and -h + 2i0 + 1 >= 0 and w - 2i1 >= 0 and -w + 2i1 + 1 >= 0 } ∪ [H, W] -> { S2[h, w, kh, kw] -> [i0, i1] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 and h - 2i0 >= 0 and -h + 2i0 + 1 >= 0 and w - 2i1 >= 0 and -w + 2i1 + 1 >= 0 } ∪ [H, W] -> { S3[h, w] -> [i0, i1] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and h - 2i0 >= 0 and -h + 2i0 + 1 >= 0 and w - 2i1 >= 0 and -w + 2i1 + 1 >= 0 } permutable=1 coincident=[1, 1]
+           └─ extension: { [i0, i1, i2] -> S0[h, w] : i0 - 1 = 0 and -2i1 + h >= 0 and -2i2 + w >= 0 and w >= 0 and h >= 0 and i2 >= 0 and 2i2 - w + 3 >= 0 and i1 >= 0 and 2i1 - h + 3 >= 0 and W - 2i2 - 3 >= 0 and W - w - 1 >= 0 and W - 3 >= 0 and H - 2i1 - 3 >= 0 and H - h - 1 >= 0 and H - 3 >= 0 }
+              └─ sequence
+                 ├─ filter: { S0[h, w] : h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 }
+                 │  └─ band: [H, W] -> { S0[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 1 >= 0 and w >= 0 and W - w - 1 >= 0 } permutable=1 coincident=[1, 1]
+                 └─ filter: { S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0; S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0; S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+                    └─ band: [H, W] -> { S1[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 } ∪ [H, W] -> { S2[h, w, kh, kw] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 } ∪ [H, W] -> { S3[h, w] -> [i0, i1] : -h + i0 = 0 and -w + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 } permutable=1 coincident=[1, 1]
+                       └─ sequence
+                          ├─ filter: { S1[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }
+                          ├─ filter: { S2[h, w, kh, kw] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 }
+                          │  └─ band: [H, W] -> { S2[h, w, kh, kw] -> [i0, i1] : -kh + i0 = 0 and -kw + i1 = 0 and h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 and kh >= 0 and -kh + 2 >= 0 and kw >= 0 and -kw + 2 >= 0 } permutable=0 coincident=[0, 0]
+                          └─ filter: { S3[h, w] : h >= 0 and H - h - 3 >= 0 and w >= 0 and W - w - 3 >= 0 }"#;
+
+#[test]
+fn smartfuse_tree_matches_golden() {
+    let p = conv2d(6, 6);
+    let s = schedule(&p, FusionHeuristic::SmartFuse).unwrap();
+    assert_golden(&render(&s.tree), GOLDEN_SMARTFUSE);
+}
+
+#[test]
+fn optimized_tree_matches_golden() {
+    let p = conv2d(6, 6);
+    let opts = Options {
+        tile_sizes: vec![2, 2],
+        parallel_cap: None,
+        startup: FusionHeuristic::SmartFuse,
+        ..Default::default()
+    };
+    let o = optimize(&p, &opts).unwrap();
+    let text = render(&o.tree);
+    // Structural invariants first, so a drift failure still names what is
+    // missing rather than only showing a wall of text.
+    assert!(text.contains("extension:"), "{text}");
+    assert!(text.contains("mark: \"skipped\""), "{text}");
+    assert!(text.contains("sequence"), "{text}");
+    assert!(text.contains("filter:"), "{text}");
+    assert_golden(&text, GOLDEN_OPTIMIZED);
+}
