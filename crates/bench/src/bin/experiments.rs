@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p tilefuse-bench --bin experiments            # print all
 //! cargo run --release -p tilefuse-bench --bin experiments table1    # one artifact
+//! cargo run --release -p tilefuse-bench --bin experiments all --trace out.json
 //! ```
 //! Artifacts: table1, table1-compile, fig8, fig9, table2, fig10,
 //! table3, table3-compile, all.
@@ -13,6 +14,12 @@
 //! worker finished first. A machine-readable summary — per-artifact and
 //! total wall-clock plus presburger cache-hit counters — is written to
 //! `BENCH_experiments.json` in the current directory.
+//!
+//! With `--trace FILE` the structured tracer is enabled for the run: a
+//! Chrome-trace JSON (load it at `chrome://tracing` or in Perfetto) is
+//! written to FILE and a plain-text phase table — per-span call counts,
+//! total/self time, and per-span presburger cache hit/miss counters — is
+//! printed to stderr after the artifacts.
 
 use std::time::Instant;
 
@@ -38,26 +45,56 @@ const ARTIFACTS: &[(&str, Generator)] = &[
     }),
 ];
 
+/// `experiments all` must keep the `is_empty` memo effective: the 26%
+/// hit-rate pathology (Rule 2 intersecting *projected* extension ranges,
+/// which splinter into per-tile disjuncts and Omega-test the full cross
+/// product as ~1M distinct systems) must not come back.
+const MIN_IS_EMPTY_HIT_RATE: f64 = 0.60;
+
 struct Outcome {
     name: &'static str,
     seconds: f64,
     result: Result<Vec<ResultTable>, BoxError>,
 }
 
+fn usage() -> ! {
+    eprintln!("usage: experiments [ARTIFACT] [--trace FILE]");
+    eprintln!("artifacts:");
+    for (name, _) in ARTIFACTS {
+        eprintln!("  {name}");
+    }
+    eprintln!("  all");
+    std::process::exit(2);
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut which = None;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => usage(),
+            }
+        } else if which.is_none() {
+            which = Some(a);
+        } else {
+            usage();
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
     let selected: Vec<(&'static str, Generator)> = ARTIFACTS
         .iter()
         .filter(|(name, _)| which == "all" || which == *name)
         .copied()
         .collect();
     if selected.is_empty() {
-        eprintln!("unknown artifact {which:?}; expected one of:");
-        for (name, _) in ARTIFACTS {
-            eprintln!("  {name}");
-        }
-        eprintln!("  all");
-        std::process::exit(2);
+        eprintln!("unknown artifact {which:?}");
+        usage();
+    }
+    if trace_path.is_some() {
+        tilefuse_trace::set_enabled(true);
     }
     let jobs = effective_jobs(None);
     let t0 = Instant::now();
@@ -93,13 +130,57 @@ fn main() {
     );
     eprintln!("presburger cache stats: {cache}");
 
+    if let Some(path) = &trace_path {
+        let slot_names = &stats::OP_NAMES[..];
+        eprintln!();
+        eprintln!(
+            "{}",
+            tilefuse_trace::phase_table(&tilefuse_trace::snapshot(), slot_names)
+        );
+        match std::fs::write(path, tilefuse_trace::chrome_trace_json(slot_names)) {
+            Ok(()) => eprintln!("wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
     let json = render_json(&which, jobs, total, &outcomes, &cache);
     match std::fs::write("BENCH_experiments.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_experiments.json"),
         Err(e) => eprintln!("could not write BENCH_experiments.json: {e}"),
     }
+    if which == "all" {
+        let rate = hit_rate(&cache.is_empty);
+        if rate < MIN_IS_EMPTY_HIT_RATE {
+            eprintln!(
+                "REGRESSION: is_empty cache hit rate {:.1}% below the {:.0}% floor \
+                 (see presburger::bset::is_empty and the Rule 2 joint-relation \
+                 disjointness test in core::optimize)",
+                rate * 100.0,
+                MIN_IS_EMPTY_HIT_RATE * 100.0
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "is_empty cache hit rate {:.1}% (floor {:.0}%)",
+                rate * 100.0,
+                MIN_IS_EMPTY_HIT_RATE * 100.0
+            );
+        }
+    }
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+fn hit_rate(op: &stats::OpStats) -> f64 {
+    let total = op.hits + op.misses;
+    if total == 0 {
+        1.0
+    } else {
+        op.hits as f64 / total as f64
     }
 }
 
@@ -136,8 +217,10 @@ fn render_json(
     for (i, (name, op)) in ops.iter().enumerate() {
         let comma = if i + 1 == ops.len() { "" } else { "," };
         s.push_str(&format!(
-            "    \"{name}\": {{ \"hits\": {}, \"misses\": {} }}{comma}\n",
-            op.hits, op.misses
+            "    \"{name}\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }}{comma}\n",
+            op.hits,
+            op.misses,
+            hit_rate(op)
         ));
     }
     s.push_str("  }\n}\n");

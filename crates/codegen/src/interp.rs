@@ -339,6 +339,7 @@ pub fn execute_tree_traced(
     scratch_scopes: &BTreeMap<ArrayId, usize>,
     sink: &mut dyn FnMut(Access),
 ) -> Result<(ExecContext, ExecStats)> {
+    let _span = tilefuse_trace::span!("interp/execute", "{}", program.name());
     program.validate_params()?;
     let values = program.param_values(overrides);
     let entries = flatten(tree)?;
@@ -430,6 +431,7 @@ pub fn execute_tree_parallel(
     scratch_scopes: &BTreeMap<ArrayId, usize>,
     n_threads: usize,
 ) -> Result<(ExecContext, ExecStats)> {
+    let _span = tilefuse_trace::span!("interp/execute-parallel", "{}", program.name());
     program.validate_params()?;
     let n_threads = if n_threads == 0 {
         default_threads()

@@ -139,9 +139,28 @@ pub fn algorithm1(
     producers: &[usize],
     opts: &Options,
 ) -> Result<MixedSchedules> {
+    let _span = tilefuse_trace::span!("algo1", "liveout group {liveout}");
+    // Validate user-supplied group structure before any indexing; the rest
+    // of the function slices `shifts[idx][..k]` / `coincident[..k]` freely.
+    if liveout >= groups.len() {
+        return Err(Error::InvalidInput(format!(
+            "live-out group index {liveout} out of range ({} groups)",
+            groups.len()
+        )));
+    }
+    if let Some(&p) = producers.iter().find(|&&p| p >= groups.len()) {
+        return Err(Error::InvalidInput(format!(
+            "producer group index {p} out of range ({} groups)",
+            groups.len()
+        )));
+    }
+    for g in groups {
+        tilefuse_scheduler::validate_group(program, g)?;
+    }
     let lg = &groups[liveout];
     let k = lg.depth.min(opts.tile_sizes.len());
     // Build per-statement tile-dimension maps (relation (2)).
+    let band_span = tilefuse_trace::span!("algo1/tile-band");
     let mut tile_maps = Vec::new();
     let tile_band = if k > 0 {
         let mut parts = Vec::new();
@@ -199,6 +218,7 @@ pub fn algorithm1(
         }
         n
     };
+    drop(band_span);
 
     // Upwards exposed data of the live-out group: arrays read by it but
     // written by producer groups (line 5).
@@ -211,10 +231,13 @@ pub fn algorithm1(
         .map(|&s| program.stmt(s).body().target)
         .collect();
     let mut needed: BTreeMap<ArrayId, Map> = BTreeMap::new();
-    for &arr in &producer_targets {
-        if let Some(fp) = exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
-            if !fp.is_empty()? {
-                needed.insert(arr, fp);
+    {
+        let _s = tilefuse_trace::span!("algo1/exposed", "{} arrays", producer_targets.len());
+        for &arr in &producer_targets {
+            if let Some(fp) = exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
+                if !fp.is_empty()? {
+                    needed.insert(arr, fp);
+                }
             }
         }
     }
@@ -223,11 +246,11 @@ pub fn algorithm1(
     let mut extensions: Vec<ExtensionPart> = Vec::new();
     let mut untiled: BTreeSet<usize> = BTreeSet::new();
     let mut remaining: BTreeSet<StmtId> = producer_stmts.clone();
-    let group_of = |s: StmtId| -> usize {
+    let group_of = |s: StmtId| -> Result<usize> {
         groups
             .iter()
             .position(|g| g.stmts.contains(&s))
-            .expect("statement belongs to a group")
+            .ok_or_else(|| Error::InvalidInput(format!("statement {} belongs to no group", s.0)))
     };
     let reads_array = |s: StmtId, arr: ArrayId| -> bool {
         program
@@ -259,7 +282,7 @@ pub fn algorithm1(
             break;
         };
         remaining.remove(&s);
-        let g = group_of(s);
+        let g = group_of(s)?;
         if untiled.contains(&g) {
             continue;
         }
@@ -278,11 +301,15 @@ pub fn algorithm1(
         }
         let target = program.stmt(s).body().target;
         let fp = needed.get(&target).expect("checked above").clone();
+        let ext_span = tilefuse_trace::span!("algo1/extension", "stmt {}", s.0);
         let write = program.write_access(s)?;
         let ext = coalesced(&extension_schedule(&fp, &write)?)?;
         // Recomputation budget (see Options::max_recompute): estimate how
         // many times the producer would re-execute across tiles.
-        if recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute {
+        let over_budget =
+            recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute;
+        drop(ext_span);
+        if over_budget {
             untiled.insert(g);
             for &other in &groups[g].stmts {
                 remaining.remove(&other);
@@ -291,6 +318,7 @@ pub fn algorithm1(
         }
         // Extend the footprint demands through this statement's reads
         // (line 15) so transitive producers can be tiled too.
+        let _chain_span = tilefuse_trace::span!("algo1/chain", "stmt {}", s.0);
         for &arr in &producer_targets {
             if arr == target {
                 continue;
@@ -310,6 +338,7 @@ pub fn algorithm1(
                 needed.insert(arr, coalesced(&merged)?);
             }
         }
+        drop(_chain_span);
         extensions.push(ExtensionPart {
             stmt: s,
             group: g,
@@ -517,6 +546,35 @@ mod tests {
         assert_eq!(groups[0].stmts, vec![StmtId(0)]);
         assert_eq!(groups[1].stmts, vec![StmtId(1), StmtId(2), StmtId(3)]);
         assert_eq!(groups[1].coincident, vec![true, true]);
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        let (p, deps, groups) = setup();
+        let opts = Options {
+            tile_sizes: vec![2, 2],
+            ..Options::default()
+        };
+        // Live-out index out of range: used to panic on `groups[liveout]`.
+        let e = algorithm1(&p, &deps, &groups, 7, &[0], &opts).unwrap_err();
+        assert!(matches!(e, Error::InvalidInput(_)), "unexpected: {e}");
+        // Producer index out of range.
+        let e = algorithm1(&p, &deps, &groups, 1, &[9], &opts).unwrap_err();
+        assert!(matches!(e, Error::InvalidInput(_)), "unexpected: {e}");
+        // Group depth deeper than a member's shift vector: used to panic
+        // slicing `shifts[idx][..k]`.
+        let mut bad = groups.clone();
+        bad[1].shifts = vec![vec![]; bad[1].stmts.len()];
+        let e = algorithm1(&p, &deps, &bad, 1, &[0], &opts).unwrap_err();
+        assert!(
+            e.to_string().contains("malformed fusion group"),
+            "unexpected: {e}"
+        );
+        // Empty group.
+        let mut bad = groups.clone();
+        bad[0].stmts.clear();
+        bad[0].shifts.clear();
+        assert!(algorithm1(&p, &deps, &bad, 1, &[0], &opts).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn algorithm2(
     mixed: &MixedSchedules,
     has_top_sequence: bool,
 ) -> Result<()> {
+    let _span = tilefuse_trace::span!("algo2/graft", "liveout group {}", mixed.liveout);
     let l = mixed.liveout;
     let liveout_path: Vec<usize> = if has_top_sequence {
         vec![0, l, 0]
@@ -117,6 +118,7 @@ pub fn plain_tile_group(
     tile_sizes: &[i64],
     has_top_sequence: bool,
 ) -> Result<()> {
+    let _span = tilefuse_trace::span!("algo2/plain-tile", "group {g}");
     let path: Vec<usize> = if has_top_sequence {
         vec![0, g, 0]
     } else {

@@ -10,6 +10,10 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// Optimizer invariant violated.
     Internal(String),
+    /// Caller-supplied structure (group indices, group shapes) is
+    /// inconsistent with the program; replaces what used to be index and
+    /// slice panics on user-constructed inputs.
+    InvalidInput(String),
     /// Underlying IR error.
     Pir(tilefuse_pir::Error),
     /// Underlying scheduler error.
@@ -24,6 +28,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Internal(msg) => write!(f, "optimizer invariant violated: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid optimizer input: {msg}"),
             Error::Pir(e) => write!(f, "IR error: {e}"),
             Error::Scheduler(e) => write!(f, "scheduler error: {e}"),
             Error::SchedTree(e) => write!(f, "schedule tree error: {e}"),
@@ -39,7 +44,7 @@ impl std::error::Error for Error {
             Error::Scheduler(e) => Some(e),
             Error::SchedTree(e) => Some(e),
             Error::Presburger(e) => Some(e),
-            Error::Internal(_) => None,
+            Error::Internal(_) | Error::InvalidInput(_) => None,
         }
     }
 }

@@ -41,6 +41,10 @@ pub struct Report {
     pub shared_unfused: Vec<usize>,
     /// The dependences of the program (for legality re-checks).
     pub deps: Vec<Dependence>,
+    /// Per-phase span times and presburger counters for *this* optimize
+    /// call (the calling thread's span diff around the run). Empty unless
+    /// tracing was enabled via `tilefuse_trace::set_enabled(true)`.
+    pub phases: Vec<tilefuse_trace::PhaseStat>,
 }
 
 impl Report {
@@ -67,6 +71,23 @@ impl Report {
 /// Returns an error if scheduling fails or the tree surgery meets an
 /// unexpected shape.
 pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
+    // Snapshot the calling thread's span stats around the run so the
+    // report carries exactly this call's phases, even when other threads
+    // optimize concurrently.
+    let before = tilefuse_trace::thread_snapshot();
+    let result = {
+        let _span = tilefuse_trace::span!("optimize");
+        optimize_inner(program, opts)
+    };
+    let mut optimized = result?;
+    if tilefuse_trace::is_enabled() {
+        optimized.report.phases =
+            tilefuse_trace::diff_snapshots(&before, &tilefuse_trace::thread_snapshot());
+    }
+    Ok(optimized)
+}
+
+fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
     let scheduled = schedule(program, opts.startup)?;
     let groups = scheduled.fusion.groups;
     let deps = scheduled.deps;
@@ -75,18 +96,18 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
 
     // Group-level flow DAG.
     let n = groups.len();
-    let group_of = |s: tilefuse_pir::StmtId| -> usize {
+    let group_of = |s: tilefuse_pir::StmtId| -> Result<usize> {
         groups
             .iter()
             .position(|g| g.stmts.contains(&s))
-            .expect("stmt in a group")
+            .ok_or_else(|| Error::InvalidInput(format!("statement {} belongs to no group", s.0)))
     };
     let mut gedges: BTreeSet<(usize, usize)> = BTreeSet::new();
     for d in &deps {
         if d.kind != DepKind::Flow {
             continue;
         }
-        let (a, b) = (group_of(d.src), group_of(d.dst));
+        let (a, b) = (group_of(d.src)?, group_of(d.dst)?);
         if a != b {
             gedges.insert((a, b));
         }
@@ -153,13 +174,27 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
             // only via FaultInjection so the fuzz oracle can prove it
             // catches the resulting illegal fusion.
             if opts.fault != crate::FaultInjection::SkipSharedSliceCheck && fused_in.len() >= 2 {
+                let _span = tilefuse_trace::span!("algo3/rule2", "group {g}");
                 'pairs: for i in 0..fused_in.len() {
                     for j in i + 1..fused_in.len() {
                         for &s in &groups[g].stmts {
-                            let ri = ext_range(fused_in[i], s)?;
-                            let rj = ext_range(fused_in[j], s)?;
-                            if let (Some(ri), Some(rj)) = (ri, rj) {
-                                if !ri.intersect(&rj)?.is_empty()? {
+                            let ei = ext_of(fused_in[i], s);
+                            let ej = ext_of(fused_in[j], s);
+                            if let (Some(ei), Some(ej)) = (ei, ej) {
+                                // The slices intersect iff some instance x
+                                // lies in both extension ranges. Testing the
+                                // *joint* relation { S[x] -> (o, o') } keeps
+                                // the tile dims existential in one Omega
+                                // feasibility call per basic-map pair;
+                                // projecting each range first (the old
+                                // `range().intersect().is_empty()` chain)
+                                // splintered the ranges into per-tile
+                                // disjuncts and Omega-tested the full cross
+                                // product — over a million emptiness calls
+                                // on one Local Laplacian check, found via
+                                // the algo3/rule2 span's counters.
+                                let joint = ei.reverse().flat_range_product(&ej.reverse())?;
+                                if !joint.is_empty()? {
                                     new_conflicts.insert(g);
                                     break 'pairs;
                                 }
@@ -198,7 +233,10 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
             }
         }
     }
-    tree.validate()?;
+    {
+        let _span = tilefuse_trace::span!("optimize/validate");
+        tree.validate()?;
+    }
 
     // Scratch arrays: targets of fused producer statements, each scoped to
     // the depth of its extension node (sequence position + tile dims).
@@ -228,22 +266,15 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
             scratch_scopes,
             shared_unfused: excluded.into_iter().collect(),
             deps,
+            phases: Vec::new(),
         },
     })
 }
 
-/// The instance slice of statement `s` fused into `m`'s tiles (the range
-/// of its extension schedule), or `None` when not fused there.
-fn ext_range(
-    m: &MixedSchedules,
-    s: tilefuse_pir::StmtId,
-) -> Result<Option<tilefuse_presburger::Set>> {
-    for e in &m.extensions {
-        if e.stmt == s {
-            return Ok(Some(e.ext.range()?));
-        }
-    }
-    Ok(None)
+/// The extension schedule of statement `s` in `m` (its range is the
+/// instance slice fused into `m`'s tiles), or `None` when not fused there.
+fn ext_of(m: &MixedSchedules, s: tilefuse_pir::StmtId) -> Option<&tilefuse_presburger::Map> {
+    m.extensions.iter().find(|e| e.stmt == s).map(|e| &e.ext)
 }
 
 /// Per-array count of fused producer instance executions vs. distinct

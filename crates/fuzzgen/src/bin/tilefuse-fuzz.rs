@@ -3,7 +3,7 @@
 //! ```text
 //! tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS]
 //!               [--threads LIST] [--no-memo-diff] [--inject-bug]
-//!               [--artifacts-dir PATH]
+//!               [--artifacts-dir PATH] [--trace FILE]
 //! ```
 //!
 //! Each iteration derives its own generator from `seed + i`, draws a
@@ -14,6 +14,11 @@
 //! `--inject-bug` enables `FaultInjection::SkipSharedSliceCheck` in the
 //! optimizer — a deliberate Rule 2 legality bug — and is expected to make
 //! the run *fail*: it is the oracle's self-test.
+//!
+//! `--trace FILE` enables the structured tracer for the whole run, writes
+//! a Chrome-trace JSON to FILE on exit (clean or failing), and prints the
+//! plain-text phase table to stderr — handy for seeing where oracle time
+//! goes across thousands of optimize/interp cycles.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -28,12 +33,14 @@ struct Args {
     memo_diff: bool,
     inject_bug: bool,
     artifacts_dir: String,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS] \
-         [--threads LIST] [--no-memo-diff] [--inject-bug] [--artifacts-dir PATH]"
+         [--threads LIST] [--no-memo-diff] [--inject-bug] [--artifacts-dir PATH] \
+         [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -47,6 +54,7 @@ fn parse_args() -> Args {
         memo_diff: true,
         inject_bug: false,
         artifacts_dir: "fuzz-artifacts".into(),
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +80,7 @@ fn parse_args() -> Args {
             "--no-memo-diff" => args.memo_diff = false,
             "--inject-bug" => args.inject_bug = true,
             "--artifacts-dir" => args.artifacts_dir = value("--artifacts-dir"),
+            "--trace" => args.trace = Some(value("--trace")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -84,6 +93,26 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.trace.is_some() {
+        tilefuse_trace::set_enabled(true);
+    }
+    let code = run(&args);
+    if let Some(path) = &args.trace {
+        let slot_names = &tilefuse_presburger::stats::OP_NAMES[..];
+        eprintln!();
+        eprintln!(
+            "{}",
+            tilefuse_trace::phase_table(&tilefuse_trace::snapshot(), slot_names)
+        );
+        match std::fs::write(path, tilefuse_trace::chrome_trace_json(slot_names)) {
+            Ok(()) => eprintln!("wrote Chrome trace to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    code
+}
+
+fn run(args: &Args) -> ExitCode {
     let cfg = OracleConfig {
         threads: args.threads.clone(),
         memo_diff: args.memo_diff,

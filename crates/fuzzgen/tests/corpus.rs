@@ -57,6 +57,56 @@ fn diamond_with_direct_and_stencil_reads_is_clean() {
     run_oracle(&spec, &OracleConfig::default()).unwrap();
 }
 
+/// Regression for the slice-index panics the unwrap audit converted to
+/// typed errors: a generated program driven through `build_tree` with a
+/// hand-corrupted fusion group (depth deeper than the members' shift
+/// vectors — the shape the half-plane-slice stages can produce when a
+/// caller reuses groups across re-fused programs) must yield
+/// `Error::MalformedGroup`, not a panic.
+#[test]
+fn corrupted_group_is_rejected_not_panicking() {
+    let spec = ProgramSpec {
+        size: 8,
+        tile: 2,
+        smart_startup: false,
+        parallel_cap: None,
+        param_delta: 0,
+        stages: vec![
+            StageSpec {
+                kind: StageKind::Point,
+                src: 0,
+                liveout: false,
+            },
+            StageSpec {
+                kind: StageKind::StencilX(1),
+                src: 1,
+                liveout: true,
+            },
+        ],
+    };
+    let p = build_program(&spec).unwrap();
+    let deps = tilefuse_pir::compute_dependences(&p).unwrap();
+    let mut fusion = tilefuse_scheduler::fuse(
+        &p,
+        &deps,
+        tilefuse_scheduler::FusionHeuristic::SmartFuse,
+        &mut tilefuse_scheduler::FuseBudget::default(),
+    )
+    .unwrap();
+    // Sanity: the uncorrupted groups build fine.
+    tilefuse_scheduler::build_tree(&p, &fusion.groups).unwrap();
+    // Corrupt: deepen the band past the recorded shifts.
+    for g in &mut fusion.groups {
+        g.depth += 1;
+        g.coincident.push(false);
+    }
+    let e = tilefuse_scheduler::build_tree(&p, &fusion.groups).unwrap_err();
+    assert!(
+        matches!(e, tilefuse_scheduler::Error::MalformedGroup(_)),
+        "unexpected error: {e}"
+    );
+}
+
 /// Producer chain plus two overlapping-slice live-out consumers of the
 /// first stage — the Rule 2 conflict scenario, padded with extra stages
 /// so the shrinker has real work to do.

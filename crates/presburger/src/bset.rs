@@ -249,14 +249,55 @@ impl BasicSet {
             self.emptiness.store(EMPTINESS_EMPTY, Ordering::Relaxed);
             return Ok(true);
         }
-        let key = CacheKey::IsEmpty(cache::rows_key(self));
-        let v = if let Some(CacheVal::Bool(v)) = cache::lookup(&key) {
-            v
-        } else {
-            let v = !omega::feasible(&self.to_system())?;
-            cache::insert(key, CacheVal::Bool(v));
-            v
-        };
+        // Two-level memo key. The raw rows hit when the *same* system
+        // recurs verbatim, but fusion legality and footprint analysis
+        // mostly re-derive systems through intersect/coalesce chains whose
+        // raw rows differ while the canonical (simplified) form is shared —
+        // keying only on raw rows made those all miss (26% hit rate on the
+        // experiment suite). So on a raw miss we simplify and probe again
+        // on the canonical rows; feasibility is invariant under `simplify`
+        // (it eliminates by unit pivots, drops trivially-true rows, keeps
+        // trivially-false ones and dedups parallel constraints keeping the
+        // tightest), so Omega then runs on the cheaper canonical system.
+        // One hit/miss is recorded per call: a hit on either level is a
+        // hit. Both keys are stored so the verbatim fast path warms too.
+        let raw_key = CacheKey::IsEmpty(cache::rows_key(self));
+        let mut hit = cache::probe_bool(&raw_key);
+        let mut canon_key = None;
+        if hit.is_none() {
+            let mut canon = self.clone();
+            canon.simplify();
+            let ck = CacheKey::IsEmpty(cache::rows_key(&canon));
+            if ck != raw_key {
+                hit = cache::probe_bool(&ck);
+                canon_key = Some(ck);
+            }
+            if hit.is_none() {
+                let v = {
+                    let _timer = crate::stats::op_timer(crate::stats::Op::IsEmpty);
+                    !omega::feasible(&canon.to_system())?
+                };
+                if let Some(ck) = &canon_key {
+                    cache::insert(ck.clone(), CacheVal::Bool(v));
+                }
+                cache::insert(raw_key.clone(), CacheVal::Bool(v));
+                crate::stats::record(crate::stats::Op::IsEmpty, false);
+                self.emptiness.store(
+                    if v {
+                        EMPTINESS_EMPTY
+                    } else {
+                        EMPTINESS_NONEMPTY
+                    },
+                    Ordering::Relaxed,
+                );
+                return Ok(v);
+            }
+            // Canonical hit: back-propagate to the raw key so this exact
+            // system hits on the first probe next time.
+            cache::insert(raw_key, CacheVal::Bool(hit.unwrap()));
+        }
+        crate::stats::record(crate::stats::Op::IsEmpty, true);
+        let v = hit.unwrap();
         self.emptiness.store(
             if v {
                 EMPTINESS_EMPTY
@@ -440,9 +481,10 @@ impl BasicSet {
             return Ok(vec![self.clone()]);
         }
         let key = CacheKey::ProjectDims(cache::bset_key(self), first, count);
-        if let Some(CacheVal::BSets(v)) = cache::lookup(&key) {
+        if let Some(v) = cache::lookup_bsets(&key) {
             return Ok(v);
         }
+        let _timer = crate::stats::op_timer(crate::stats::Op::Project);
         let np = self.n_param();
         let new_space = drop_space_dims(&self.space, first, count);
         // Eliminate columns np+first .. np+first+count, one at a time.

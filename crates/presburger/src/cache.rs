@@ -156,15 +156,79 @@ pub(crate) fn set_key(s: &Set) -> SetKey {
     }
 }
 
-/// Looks `key` up, recording a hit or miss for its operation. Always a
-/// miss (without touching the table) when memoization is disabled via
-/// [`stats::set_memo_enabled`].
-pub(crate) fn lookup(key: &CacheKey) -> Option<CacheVal> {
+/// Silently probes the table for `key`, extracting the expected value
+/// variant. An entry of the *wrong* variant is poisoned — it can only
+/// arise from a bug pairing keys with values — and is handled by evicting
+/// it, counting it ([`stats::poisoned`]) and reporting a miss so the
+/// caller recomputes; it is never returned and never panics. Records no
+/// hit/miss; use the `lookup_*` wrappers (or [`stats::record`] directly
+/// for multi-probe flows) for counted lookups.
+fn probe<T>(key: &CacheKey, extract: impl FnOnce(&CacheVal) -> Option<T>) -> Option<T> {
     if !stats::memo_enabled() {
-        stats::record(key.op(), false);
         return None;
     }
-    let hit = lock(&TABLE).get(key).cloned();
+    let mut g = lock(&TABLE);
+    let val = g.get(key)?;
+    match extract(val) {
+        Some(t) => Some(t),
+        None => {
+            g.remove(key);
+            stats::record_poisoned();
+            None
+        }
+    }
+}
+
+/// Silent typed probe for a memoized boolean (no hit/miss recorded).
+pub(crate) fn probe_bool(key: &CacheKey) -> Option<bool> {
+    probe(key, |v| match v {
+        CacheVal::Bool(b) => Some(*b),
+        _ => None,
+    })
+}
+
+/// Looks up a memoized boolean, recording a hit or miss. Always a miss
+/// (without touching the table) when memoization is disabled via
+/// [`stats::set_memo_enabled`]. A wrong-variant (poisoned) entry is
+/// evicted and reported as a miss. (`is_empty` itself uses [`probe_bool`]
+/// directly — its two-level key records one hit/miss per call, not per
+/// probe — so outside tests this wrapper currently has no callers.)
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn lookup_bool(key: &CacheKey) -> Option<bool> {
+    let hit = probe_bool(key);
+    stats::record(key.op(), hit.is_some());
+    hit
+}
+
+/// Looks up a memoized basic-set union, recording a hit or miss (see
+/// [`lookup_bool`] for disabled-memo and poisoned-entry behavior).
+pub(crate) fn lookup_bsets(key: &CacheKey) -> Option<Vec<BasicSet>> {
+    let hit = probe(key, |v| match v {
+        CacheVal::BSets(b) => Some(b.clone()),
+        _ => None,
+    });
+    stats::record(key.op(), hit.is_some());
+    hit
+}
+
+/// Looks up a memoized set, recording a hit or miss (see [`lookup_bool`]
+/// for disabled-memo and poisoned-entry behavior).
+pub(crate) fn lookup_set(key: &CacheKey) -> Option<Set> {
+    let hit = probe(key, |v| match v {
+        CacheVal::Set(s) => Some(s.clone()),
+        _ => None,
+    });
+    stats::record(key.op(), hit.is_some());
+    hit
+}
+
+/// Looks up a memoized map, recording a hit or miss (see [`lookup_bool`]
+/// for disabled-memo and poisoned-entry behavior).
+pub(crate) fn lookup_map(key: &CacheKey) -> Option<Map> {
+    let hit = probe(key, |v| match v {
+        CacheVal::Map(m) => Some(m.clone()),
+        _ => None,
+    });
     stats::record(key.op(), hit.is_some());
     hit
 }
@@ -217,11 +281,60 @@ mod tests {
     fn lookup_miss_then_hit() {
         let key = CacheKey::IsEmpty(sys_key(&[vec![9, 9, 9, 9]], &[]));
         clear();
-        assert!(lookup(&key).is_none());
+        assert!(lookup_bool(&key).is_none());
         insert(key.clone(), CacheVal::Bool(true));
-        match lookup(&key) {
-            Some(CacheVal::Bool(v)) => assert!(v),
-            _ => panic!("expected cached bool"),
+        assert_eq!(lookup_bool(&key), Some(true));
+    }
+
+    /// A wrong-variant entry under a key (formerly a panic in consumers
+    /// that pattern-matched the variant) is evicted and recomputed: the
+    /// typed lookup reports a miss, counts the poisoning, and the next
+    /// insert repairs the entry.
+    #[test]
+    fn poisoned_entry_recovers_by_recompute() {
+        let key = CacheKey::IsEmpty(sys_key(&[vec![7, 7, 7, 7, 7]], &[]));
+        clear();
+        let poisoned_before = stats::poisoned();
+        // Poison: an is_empty key holding a Set instead of a Bool.
+        let junk = Set::universe(Space::set(&[], crate::space::Tuple::new(Some("T"), &["i"])));
+        insert(key.clone(), CacheVal::Set(junk));
+        assert_eq!(lookup_bool(&key), None, "wrong variant must read as a miss");
+        assert_eq!(stats::poisoned(), poisoned_before + 1);
+        assert!(
+            lock(&TABLE).get(&key).is_none(),
+            "poisoned entry must be evicted"
+        );
+        // The recompute path stores the right variant and hits thereafter.
+        insert(key.clone(), CacheVal::Bool(false));
+        assert_eq!(lookup_bool(&key), Some(false));
+    }
+
+    /// Every typed lookup tolerates every wrong variant (returns None,
+    /// never panics).
+    #[test]
+    fn typed_lookups_reject_all_wrong_variants() {
+        let key = CacheKey::IsEmpty(sys_key(&[], &[vec![5, 5, 5]]));
+        for wrong in [
+            CacheVal::Bool(true),
+            CacheVal::BSets(vec![]),
+            CacheVal::Set(Set::universe(Space::set(
+                &[],
+                crate::space::Tuple::new(Some("T"), &["i"]),
+            ))),
+        ] {
+            clear();
+            insert(key.clone(), wrong);
+            // Each lookup either extracts its own variant or reports a miss.
+            let _ = lookup_bool(&key);
+            clear();
         }
+        clear();
+        insert(key.clone(), CacheVal::Bool(true));
+        assert!(lookup_bsets(&key).is_none());
+        insert(key.clone(), CacheVal::Bool(true));
+        assert!(lookup_set(&key).is_none());
+        insert(key.clone(), CacheVal::Bool(true));
+        assert!(lookup_map(&key).is_none());
+        clear();
     }
 }

@@ -219,9 +219,10 @@ impl Map {
     /// the map's structure (see [`crate::cache`]).
     pub fn reverse(&self) -> Map {
         let key = CacheKey::Reverse(cache::set_key(&self.inner));
-        if let Some(CacheVal::Map(m)) = cache::lookup(&key) {
+        if let Some(m) = cache::lookup_map(&key) {
             return m;
         }
+        let _timer = crate::stats::op_timer(crate::stats::Op::Reverse);
         let space = self.space().reversed();
         let n_param = self.space().n_param();
         let n_in = self.space().n_in();
@@ -457,10 +458,13 @@ impl Map {
     /// Returns an error if `set` is not in the domain space, or on overflow.
     pub fn apply(&self, set: &Set) -> Result<Set> {
         let key = CacheKey::Apply(cache::set_key(&self.inner), cache::set_key(set));
-        if let Some(CacheVal::Set(s)) = cache::lookup(&key) {
+        if let Some(s) = cache::lookup_set(&key) {
             return Ok(s);
         }
-        let result = self.intersect_domain(set)?.range()?;
+        let result = {
+            let _timer = crate::stats::op_timer(crate::stats::Op::Apply);
+            self.intersect_domain(set)?.range()?
+        };
         cache::insert(key, CacheVal::Set(result.clone()));
         Ok(result)
     }

@@ -108,9 +108,10 @@ impl Set {
     pub fn intersect(&self, other: &Set) -> Result<Set> {
         self.space.check_compatible(&other.space, "intersect")?;
         let key = CacheKey::Intersect(cache::set_key(self), cache::set_key(other));
-        if let Some(CacheVal::Set(s)) = cache::lookup(&key) {
+        if let Some(s) = cache::lookup_set(&key) {
             return Ok(s);
         }
+        let _timer = crate::stats::op_timer(crate::stats::Op::Intersect);
         let mut basics = Vec::new();
         for a in &self.basics {
             for b in &other.basics {

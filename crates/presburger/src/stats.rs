@@ -5,6 +5,12 @@
 //! experiment driver) can observe how much recomputation the cache is
 //! eliminating. Counters are process-global atomics: cheap to bump,
 //! safe to read from any thread.
+//!
+//! When span tracing is enabled (`tilefuse_trace::set_enabled`), every
+//! hit/miss — and the wall time of every *uncached* operation body, via
+//! [`timed`] — is additionally attributed to the innermost open span on
+//! the calling thread (counter slot = `Op as usize`), so phase tables can
+//! show which pipeline phase is paying for which presburger operation.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,10 +31,16 @@ pub enum Op {
 }
 
 const N_OPS: usize = 5;
-const OP_NAMES: [&str; N_OPS] = ["is_empty", "project", "intersect", "apply", "reverse"];
+
+/// The memoized operation names, indexed by `Op as usize`. Doubles as the
+/// trace counter-slot labels for `tilefuse_trace::phase_table` /
+/// `chrome_trace_json`, since [`record`] attributes each hit/miss to slot
+/// `Op as usize` of the enclosing span.
+pub const OP_NAMES: [&str; N_OPS] = ["is_empty", "project", "intersect", "apply", "reverse"];
 
 static HITS: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
 static MISSES: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
+static POISONED: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn record(op: Op, hit: bool) {
     let i = op as usize;
@@ -36,6 +48,45 @@ pub(crate) fn record(op: Op, hit: bool) {
         HITS[i].fetch_add(1, Ordering::Relaxed);
     } else {
         MISSES[i].fetch_add(1, Ordering::Relaxed);
+    }
+    tilefuse_trace::note_counter(i, hit);
+}
+
+/// Records a memo entry that existed under the right key but held the
+/// wrong value variant (see `cache` typed lookups); the entry is evicted
+/// and the operation recomputed, so this only ever costs a miss.
+pub(crate) fn record_poisoned() {
+    POISONED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of poisoned memo entries encountered (wrong value variant under
+/// a key); each was evicted and recomputed. Stays 0 in normal operation.
+pub fn poisoned() -> u64 {
+    POISONED.load(Ordering::Relaxed)
+}
+
+/// RAII timer for the uncached body of a memoized operation: on drop,
+/// attributes the elapsed wall time to the enclosing trace span (slot
+/// `op as usize`). Inert — no timestamps taken — while tracing is
+/// disabled. Obtain via [`op_timer`] after a memo miss.
+pub(crate) struct OpTimer {
+    op: Op,
+    start: Option<std::time::Instant>,
+}
+
+impl Drop for OpTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            tilefuse_trace::note_counter_ns(self.op as usize, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Starts timing an uncached operation body (see [`OpTimer`]).
+pub(crate) fn op_timer(op: Op) -> OpTimer {
+    OpTimer {
+        op,
+        start: tilefuse_trace::is_enabled().then(std::time::Instant::now),
     }
 }
 
@@ -131,6 +182,7 @@ pub fn reset() {
         HITS[i].store(0, Ordering::Relaxed);
         MISSES[i].store(0, Ordering::Relaxed);
     }
+    POISONED.store(0, Ordering::Relaxed);
 }
 
 /// Empties the memo table and the row interner. Counters are untouched;

@@ -96,6 +96,50 @@ impl Node {
         }
     }
 
+    /// Views this node as a mark, returning the mark string and child.
+    ///
+    /// # Errors
+    /// Returns [`Error::KindMismatch`] when the node is not a mark —
+    /// callers that "know" a node's kind after a transformation should use
+    /// this instead of pattern-matching with a panicking fallback arm.
+    pub fn as_mark(&self) -> Result<(&str, &Node)> {
+        match self {
+            Node::Mark { mark, child } => Ok((mark, child)),
+            other => Err(Error::KindMismatch {
+                expected: "mark",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Views this node as a sequence, returning its children.
+    ///
+    /// # Errors
+    /// Returns [`Error::KindMismatch`] when the node is not a sequence.
+    pub fn as_sequence(&self) -> Result<&[Node]> {
+        match self {
+            Node::Sequence { children } => Ok(children),
+            other => Err(Error::KindMismatch {
+                expected: "sequence",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Views this node as a filter, returning the filter set and child.
+    ///
+    /// # Errors
+    /// Returns [`Error::KindMismatch`] when the node is not a filter.
+    pub fn as_filter(&self) -> Result<(&UnionSet, &Node)> {
+        match self {
+            Node::Filter { filter, child } => Ok((filter, child)),
+            other => Err(Error::KindMismatch {
+                expected: "filter",
+                found: other.kind(),
+            }),
+        }
+    }
+
     /// A short label for rendering.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -376,14 +420,35 @@ mod tests {
     fn mark_at_wraps_subtree() {
         let mut t = simple_tree();
         t.mark_at(&[0, 0], MARK_SKIPPED).unwrap();
-        match t.node_at(&[0, 0]).unwrap() {
-            Node::Mark { mark, child } => {
-                assert_eq!(mark, MARK_SKIPPED);
-                assert_eq!(child.kind(), "filter");
-            }
-            other => panic!("expected mark, got {}", other.kind()),
-        }
+        let (mark, child) = t.node_at(&[0, 0]).unwrap().as_mark().unwrap();
+        assert_eq!(mark, MARK_SKIPPED);
+        assert_eq!(child.kind(), "filter");
         assert!(t.validate().is_err()); // mark between sequence and filter
+    }
+
+    /// The typed accessors surface a wrong node kind as a structured error
+    /// (formerly a `panic!("expected mark, got {kind}")` in consumers).
+    #[test]
+    fn typed_accessors_report_kind_mismatch() {
+        let t = simple_tree();
+        let seq = t.node_at(&[0]).unwrap();
+        assert_eq!(seq.as_sequence().unwrap().len(), 2);
+        assert_eq!(
+            seq.as_mark().unwrap_err(),
+            Error::KindMismatch {
+                expected: "mark",
+                found: "sequence"
+            }
+        );
+        assert_eq!(
+            Node::Leaf.as_filter().unwrap_err(),
+            Error::KindMismatch {
+                expected: "filter",
+                found: "leaf"
+            }
+        );
+        let err = seq.as_mark().unwrap_err().to_string();
+        assert!(err.contains("expected mark node, got sequence"), "{err}");
     }
 
     #[test]

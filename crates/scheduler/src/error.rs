@@ -14,6 +14,11 @@ pub enum Error {
     Unsupported(String),
     /// Internal scheduling invariant violated.
     Internal(String),
+    /// A user-constructed [`crate::Group`] is inconsistent (statement id
+    /// out of range, `depth` deeper than a member's loop nest or shift
+    /// vector, mismatched `shifts`/`coincident` lengths); replaces what
+    /// used to be slice-index panics inside tree building.
+    MalformedGroup(String),
     /// Underlying IR error.
     Pir(tilefuse_pir::Error),
     /// Underlying schedule-tree error.
@@ -27,6 +32,7 @@ impl fmt::Display for Error {
         match self {
             Error::Unsupported(msg) => write!(f, "heuristic cannot handle program: {msg}"),
             Error::Internal(msg) => write!(f, "scheduler invariant violated: {msg}"),
+            Error::MalformedGroup(msg) => write!(f, "malformed fusion group: {msg}"),
             Error::Pir(e) => write!(f, "IR error: {e}"),
             Error::SchedTree(e) => write!(f, "schedule tree error: {e}"),
             Error::Presburger(e) => write!(f, "set operation failed: {e}"),
@@ -75,6 +81,9 @@ mod tests {
         assert!(Error::Internal("y".into())
             .to_string()
             .contains("invariant"));
+        assert!(Error::MalformedGroup("z".into())
+            .to_string()
+            .contains("malformed fusion group"));
         let e = Error::from(tilefuse_presburger::Error::Overflow("mul"));
         assert!(e.to_string().contains("overflow"));
     }

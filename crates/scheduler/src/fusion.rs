@@ -33,7 +33,7 @@ pub enum FusionHeuristic {
 }
 
 /// A fusion group: statements sharing one outer band.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Group {
     /// Member statements, in original program order.
     pub stmts: Vec<StmtId>,

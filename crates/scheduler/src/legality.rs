@@ -30,6 +30,7 @@ pub struct LegalityReport {
 /// # Errors
 /// Returns an error on set-operation failure.
 pub fn check_schedule(deps: &[Dependence], entries: &[FlatEntry]) -> Result<LegalityReport> {
+    let _span = tilefuse_trace::span!("schedule/legality", "{} deps", deps.len());
     let mut report = LegalityReport {
         legal: true,
         checked: 0,

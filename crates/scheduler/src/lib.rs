@@ -26,7 +26,7 @@ pub use checks::{dim_satisfies, distance_range, loop_vars, DimCheck};
 pub use error::{Error, Result};
 pub use fusion::{analyze_group, fuse, FuseBudget, Fusion, FusionHeuristic, Group};
 pub use legality::{check_schedule, LegalityReport};
-pub use treebuild::{band_part, build_tree, group_subtree};
+pub use treebuild::{band_part, build_tree, group_subtree, validate_group};
 
 use tilefuse_pir::{compute_dependences, Dependence, Program};
 use tilefuse_schedtree::ScheduleTree;
@@ -49,9 +49,19 @@ pub struct Scheduled {
 /// Returns an error if the heuristic rejects the program (hybridfuse on
 /// non-rectangular domains) or a set operation fails.
 pub fn schedule(program: &Program, heuristic: FusionHeuristic) -> Result<Scheduled> {
-    let deps = compute_dependences(program)?;
+    let _span = tilefuse_trace::span!("schedule");
+    let deps = {
+        let _s = tilefuse_trace::span!("schedule/deps");
+        compute_dependences(program)?
+    };
     let mut budget = FuseBudget::default();
-    let fusion = fuse(program, &deps, heuristic, &mut budget)?;
-    let tree = build_tree(program, &fusion.groups)?;
+    let fusion = {
+        let _s = tilefuse_trace::span!("schedule/fuse", "{heuristic:?}");
+        fuse(program, &deps, heuristic, &mut budget)?
+    };
+    let tree = {
+        let _s = tilefuse_trace::span!("schedule/treebuild");
+        build_tree(program, &fusion.groups)?
+    };
     Ok(Scheduled { fusion, tree, deps })
 }

@@ -1,7 +1,7 @@
 //! Building schedule trees from fusion groups.
 
 use crate::checks::loop_vars;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::fusion::Group;
 use tilefuse_pir::{Program, StmtId};
 use tilefuse_presburger::{AffExpr, Map, Space, Tuple, UnionMap, UnionSet};
@@ -29,12 +29,66 @@ pub fn band_part(program: &Program, stmt: StmtId, vars: &[usize], shifts: &[i64]
     Ok(Map::from_affine(space, &exprs)?.intersect_domain(s.domain())?)
 }
 
+/// Checks a (possibly user-constructed) fusion group against the program
+/// it will be scheduled in, so downstream slicing like `shifts[k][..depth]`
+/// cannot panic.
+///
+/// # Errors
+/// Returns [`Error::MalformedGroup`] describing the first inconsistency.
+pub fn validate_group(program: &Program, group: &Group) -> Result<()> {
+    if group.stmts.is_empty() {
+        return Err(Error::MalformedGroup("group has no statements".into()));
+    }
+    if group.shifts.len() != group.stmts.len() {
+        return Err(Error::MalformedGroup(format!(
+            "{} shift vectors for {} statements",
+            group.shifts.len(),
+            group.stmts.len()
+        )));
+    }
+    if group.coincident.len() < group.depth {
+        return Err(Error::MalformedGroup(format!(
+            "coincident has {} entries but group depth is {}",
+            group.coincident.len(),
+            group.depth
+        )));
+    }
+    for (k, &s) in group.stmts.iter().enumerate() {
+        if s.0 >= program.stmts().len() {
+            return Err(Error::MalformedGroup(format!(
+                "statement id {} out of range ({} statements)",
+                s.0,
+                program.stmts().len()
+            )));
+        }
+        let n_vars = loop_vars(program, s).len();
+        if n_vars < group.depth {
+            return Err(Error::MalformedGroup(format!(
+                "statement {} has {} loop dims but group depth is {}",
+                program.stmt(s).name(),
+                n_vars,
+                group.depth
+            )));
+        }
+        if group.shifts[k].len() < group.depth {
+            return Err(Error::MalformedGroup(format!(
+                "shift vector for statement {} has {} entries but group depth is {}",
+                program.stmt(s).name(),
+                group.shifts[k].len(),
+                group.depth
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Builds the subtree of one fusion group (band over the shared dims, then
 /// per-statement inner bands for the private dims).
 ///
 /// # Errors
-/// Returns an error on set-operation failure.
+/// Returns an error on set-operation failure or a malformed group.
 pub fn group_subtree(program: &Program, group: &Group) -> Result<Node> {
+    validate_group(program, group)?;
     let inner = |stmt: StmtId, from: usize| -> Result<Node> {
         let vars = loop_vars(program, stmt);
         let rest = &vars[from.min(vars.len())..];
@@ -94,6 +148,11 @@ pub fn group_subtree(program: &Program, group: &Group) -> Result<Node> {
 /// # Errors
 /// Returns an error on set-operation failure.
 pub fn build_tree(program: &Program, groups: &[Group]) -> Result<ScheduleTree> {
+    // Validate up front: the filter loop below indexes statements before
+    // `group_subtree` would get a chance to object.
+    for g in groups {
+        validate_group(program, g)?;
+    }
     let mut domain = UnionSet::new();
     for s in program.stmts() {
         domain.add(s.domain().clone())?;
@@ -245,6 +304,53 @@ mod tests {
         // S0[1, 3] -> [3, 3]
         assert!(m.contains_pair(&[6, 6, 1, 3, 3, 3]).unwrap());
         assert!(!m.contains_pair(&[6, 6, 1, 3, 1, 3]).unwrap());
+    }
+
+    #[test]
+    fn malformed_groups_error_instead_of_panicking() {
+        let p = conv_like();
+        // Depth deeper than the shift vectors: used to panic slicing
+        // `shifts[k][..depth]`.
+        let g = Group {
+            stmts: vec![StmtId(0)],
+            depth: 2,
+            shifts: vec![vec![]],
+            coincident: vec![true, true],
+            innermost_parallel: false,
+        };
+        let e = build_tree(&p, &[g]).unwrap_err();
+        assert!(
+            e.to_string().contains("malformed fusion group"),
+            "unexpected error: {e}"
+        );
+        // Statement id out of range: used to panic indexing the program.
+        let g = Group {
+            stmts: vec![StmtId(99)],
+            depth: 0,
+            shifts: vec![vec![]],
+            coincident: vec![],
+            innermost_parallel: false,
+        };
+        assert!(build_tree(&p, &[g]).is_err());
+        // Depth deeper than a member's loop nest: `vars[..depth]` slice.
+        let g = Group {
+            stmts: vec![StmtId(0)],
+            depth: 5,
+            shifts: vec![vec![0; 5]],
+            coincident: vec![true; 5],
+            innermost_parallel: false,
+        };
+        let e = build_tree(&p, &[g]).unwrap_err();
+        assert!(e.to_string().contains("loop dims"), "unexpected error: {e}");
+        // Empty group.
+        let g = Group {
+            stmts: vec![],
+            depth: 0,
+            shifts: vec![],
+            coincident: vec![],
+            innermost_parallel: false,
+        };
+        assert!(build_tree(&p, &[g]).is_err());
     }
 
     #[test]

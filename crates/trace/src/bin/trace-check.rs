@@ -1,0 +1,202 @@
+//! Validates a trace file written by `--trace`: checks the Chrome trace
+//! JSON shape (well-formed JSON, `traceEvents` of complete events with the
+//! required fields) and enforces the attribution budget — any span with
+//! children whose self ("untracked") time exceeds the threshold fails the
+//! check. Used by CI after `experiments table1 --trace trace.json`.
+//!
+//! Usage: trace-check FILE [--max-untracked PCT]
+
+use std::process::ExitCode;
+
+use tilefuse_trace::json::{self, Value};
+
+const DEFAULT_MAX_UNTRACKED: f64 = 5.0;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut max_untracked = DEFAULT_MAX_UNTRACKED;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-untracked" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("trace-check: --max-untracked needs a percentage");
+                    return ExitCode::from(2);
+                };
+                max_untracked = v;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace-check FILE [--max-untracked PCT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() => file = Some(arg),
+            other => {
+                eprintln!("trace-check: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: trace-check FILE [--max-untracked PCT]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check(&text, max_untracked) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("trace-check: {e}");
+            }
+            eprintln!("trace-check: {file} FAILED ({} error(s))", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(text: &str, max_untracked_pct: f64) -> Result<String, Vec<String>> {
+    let root = json::parse(text).map_err(|e| vec![e.to_string()])?;
+    let mut errors = Vec::new();
+
+    let events = match root.get("traceEvents").and_then(Value::as_arr) {
+        Some(a) => a,
+        None => {
+            errors.push("missing 'traceEvents' array".into());
+            &[]
+        }
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        if e.get("name")
+            .and_then(Value::as_str)
+            .is_none_or(str::is_empty)
+        {
+            errors.push(ctx("missing or empty 'name'"));
+        }
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            errors.push(ctx("'ph' must be \"X\" (complete event)"));
+        }
+        for field in ["ts", "dur", "pid", "tid"] {
+            match e.get(field).and_then(Value::as_num) {
+                Some(v) if v >= 0.0 => {}
+                Some(_) => errors.push(ctx(&format!("'{field}' is negative"))),
+                None => errors.push(ctx(&format!("missing numeric '{field}'"))),
+            }
+        }
+        if errors.len() > 20 {
+            errors.push(format!("... stopping after {i} events"));
+            break;
+        }
+    }
+
+    let dropped = root
+        .get("otherData")
+        .and_then(|o| o.get("droppedEvents"))
+        .and_then(Value::as_num)
+        .unwrap_or(0.0);
+
+    let spans = match root.get("spans").and_then(Value::as_arr) {
+        Some(a) => a,
+        None => {
+            errors.push("missing 'spans' summary array".into());
+            &[]
+        }
+    };
+    let mut worst: Option<(String, f64)> = None;
+    for (i, s) in spans.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        let (Some(total), Some(self_ns)) = (
+            s.get("totalNs").and_then(Value::as_num),
+            s.get("selfNs").and_then(Value::as_num),
+        ) else {
+            errors.push(format!("spans[{i}] '{name}': missing totalNs/selfNs"));
+            continue;
+        };
+        let has_children = s
+            .get("hasChildren")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        if !has_children || total <= 0.0 {
+            continue;
+        }
+        let pct = 100.0 * self_ns / total;
+        if worst.as_ref().is_none_or(|(_, w)| pct > *w) {
+            worst = Some((name.clone(), pct));
+        }
+        if pct > max_untracked_pct {
+            errors.push(format!(
+                "span '{name}' has {pct:.1}% untracked time (self {self_ns:.0}ns of \
+                 {total:.0}ns total, budget {max_untracked_pct}%)"
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        let worst_line = match worst {
+            Some((name, pct)) => format!("; worst untracked: {pct:.1}% in '{name}'"),
+            None => String::new(),
+        };
+        Ok(format!(
+            "trace-check: OK ({} events, {} spans, {dropped:.0} dropped{worst_line})",
+            events.len(),
+            spans.len(),
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(self_ns: u64) -> String {
+        format!(
+            r#"{{
+  "traceEvents": [
+    {{ "name": "a/b", "cat": "t", "ph": "X", "ts": 1.5, "dur": 10.0, "pid": 1, "tid": 1 }}
+  ],
+  "otherData": {{ "droppedEvents": 0 }},
+  "spans": [
+    {{ "name": "a", "count": 1, "totalNs": 1000, "selfNs": {self_ns},
+       "hasChildren": true, "slots": {{}} }},
+    {{ "name": "a/b", "count": 1, "totalNs": 960, "selfNs": 960,
+       "hasChildren": false, "slots": {{}} }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_within_budget_rejects_over() {
+        assert!(check(&doc(40), 5.0).is_ok());
+        let errs = check(&doc(400), 5.0).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("40.0% untracked")),
+            "{errs:?}"
+        );
+        // Leaf spans are exempt: a/b is 100% self time but has no children.
+        assert!(check(&doc(0), 5.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_shapes() {
+        assert!(check("not json", 5.0).is_err());
+        assert!(check("{}", 5.0).is_err());
+        let bad_event = r#"{ "traceEvents": [ { "ph": "B" } ], "spans": [] }"#;
+        let errs = check(bad_event, 5.0).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("'ph' must be")), "{errs:?}");
+    }
+}

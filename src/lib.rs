@@ -21,6 +21,7 @@
 //! | [`memsim`] | `tilefuse-memsim` | CPU/GPU/DaVinci memory-hierarchy models |
 //! | [`workloads`] | `tilefuse-workloads` | the 11 paper benchmarks + ResNet-50 |
 //! | [`fuzzgen`] | `tilefuse-fuzzgen` | differential fuzzing oracle + `tilefuse-fuzz` |
+//! | [`trace`] | `tilefuse-trace` | structured span tracer + Chrome-trace export |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -33,6 +34,7 @@ pub use tilefuse_pir as pir;
 pub use tilefuse_presburger as presburger;
 pub use tilefuse_schedtree as schedtree;
 pub use tilefuse_scheduler as scheduler;
+pub use tilefuse_trace as trace;
 pub use tilefuse_workloads as workloads;
 
 pub use tilefuse_core::{optimize, Optimized, Options};

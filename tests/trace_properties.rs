@@ -1,0 +1,160 @@
+//! Tracing must be purely observational: enabling it changes neither the
+//! optimizer's output nor the presburger cache behaviour, and a *disabled*
+//! tracer must cost a negligible fraction of optimize wall time.
+//!
+//! The tracer and the presburger statistics are process-global, so the two
+//! tests serialize on a mutex instead of relying on `--test-threads=1`.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tilefuse::codegen::execute_tree;
+use tilefuse::core::{optimize, Optimized, Options};
+use tilefuse::presburger::stats;
+use tilefuse::trace;
+use tilefuse::workloads::pipeline::PipelineBuilder;
+
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+/// A fixed mid-sized pipeline: pointwise producer, two stencils, a
+/// combine — enough to exercise Algorithm 1 chains, Rule 2 and grafting.
+fn pipeline() -> tilefuse::pir::Program {
+    let (mut b, input) = PipelineBuilder::new("traced", 18, 18);
+    let p0 = b.pointwise(input).unwrap();
+    let sx = b.stencil_x(p0, 1).unwrap();
+    let sy = b.stencil_y(sx, 1).unwrap();
+    let c = b.combine(sy, input).unwrap();
+    b.output(c).unwrap()
+}
+
+fn run_cold(enabled: bool) -> (Optimized, stats::CacheStats) {
+    // Build the program before resetting counters: statement validation
+    // performs presburger ops of its own, outside any span.
+    let p = pipeline();
+    stats::clear_cache();
+    stats::reset();
+    trace::reset();
+    trace::set_enabled(enabled);
+    let opts = Options {
+        tile_sizes: vec![4, 4],
+        ..Default::default()
+    };
+    let o = optimize(&p, &opts).unwrap();
+    let cache = stats::snapshot();
+    trace::set_enabled(false);
+    (o, cache)
+}
+
+#[test]
+fn tracing_on_and_off_yield_identical_results_and_cache_stats() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    let (off, cache_off) = run_cold(false);
+    let (on, cache_on) = run_cold(true);
+
+    // Bit-identical optimizer output: same tree, same groups, and the
+    // executed live-out buffers match exactly.
+    assert_eq!(
+        tilefuse::schedtree::render(&off.tree),
+        tilefuse::schedtree::render(&on.tree)
+    );
+    assert_eq!(off.report.groups, on.report.groups);
+    assert_eq!(off.report.liveouts, on.report.liveouts);
+    let p = pipeline();
+    let (ctx_off, _) = execute_tree(&p, &off.tree, &[], &off.report.scratch_scopes).unwrap();
+    let (ctx_on, _) = execute_tree(&p, &on.tree, &[], &on.report.scratch_scopes).unwrap();
+    for a in p.arrays() {
+        assert_eq!(
+            ctx_off.max_diff(&ctx_on, a.id()).unwrap(),
+            0.0,
+            "{}",
+            a.name()
+        );
+    }
+
+    // Identical presburger cache behaviour, op by op: the tracer only
+    // *observes* the memo, it never changes what gets cached.
+    for (name, a, b) in [
+        ("is_empty", &cache_off.is_empty, &cache_on.is_empty),
+        ("project", &cache_off.project, &cache_on.project),
+        ("intersect", &cache_off.intersect, &cache_on.intersect),
+        ("apply", &cache_off.apply, &cache_on.apply),
+        ("reverse", &cache_off.reverse, &cache_on.reverse),
+    ] {
+        assert_eq!(a.hits, b.hits, "{name} hits differ");
+        assert_eq!(a.misses, b.misses, "{name} misses differ");
+    }
+
+    // With tracing off the report carries no phases; with it on, the
+    // summary names the pipeline's major phases and its per-span
+    // presburger counters account for every recorded cache probe.
+    assert!(off.report.phases.is_empty());
+    let names: Vec<&str> = on.report.phases.iter().map(|p| p.name.as_str()).collect();
+    for expected in ["optimize", "schedule", "schedule/deps", "algo1"] {
+        assert!(
+            names.contains(&expected),
+            "missing phase {expected}: {names:?}"
+        );
+    }
+    for (i, op) in [
+        &cache_on.is_empty,
+        &cache_on.project,
+        &cache_on.intersect,
+        &cache_on.apply,
+        &cache_on.reverse,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let attributed: u64 = on
+            .report
+            .phases
+            .iter()
+            .map(|p| p.slots[i].hits + p.slots[i].misses)
+            .sum();
+        assert_eq!(
+            attributed,
+            op.hits + op.misses,
+            "slot {i} ({}) probes not fully attributed to spans",
+            stats::OP_NAMES[i]
+        );
+    }
+}
+
+#[test]
+fn disabled_tracer_overhead_is_below_two_percent() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    trace::set_enabled(false);
+
+    // Cost of one disabled span: an atomic load and an untouched guard.
+    const PROBES: u32 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..PROBES {
+        let _g = trace::span!("overhead/probe");
+    }
+    let per_span_ns = t.elapsed().as_nanos() as f64 / f64::from(PROBES);
+
+    // Spans a cold optimize run of the pipeline creates (count them with
+    // tracing on), and the wall time it takes with tracing off.
+    let (on, _) = run_cold(true);
+    let n_spans: u64 = on.report.phases.iter().map(|p| p.count).sum();
+    assert!(n_spans > 0);
+    stats::clear_cache();
+    stats::reset();
+    let p = pipeline();
+    let opts = Options {
+        tile_sizes: vec![4, 4],
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let _ = optimize(&p, &opts).unwrap();
+    let wall_ns = t.elapsed().as_nanos() as f64;
+
+    let overhead = n_spans as f64 * per_span_ns / wall_ns;
+    assert!(
+        overhead < 0.02,
+        "disabled tracer would cost {:.3}% of optimize wall time \
+         ({n_spans} spans x {per_span_ns:.1} ns over {:.2} ms)",
+        overhead * 100.0,
+        wall_ns / 1e6
+    );
+}
