@@ -20,12 +20,18 @@
 //! written to FILE and a plain-text phase table — per-span call counts,
 //! total/self time, and per-span presburger cache hit/miss counters — is
 //! printed to stderr after the artifacts.
+//!
+//! `--deadline-ms N` and `--max-omega-branches N` install a resource
+//! budget for every `optimize` call in the run (see DESIGN.md §10): the
+//! optimizer degrades through its ladder instead of blowing the limit,
+//! and the JSON summary gains a `"degradation"` section recording the
+//! rung and trip counts per workload.
 
 use std::time::Instant;
 
 use tilefuse_bench::par::{effective_jobs, par_map};
 use tilefuse_bench::tables::{self, ResultTable};
-use tilefuse_bench::versions::BoxError;
+use tilefuse_bench::versions::{self, BoxError};
 use tilefuse_presburger::stats;
 
 type Generator = fn() -> Result<Vec<ResultTable>, BoxError>;
@@ -58,7 +64,10 @@ struct Outcome {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [ARTIFACT] [--trace FILE]");
+    eprintln!(
+        "usage: experiments [ARTIFACT] [--trace FILE] [--deadline-ms N] \
+         [--max-omega-branches N]"
+    );
     eprintln!("artifacts:");
     for (name, _) in ARTIFACTS {
         eprintln!("  {name}");
@@ -70,6 +79,7 @@ fn usage() -> ! {
 fn main() {
     let mut which = None;
     let mut trace_path: Option<String> = None;
+    let mut budget = tilefuse_trace::Budget::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
@@ -77,11 +87,25 @@ fn main() {
                 Some(p) => trace_path = Some(p),
                 None => usage(),
             }
+        } else if a == "--deadline-ms" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget.deadline_ms = Some(ms),
+                None => usage(),
+            }
+        } else if a == "--max-omega-branches" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => budget.max_branches_per_call = Some(n),
+                None => usage(),
+            }
         } else if which.is_none() {
             which = Some(a);
         } else {
             usage();
         }
+    }
+    if !budget.is_unlimited() {
+        eprintln!("resource budget: {budget:?}");
+        versions::set_budget(budget);
     }
     let which = which.unwrap_or_else(|| "all".to_string());
     let selected: Vec<(&'static str, Generator)> = ARTIFACTS
@@ -131,7 +155,10 @@ fn main() {
     eprintln!("presburger cache stats: {cache}");
 
     if let Some(path) = &trace_path {
-        let slot_names = &stats::OP_NAMES[..];
+        // SLOT_NAMES includes the silent_feasible counter slot, so the
+        // phase table attributes capped-feasibility fallbacks to the
+        // innermost span that incurred them.
+        let slot_names = &stats::SLOT_NAMES[..];
         eprintln!();
         eprintln!(
             "{}",
@@ -214,13 +241,27 @@ fn render_json(
         ("apply", &cache.apply),
         ("reverse", &cache.reverse),
     ];
-    for (i, (name, op)) in ops.iter().enumerate() {
-        let comma = if i + 1 == ops.len() { "" } else { "," };
+    for (name, op) in &ops {
         s.push_str(&format!(
-            "    \"{name}\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }}{comma}\n",
+            "    \"{name}\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n",
             op.hits,
             op.misses,
             hit_rate(op)
+        ));
+    }
+    s.push_str(&format!(
+        "    \"silent_feasible\": {}\n",
+        cache.silent_feasible
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"degradation\": {\n");
+    let degr = versions::degradations();
+    for (i, (name, d)) in degr.iter().enumerate() {
+        let comma = if i + 1 == degr.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{name}\": {{ \"rung\": {}, \"trips\": {}, \"silent_feasible\": {}, \
+             \"omega_ops\": {}, \"fusion_budget_exhausted\": {} }}{comma}\n",
+            d.rung, d.trips, d.silent_feasible, d.omega_ops, d.fusion_budget_exhausted
         ));
     }
     s.push_str("  }\n}\n");

@@ -9,12 +9,13 @@
 //! | Halide | the published manual schedules' granularity: PolyMage-style looseness, but for Harris the manual schedule misses the inlining (no fusion at all), and on GPU Bilateral Grid / Unsharp Mask gain the paper-noted unrolling bonus |
 //! | Ours | the post-tiling fusion optimizer (`tilefuse-core`) with tight per-stage footprints |
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{LazyLock, Mutex, PoisonError};
 
 use tilefuse_core::{optimize, Options};
 use tilefuse_memsim::{card_box, summarize_groups, summarize_optimized, ExecGroup};
 use tilefuse_scheduler::{schedule, FuseBudget, FusionHeuristic};
+use tilefuse_trace::Budget;
 use tilefuse_workloads::Workload;
 
 /// Error alias for experiment code.
@@ -75,9 +76,76 @@ pub enum TargetKind {
 /// full polyhedral pipeline each time. The key captures every input the
 /// result depends on: workload name, parameter values, tile sizes,
 /// version, and target.
-type SummaryKey = (String, Vec<i64>, Vec<i64>, Version, TargetKind);
+type SummaryKey = (String, Vec<i64>, Vec<i64>, Version, TargetKind, Budget);
 static SUMMARY_MEMO: LazyLock<Mutex<HashMap<SummaryKey, Vec<ExecGroup>>>> =
     LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Process-wide resource budget installed for every `optimize` call the
+/// experiment pipeline makes (the `--deadline-ms`/`--max-omega-branches`
+/// CLI flags land here). Defaults to unlimited.
+static BUDGET: LazyLock<Mutex<Budget>> = LazyLock::new(|| Mutex::new(Budget::default()));
+
+/// Sets the resource budget used by [`summaries`] and [`compile_time`]
+/// for the optimizer versions. Call before generating artifacts.
+pub fn set_budget(budget: Budget) {
+    *BUDGET.lock().unwrap_or_else(PoisonError::into_inner) = budget;
+}
+
+/// The currently-configured experiment budget.
+#[must_use]
+pub fn current_budget() -> Budget {
+    BUDGET
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Degradation outcome of the `Ours` optimizer on one workload, recorded
+/// when its summaries were (re)built under the current budget.
+#[derive(Debug, Clone)]
+pub struct WorkloadDegradation {
+    /// Ladder rung that produced the schedule (1 = no degradation).
+    pub rung: u8,
+    /// Budget trips absorbed on the way.
+    pub trips: usize,
+    /// Conservatively-approximated feasibility answers during the run.
+    pub silent_feasible: u64,
+    /// Omega operations charged to the governor.
+    pub omega_ops: u64,
+    /// Whether the start-up maxfuse shift solver hit its step budget.
+    pub fusion_budget_exhausted: bool,
+}
+
+static DEGRADATIONS: LazyLock<Mutex<BTreeMap<String, WorkloadDegradation>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+/// Per-workload degradation outcomes of the `Ours` pipeline observed so
+/// far in this process (workload name → outcome). Consumed by the
+/// experiments JSON summary.
+#[must_use]
+pub fn degradations() -> BTreeMap<String, WorkloadDegradation> {
+    DEGRADATIONS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+fn record_degradation(name: &str, report: &tilefuse_core::Report) {
+    let d = &report.degradation;
+    DEGRADATIONS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(
+            name.to_string(),
+            WorkloadDegradation {
+                rung: d.rung,
+                trips: d.trips.len(),
+                silent_feasible: d.silent_feasible,
+                omega_ops: d.omega_ops,
+                fusion_budget_exhausted: d.fusion_budget_exhausted,
+            },
+        );
+}
 
 /// Builds the execution-group summaries of `version` for `workload`.
 ///
@@ -98,6 +166,7 @@ pub fn summaries(
         workload.tile_sizes.clone(),
         version,
         target,
+        current_budget(),
     );
     if let Some(hit) = SUMMARY_MEMO
         .lock()
@@ -163,9 +232,11 @@ fn summaries_uncached(
                 tile_sizes: tiles.clone(),
                 parallel_cap: cap,
                 startup: FusionHeuristic::MinFuse,
+                budget: current_budget(),
                 ..Default::default()
             };
             let o = optimize(program, &opts)?;
+            record_degradation(workload.name, &o.report);
             Ok(summarize_optimized(program, &o, tiles, &params)?)
         }
         Version::PolyMage => {
@@ -173,6 +244,7 @@ fn summaries_uncached(
                 tile_sizes: tiles.clone(),
                 parallel_cap: cap,
                 startup: FusionHeuristic::MinFuse,
+                budget: current_budget(),
                 ..Default::default()
             };
             let o = optimize(program, &opts)?;
@@ -191,6 +263,7 @@ fn summaries_uncached(
                 tile_sizes: tiles.clone(),
                 parallel_cap: cap,
                 startup: FusionHeuristic::MinFuse,
+                budget: current_budget(),
                 ..Default::default()
             };
             let o = optimize(program, &opts)?;
@@ -287,6 +360,7 @@ pub fn compile_time(
                 tile_sizes: workload.tile_sizes.clone(),
                 parallel_cap: Some(1),
                 startup: FusionHeuristic::MinFuse,
+                budget: current_budget(),
                 ..Default::default()
             };
             optimize(program, &opts)?;

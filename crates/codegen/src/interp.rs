@@ -423,8 +423,30 @@ type ChunkResult = (BTreeMap<(ArrayId, usize), f64>, ExecStats);
 /// [`par_depths`]: tilefuse_schedtree::FlatEntry::par_depths
 ///
 /// # Errors
-/// See [`execute_tree`].
+/// See [`execute_tree`]. A panic on any worker thread (index bugs, scoped
+/// thread failures) is caught at this boundary and surfaced as
+/// [`Error::Exec`] tagged with the active governor phase, so callers —
+/// including the fuzz oracle — always see a typed error, never an abort.
 pub fn execute_tree_parallel(
+    program: &Program,
+    tree: &ScheduleTree,
+    overrides: &[(&str, i64)],
+    scratch_scopes: &BTreeMap<ArrayId, usize>,
+    n_threads: usize,
+) -> Result<(ExecContext, ExecStats)> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_tree_parallel_inner(program, tree, overrides, scratch_scopes, n_threads)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(Error::Exec(format!(
+            "panic during parallel execution (phase {}): {}",
+            tilefuse_trace::governor::last_phase(),
+            tilefuse_trace::governor::panic_message(payload.as_ref()),
+        )))
+    })
+}
+
+fn execute_tree_parallel_inner(
     program: &Program,
     tree: &ScheduleTree,
     overrides: &[(&str, i64)],

@@ -32,6 +32,19 @@ pub enum FaultInjection {
     /// of the intersection (and, for accumulating consumers, wrong
     /// results).
     SkipSharedSliceCheck,
+    /// Inject budget exhaustion into every producer's extension
+    /// computation: Algorithm 1 must absorb it per producer (rung 2 —
+    /// fusion dropped, group tiled independently) and the result must
+    /// still be valid and bit-exact. Unlike [`Self::SkipSharedSliceCheck`]
+    /// the oracle must *pass* under this fault.
+    BudgetExhaustExtension,
+    /// Inject budget exhaustion between the fusion fixpoint and the tree
+    /// surgery: the ladder must fall to rung 3 (plain live-out tiling).
+    BudgetExhaustSurgery,
+    /// Inject budget exhaustion at surgery *and* at plain tiling: the
+    /// ladder must fall through rung 3 to rung 4 (untiled conservative
+    /// schedule).
+    BudgetExhaustTiling,
 }
 
 /// Optimizer options (the paper's target-specific knobs).
@@ -57,6 +70,11 @@ pub struct Options {
     /// Deliberate legality bug to inject (testing only; see
     /// [`FaultInjection`]).
     pub fault: FaultInjection,
+    /// Resource budget for the run (wall-clock deadline, Omega op/branch
+    /// budget, disjunct and interned-row caps). Default: unlimited. On
+    /// exhaustion `optimize` degrades along its ladder instead of failing —
+    /// see [`crate::Report::degradation`].
+    pub budget: tilefuse_trace::Budget,
 }
 
 impl Default for Options {
@@ -67,6 +85,7 @@ impl Default for Options {
             startup: tilefuse_scheduler::FusionHeuristic::MinFuse,
             max_recompute: 3.0,
             fault: FaultInjection::None,
+            budget: tilefuse_trace::Budget::default(),
         }
     }
 }
@@ -103,6 +122,33 @@ pub struct ExtensionPart {
     pub ext: Map,
 }
 
+/// One absorbed budget-exhaustion event: where the budget tripped and
+/// what the optimizer gave up in response. Collected into
+/// [`crate::optimize::DegradationReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetTrip {
+    /// The governed phase that tripped (`"algo1/extension"`, ...).
+    pub phase: &'static str,
+    /// Which limit tripped (`"deadline"`, `"omega-ops"`, ...).
+    pub limit: &'static str,
+    /// What was dropped or degraded (human-readable).
+    pub detail: String,
+}
+
+impl BudgetTrip {
+    /// Builds a trip from an absorbed error. Non-budget errors absorbed
+    /// under `governor::approximated()` (set algebra failing on a
+    /// capped-feasibility artifact) record the `"approximation"` limit.
+    pub(crate) fn from_error(e: &Error, fallback_phase: &'static str, detail: String) -> Self {
+        let (limit, phase) = e.budget_info().unwrap_or(("approximation", fallback_phase));
+        BudgetTrip {
+            phase,
+            limit,
+            detail,
+        }
+    }
+}
+
 /// The output of Algorithm 1 for one live-out group.
 #[derive(Debug, Clone)]
 pub struct MixedSchedules {
@@ -124,6 +170,9 @@ pub struct MixedSchedules {
     /// Producer groups rejected by the `m > n` parallelism guard; they keep
     /// their own schedules (and are tiled independently — line 17).
     pub untiled_groups: Vec<usize>,
+    /// Budget-exhaustion events absorbed while building this live-out's
+    /// schedules (rung-2 degradations: each dropped one producer's fusion).
+    pub budget_trips: Vec<BudgetTrip>,
 }
 
 /// Runs Algorithm 1 for the live-out group `liveout` over its producer
@@ -159,7 +208,11 @@ pub fn algorithm1(
     }
     let lg = &groups[liveout];
     let k = lg.depth.min(opts.tile_sizes.len());
-    // Build per-statement tile-dimension maps (relation (2)).
+    // Build per-statement tile-dimension maps (relation (2)). Budget
+    // exhaustion *here* propagates: the live-out band itself cannot be
+    // degraded per producer, so the ladder in `optimize` handles it
+    // (rung 3: plain tiling on a fresh grant).
+    crate::error::checkpoint("algo1/tile-band")?;
     let band_span = tilefuse_trace::span!("algo1/tile-band");
     let mut tile_maps = Vec::new();
     let tile_band = if k > 0 {
@@ -230,14 +283,36 @@ pub fn algorithm1(
         .iter()
         .map(|&s| program.stmt(s).body().target)
         .collect();
+    let mut budget_trips: Vec<BudgetTrip> = Vec::new();
     let mut needed: BTreeMap<ArrayId, Map> = BTreeMap::new();
     {
         let _s = tilefuse_trace::span!("algo1/exposed", "{} arrays", producer_targets.len());
+        crate::error::checkpoint("algo1/exposed")?;
         for &arr in &producer_targets {
-            if let Some(fp) = exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
-                if !fp.is_empty()? {
+            let attempt: Result<Option<Map>> =
+                (|| match exposed_footprint(program, &lg.stmts, &tile_maps, arr)? {
+                    Some(fp) if !fp.is_empty()? => Ok(Some(fp)),
+                    _ => Ok(None),
+                })();
+            match attempt {
+                Ok(Some(fp)) => {
                     needed.insert(arr, fp);
                 }
+                Ok(None) => {}
+                // Rung-2 absorption: no footprint demand is recorded for
+                // this array, so its producers simply stay unfused (sound:
+                // they keep their original schedules). A fresh grant keeps
+                // one blown deadline from cascading into every remaining
+                // array.
+                Err(e) if crate::optimize::degradable(&e) => {
+                    budget_trips.push(BudgetTrip::from_error(
+                        &e,
+                        "algo1/exposed",
+                        format!("dropped exposed footprint of array {}", arr.0),
+                    ));
+                    tilefuse_trace::governor::rearm();
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -300,50 +375,101 @@ pub fn algorithm1(
             continue;
         }
         let target = program.stmt(s).body().target;
-        let fp = needed.get(&target).expect("checked above").clone();
-        let ext_span = tilefuse_trace::span!("algo1/extension", "stmt {}", s.0);
-        let write = program.write_access(s)?;
-        let ext = coalesced(&extension_schedule(&fp, &write)?)?;
-        // Recomputation budget (see Options::max_recompute): estimate how
-        // many times the producer would re-execute across tiles.
-        let over_budget =
-            recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute;
-        drop(ext_span);
-        if over_budget {
-            untiled.insert(g);
-            for &other in &groups[g].stmts {
-                remaining.remove(&other);
+        let fp = needed
+            .get(&target)
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("no footprint for statement {}", s.0)))?;
+        // The whole per-producer pipeline (extension schedule, recompute
+        // estimate, chained footprints) runs as one fallible attempt so a
+        // budget trip anywhere inside drops exactly this producer's fusion
+        // (rung 2) without committing partial footprint updates.
+        type Attempt = Result<Option<(Map, Vec<(ArrayId, Map)>)>>;
+        let attempt: Attempt = (|| {
+            if opts.fault == FaultInjection::BudgetExhaustExtension {
+                return Err(Error::injected_budget("algo1/extension"));
             }
-            continue;
-        }
-        // Extend the footprint demands through this statement's reads
-        // (line 15) so transitive producers can be tiled too.
-        let _chain_span = tilefuse_trace::span!("algo1/chain", "stmt {}", s.0);
-        for &arr in &producer_targets {
-            if arr == target {
-                continue;
+            crate::error::checkpoint("algo1/extension")?;
+            let ext_span = tilefuse_trace::span!("algo1/extension", "stmt {}", s.0);
+            let write = program.write_access(s)?;
+            let ext = coalesced(&extension_schedule(&fp, &write)?)?;
+            if tilefuse_trace::governor::approximated() {
+                // Capped feasibility may have let an actually-empty piece
+                // survive into the extension; such junk can project to an
+                // unbounded hull only at *execution* time, far past any
+                // absorption point. Probing the hull here forces that
+                // failure now, where it degrades to dropping this one
+                // producer instead of failing the interpreter.
+                ext.as_wrapped_set().rect_hull(&params)?;
             }
-            if let Some(extra) = chained_footprint(program, s, &ext, arr)? {
-                if extra.is_empty()? {
+            // Recomputation budget (see Options::max_recompute): estimate how
+            // many times the producer would re-execute across tiles.
+            let over_budget =
+                recompute_estimate(program, &ext, s, n_tiles, &params)? > opts.max_recompute;
+            drop(ext_span);
+            if over_budget {
+                return Ok(None);
+            }
+            // Extend the footprint demands through this statement's reads
+            // (line 15) so transitive producers can be tiled too.
+            let _chain_span = tilefuse_trace::span!("algo1/chain", "stmt {}", s.0);
+            crate::error::checkpoint("algo1/chain")?;
+            let mut updates: Vec<(ArrayId, Map)> = Vec::new();
+            for &arr in &producer_targets {
+                if arr == target {
                     continue;
                 }
-                // Coalesce after every union: deep multi-consumer DAGs
-                // (pyramids) otherwise snowball near-duplicate disjuncts —
-                // each level's point read is subsumed by its stencil
-                // sibling's halo read.
-                let merged = match needed.get(&arr) {
-                    Some(m) => m.union(&extra)?,
-                    None => extra,
-                };
-                needed.insert(arr, coalesced(&merged)?);
+                if let Some(extra) = chained_footprint(program, s, &ext, arr)? {
+                    if extra.is_empty()? {
+                        continue;
+                    }
+                    // Coalesce after every union: deep multi-consumer DAGs
+                    // (pyramids) otherwise snowball near-duplicate disjuncts —
+                    // each level's point read is subsumed by its stencil
+                    // sibling's halo read.
+                    let merged = match needed.get(&arr) {
+                        Some(m) => m.union(&extra)?,
+                        None => extra,
+                    };
+                    updates.push((arr, coalesced(&merged)?));
+                }
             }
+            Ok(Some((ext, updates)))
+        })();
+        match attempt {
+            Ok(Some((ext, updates))) => {
+                for (arr, m) in updates {
+                    needed.insert(arr, m);
+                }
+                extensions.push(ExtensionPart {
+                    stmt: s,
+                    group: g,
+                    ext,
+                });
+            }
+            // Over the recomputation budget: the group keeps its own
+            // schedule (hull fallbacks are priced by max_recompute here).
+            Ok(None) => {
+                untiled.insert(g);
+                for &other in &groups[g].stmts {
+                    remaining.remove(&other);
+                }
+            }
+            // Rung-2 absorption: drop fusion for exactly this producer's
+            // group, rearm so the remaining producers get a fresh grant.
+            Err(e) if crate::optimize::degradable(&e) => {
+                budget_trips.push(BudgetTrip::from_error(
+                    &e,
+                    "algo1/extension",
+                    format!("dropped fusion of statement {} (group {g})", s.0),
+                ));
+                untiled.insert(g);
+                for &other in &groups[g].stmts {
+                    remaining.remove(&other);
+                }
+                tilefuse_trace::governor::rearm();
+            }
+            Err(e) => return Err(e),
         }
-        drop(_chain_span);
-        extensions.push(ExtensionPart {
-            stmt: s,
-            group: g,
-            ext,
-        });
     }
 
     // A group is fused only when every member received an extension
@@ -399,6 +525,7 @@ pub fn algorithm1(
         extensions,
         fused_groups,
         untiled_groups: untiled.into_iter().collect(),
+        budget_trips,
     })
 }
 
@@ -416,10 +543,17 @@ const FOOTPRINT_DISJUNCT_CAP: usize = 12;
 /// (drop empty/subsumed disjuncts, merge adjacent ones), then a
 /// single-disjunct hull over-approximation when still over budget.
 fn coalesced(m: &Map) -> Result<Map> {
+    // A governor disjunct cap can only *shrink* the built-in budget
+    // (hulling earlier over-approximates more, which stays sound and is
+    // priced by max_recompute); it never loosens it.
+    let cap = FOOTPRINT_DISJUNCT_CAP.min(tilefuse_trace::governor::disjunct_cap());
     let mut s = m.as_wrapped_set().coalesce()?;
-    if s.n_basic() > FOOTPRINT_DISJUNCT_CAP {
+    if s.n_basic() > cap {
         s = s.simple_hull()?;
     }
+    // Record the *kept* disjunct count (post-hull), so the report's peak
+    // reflects what the pipeline actually carried forward.
+    tilefuse_trace::governor::note_disjuncts(s.n_basic());
     Ok(Map::from_wrapped_set(s)?)
 }
 

@@ -24,6 +24,39 @@ pub enum Error {
     Presburger(tilefuse_presburger::Error),
 }
 
+impl Error {
+    /// Whether this error (at any wrapping depth) is a cooperative
+    /// budget-exhaustion signal from the resource governor. The
+    /// degradation ladder in [`crate::optimize`] catches exactly these and
+    /// falls back to a cheaper rung; every other error propagates.
+    #[must_use]
+    pub fn is_budget_exhausted(&self) -> bool {
+        self.budget_info().is_some()
+    }
+
+    /// The `(limit, phase)` pair of a wrapped budget-exhaustion error.
+    #[must_use]
+    pub fn budget_info(&self) -> Option<(&'static str, &'static str)> {
+        match self {
+            Error::Pir(e) => e.budget_info(),
+            Error::Scheduler(e) => e.budget_info(),
+            Error::SchedTree(e) => e.budget_info(),
+            Error::Presburger(e) => e.budget_info(),
+            Error::Internal(_) | Error::InvalidInput(_) => None,
+        }
+    }
+
+    /// A synthetic budget-exhaustion error for fault injection (see
+    /// [`crate::FaultInjection`]): lets the fuzz oracle force a specific
+    /// ladder rung without a real budget race.
+    pub(crate) fn injected_budget(phase: &'static str) -> Error {
+        Error::Presburger(tilefuse_presburger::Error::BudgetExhausted {
+            limit: "fault-injection",
+            phase,
+        })
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -71,6 +104,14 @@ impl From<tilefuse_presburger::Error> for Error {
     fn from(e: tilefuse_presburger::Error) -> Self {
         Error::Presburger(e)
     }
+}
+
+/// Marks a governed phase and polls the resource budget (a no-op without
+/// an installed governor), converting exhaustion into this crate's error.
+/// Placed at the existing trace-span boundaries of the optimize pipeline.
+pub(crate) fn checkpoint(phase: &'static str) -> Result<()> {
+    tilefuse_trace::governor::checkpoint(phase)
+        .map_err(|e| Error::Presburger(tilefuse_presburger::Error::from(e)))
 }
 
 #[cfg(test)]

@@ -25,6 +25,12 @@
 //! # Ok::<(), tilefuse_core::Error>(())
 //! ```
 
+// Non-test code must not panic on Option/Result: budget exhaustion and
+// malformed inputs are typed, recoverable events in this pipeline. CI runs
+// clippy with `-D warnings`, so these warns are hard failures there;
+// justified exceptions carry a local `#[allow]` with an invariant comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod algo1;
 mod algo2;
 mod error;
@@ -33,10 +39,10 @@ mod optimize;
 #[cfg(test)]
 mod tests_optimize;
 
-pub use algo1::{algorithm1, ExtensionPart, FaultInjection, MixedSchedules, Options};
+pub use algo1::{algorithm1, BudgetTrip, ExtensionPart, FaultInjection, MixedSchedules, Options};
 pub use algo2::{algorithm2, plain_tile_group};
 pub use error::{Error, Result};
 pub use footprint::{
     chained_footprint, covers_footprint, exposed_footprint, extension_schedule, ExposedData,
 };
-pub use optimize::{optimize, recomputation_factor, Optimized, Report};
+pub use optimize::{optimize, recomputation_factor, DegradationReport, Optimized, Report};

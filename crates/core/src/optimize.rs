@@ -2,9 +2,9 @@
 //! tile-shape construction, shared-intermediate resolution, and post-tiling
 //! fusion.
 
-use crate::algo1::{algorithm1, MixedSchedules, Options};
+use crate::algo1::{algorithm1, BudgetTrip, FaultInjection, MixedSchedules, Options};
 use crate::algo2::{algorithm2, plain_tile_group};
-use crate::error::{Error, Result};
+use crate::error::{checkpoint, Error, Result};
 use std::collections::{BTreeMap, BTreeSet};
 use tilefuse_pir::{ArrayId, DepKind, Dependence, Program};
 use tilefuse_schedtree::ScheduleTree;
@@ -45,6 +45,60 @@ pub struct Report {
     /// call (the calling thread's span diff around the run). Empty unless
     /// tracing was enabled via `tilefuse_trace::set_enabled(true)`.
     pub phases: Vec<tilefuse_trace::PhaseStat>,
+    /// Which rung of the degradation ladder produced the tree, and the
+    /// resource accounting behind that decision.
+    pub degradation: DegradationReport,
+}
+
+/// How far down the graceful-degradation ladder this run had to go, and
+/// what the resource governor observed along the way.
+///
+/// Rungs (each one strictly cheaper and still bit-exact):
+/// 1. full tiling-then-fusion (the paper's Algorithm 3);
+/// 2. tiling-then-fusion with specific producers dropped from fusion
+///    because *their* extension or footprint computation blew the budget
+///    (see [`BudgetTrip`] entries);
+/// 3. plain live-out tiling, no fusion surgery;
+/// 4. untiled conservative schedule (start-up `minfuse` order only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The rung that produced the final tree (1 = no degradation).
+    pub rung: u8,
+    /// Every budget exhaustion absorbed on the way down, in order: which
+    /// phase tripped, which limit, and what was dropped in response.
+    pub trips: Vec<BudgetTrip>,
+    /// Capped Omega feasibility calls answered conservatively (`feasible`)
+    /// during this run — the governor-scoped slice of
+    /// `tilefuse_presburger::stats::silent_feasible`.
+    pub silent_feasible: u64,
+    /// Omega operations (branch pops + projection steps) charged to the
+    /// governor during this run.
+    pub omega_ops: u64,
+    /// Wall-clock spent inside the governed region, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Largest per-set disjunct count kept after footprint coalescing
+    /// (never exceeds the configured disjunct cap).
+    pub peak_disjuncts: usize,
+    /// Whether the start-up `maxfuse` shift solver hit its step budget and
+    /// fell back to a coarser grouping (sound, but less fusion).
+    pub fusion_budget_exhausted: bool,
+    /// Steps the `maxfuse` shift solver actually consumed.
+    pub fusion_steps: u64,
+}
+
+impl Default for DegradationReport {
+    fn default() -> Self {
+        DegradationReport {
+            rung: 1,
+            trips: Vec::new(),
+            silent_feasible: 0,
+            omega_ops: 0,
+            elapsed_ms: 0.0,
+            peak_disjuncts: 0,
+            fusion_budget_exhausted: false,
+            fusion_steps: 0,
+        }
+    }
 }
 
 impl Report {
@@ -65,20 +119,32 @@ impl Report {
     }
 }
 
-/// Runs the full optimizer (Algorithm 3) on `program`.
+/// Runs the full optimizer (Algorithm 3) on `program` under the resource
+/// budget in `opts.budget`, degrading through the ladder described on
+/// [`DegradationReport`] instead of failing when a limit trips.
 ///
 /// # Errors
 /// Returns an error if scheduling fails or the tree surgery meets an
-/// unexpected shape.
+/// unexpected shape. Budget exhaustion is *not* an error at this level:
+/// it selects a cheaper rung. A panic anywhere in the pipeline is caught
+/// and surfaced as [`Error::Internal`] tagged with the active phase.
 pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
     // Snapshot the calling thread's span stats around the run so the
     // report carries exactly this call's phases, even when other threads
     // optimize concurrently.
     let before = tilefuse_trace::thread_snapshot();
-    let result = {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _span = tilefuse_trace::span!("optimize");
-        optimize_inner(program, opts)
-    };
+        let _gov = tilefuse_trace::governor::install(&opts.budget);
+        run_ladder(program, opts)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(Error::Internal(format!(
+            "panic in optimize (phase {}): {}",
+            tilefuse_trace::governor::last_phase(),
+            tilefuse_trace::governor::panic_message(payload.as_ref()),
+        )))
+    });
     let mut optimized = result?;
     if tilefuse_trace::is_enabled() {
         optimized.report.phases =
@@ -87,8 +153,89 @@ pub fn optimize(program: &Program, opts: &Options) -> Result<Optimized> {
     Ok(optimized)
 }
 
+/// Whether `e` should be absorbed as a degradation step rather than
+/// propagated: either a cooperative budget-exhaustion signal, or any error
+/// produced after the governor's precision caps already forced a
+/// conservative approximation (exact analysis never fails the ways
+/// approximate analysis can — unbounded hulls, splintered projections —
+/// so those failures are consequences of the cap, not bugs). With no
+/// active governor, `approximated()` is always false and everything
+/// propagates.
+pub(crate) fn degradable(e: &Error) -> bool {
+    e.is_budget_exhausted() || tilefuse_trace::governor::approximated()
+}
+
+/// The degradation ladder. Runs with a governor installed; each rung that
+/// absorbs a budget trip re-arms (fresh grant) so one blown deadline does
+/// not starve the fallback, and the last rung runs disarmed — it must
+/// terminate and is polynomial, so accounting continues but enforcement
+/// stops.
+fn run_ladder(program: &Program, opts: &Options) -> Result<Optimized> {
+    use tilefuse_trace::governor;
+    let mut trips: Vec<BudgetTrip> = Vec::new();
+    let mut optimized = match optimize_inner(program, opts) {
+        Ok(o) => Some(o),
+        Err(e) if degradable(&e) => {
+            trips.push(BudgetTrip::from_error(
+                &e,
+                "optimize",
+                "dropped fusion entirely: falling back to plain live-out tiling".into(),
+            ));
+            None
+        }
+        Err(e) => return Err(e),
+    };
+    if optimized.is_none() {
+        governor::rearm();
+        optimized = match plain_tiled(program, opts) {
+            Ok(o) => Some(o),
+            Err(e) if degradable(&e) => {
+                trips.push(BudgetTrip::from_error(
+                    &e,
+                    "optimize/plain-tile",
+                    "dropped tiling entirely: falling back to the untiled schedule".into(),
+                ));
+                None
+            }
+            Err(e) => return Err(e),
+        };
+    }
+    let rung_from_trips = |t: &[BudgetTrip]| if t.is_empty() { 1 } else { 2 };
+    let (mut optimized, rung) = match optimized {
+        Some(o) => {
+            let rung = if trips.is_empty() {
+                rung_from_trips(&o.report.degradation.trips)
+            } else {
+                3
+            };
+            (o, rung)
+        }
+        None => {
+            // Rung 4: the conservative schedule must not be subject to the
+            // (already exhausted) budget; genuine errors still propagate.
+            governor::disarm();
+            (untiled_schedule(program)?, 4)
+        }
+    };
+    let d = &mut optimized.report.degradation;
+    d.rung = rung;
+    // Ladder-level trips go first: they explain why lower rungs ran.
+    trips.append(&mut d.trips);
+    d.trips = trips;
+    let consumed = governor::consumed();
+    d.silent_feasible = consumed.silent_feasible;
+    d.omega_ops = consumed.omega_ops;
+    d.elapsed_ms = consumed.elapsed.as_secs_f64() * 1e3;
+    d.peak_disjuncts = consumed.peak_disjuncts;
+    Ok(optimized)
+}
+
 fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
     let scheduled = schedule(program, opts.startup)?;
+    // Satellite of the governor work: surface the maxfuse shift-solver
+    // budget instead of silently dropping it with the Fusion struct.
+    let fusion_budget_exhausted = scheduled.fusion.budget_exhausted;
+    let fusion_steps = scheduled.fusion.steps;
     let groups = scheduled.fusion.groups;
     let deps = scheduled.deps;
     let mut tree = scheduled.tree;
@@ -138,6 +285,7 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
 
     // Fixpoint over shared-intermediate conflicts.
     let mut excluded: BTreeSet<usize> = BTreeSet::new();
+    let mut rule2_trips: Vec<BudgetTrip> = Vec::new();
     let mut mixed: Vec<MixedSchedules>;
     loop {
         mixed = Vec::new();
@@ -173,8 +321,9 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
             // intersect (no recomputation across live-outs). Skippable
             // only via FaultInjection so the fuzz oracle can prove it
             // catches the resulting illegal fusion.
-            if opts.fault != crate::FaultInjection::SkipSharedSliceCheck && fused_in.len() >= 2 {
+            if opts.fault != FaultInjection::SkipSharedSliceCheck && fused_in.len() >= 2 {
                 let _span = tilefuse_trace::span!("algo3/rule2", "group {g}");
+                checkpoint("algo3/rule2")?;
                 'pairs: for i in 0..fused_in.len() {
                     for j in i + 1..fused_in.len() {
                         for &s in &groups[g].stmts {
@@ -193,10 +342,38 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
                                 // product — over a million emptiness calls
                                 // on one Local Laplacian check, found via
                                 // the algo3/rule2 span's counters.
-                                let joint = ei.reverse().flat_range_product(&ej.reverse())?;
-                                if !joint.is_empty()? {
-                                    new_conflicts.insert(g);
-                                    break 'pairs;
+                                let disjoint = ei
+                                    .reverse()
+                                    .flat_range_product(&ej.reverse())
+                                    .and_then(|joint| joint.is_empty());
+                                match disjoint {
+                                    Ok(true) => {}
+                                    Ok(false) => {
+                                        new_conflicts.insert(g);
+                                        break 'pairs;
+                                    }
+                                    Err(pe) => {
+                                        let e = Error::from(pe);
+                                        if !degradable(&e) {
+                                            return Err(e);
+                                        }
+                                        // Budget blew mid-proof: assuming the
+                                        // slices overlap (conflict) is the
+                                        // sound direction — it only excludes
+                                        // fusion. Re-arm so the rest of the
+                                        // fixpoint gets a fresh grant.
+                                        rule2_trips.push(BudgetTrip::from_error(
+                                            &e,
+                                            "algo3/rule2",
+                                            format!(
+                                                "assumed shared-slice overlap for group {g}: \
+                                                 excluded from fusion"
+                                            ),
+                                        ));
+                                        tilefuse_trace::governor::rearm();
+                                        new_conflicts.insert(g);
+                                        break 'pairs;
+                                    }
                                 }
                             }
                         }
@@ -212,6 +389,13 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
 
     // Surgery per live-out (in tree order so paths stay valid: each
     // surgery only touches its own group's child and marks producers).
+    if matches!(
+        opts.fault,
+        FaultInjection::BudgetExhaustSurgery | FaultInjection::BudgetExhaustTiling
+    ) {
+        return Err(Error::injected_budget("algo2/graft"));
+    }
+    checkpoint("algo2/graft")?;
     for m in &mixed {
         algorithm2(&mut tree, program, &groups, m, has_top_sequence)?;
     }
@@ -235,6 +419,7 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
     }
     {
         let _span = tilefuse_trace::span!("optimize/validate");
+        checkpoint("optimize/validate")?;
         tree.validate()?;
     }
 
@@ -256,6 +441,12 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
         }
     }
 
+    // Rung-2 trips: producer drops inside Algorithm 1 plus shared-slice
+    // proofs abandoned above. An empty list means rung 1.
+    let mut trips = rule2_trips;
+    for m in &mut mixed {
+        trips.append(&mut m.budget_trips);
+    }
     Ok(Optimized {
         tree,
         report: Report {
@@ -267,6 +458,96 @@ fn optimize_inner(program: &Program, opts: &Options) -> Result<Optimized> {
             shared_unfused: excluded.into_iter().collect(),
             deps,
             phases: Vec::new(),
+            degradation: DegradationReport {
+                trips,
+                fusion_budget_exhausted,
+                fusion_steps,
+                ..DegradationReport::default()
+            },
+        },
+    })
+}
+
+/// Rung 3: start-up scheduling plus plain per-group tiling — no fusion
+/// surgery, no footprint/extension presburger work.
+fn plain_tiled(program: &Program, opts: &Options) -> Result<Optimized> {
+    let _span = tilefuse_trace::span!("optimize/plain-tile");
+    checkpoint("optimize/plain-tile")?;
+    if opts.fault == FaultInjection::BudgetExhaustTiling {
+        return Err(Error::injected_budget("optimize/plain-tile"));
+    }
+    let scheduled = schedule(program, opts.startup)?;
+    let fusion_budget_exhausted = scheduled.fusion.budget_exhausted;
+    let fusion_steps = scheduled.fusion.steps;
+    let groups = scheduled.fusion.groups;
+    let deps = scheduled.deps;
+    let mut tree = scheduled.tree;
+    let has_top_sequence = groups.len() > 1;
+    for g in 0..groups.len() {
+        plain_tile_group(&mut tree, g, &opts.tile_sizes, has_top_sequence)?;
+    }
+    tree.validate()?;
+    bare_optimized(
+        program,
+        tree,
+        groups,
+        deps,
+        DegradationReport {
+            fusion_budget_exhausted,
+            fusion_steps,
+            ..DegradationReport::default()
+        },
+    )
+}
+
+/// Rung 4: the conservative untiled schedule in start-up `minfuse` order.
+/// Runs with enforcement disarmed — it is the floor of the ladder and must
+/// succeed whenever the program is schedulable at all.
+fn untiled_schedule(program: &Program) -> Result<Optimized> {
+    let _span = tilefuse_trace::span!("optimize/untiled");
+    let scheduled = schedule(program, tilefuse_scheduler::FusionHeuristic::MinFuse)?;
+    let fusion_steps = scheduled.fusion.steps;
+    let tree = scheduled.tree;
+    tree.validate()?;
+    bare_optimized(
+        program,
+        tree,
+        scheduled.fusion.groups,
+        scheduled.deps,
+        DegradationReport {
+            fusion_steps,
+            ..DegradationReport::default()
+        },
+    )
+}
+
+/// Shared tail of the degraded rungs: a report with no mixed schedules,
+/// no scratch promotion and every group left unfused.
+fn bare_optimized(
+    program: &Program,
+    tree: ScheduleTree,
+    groups: Vec<Group>,
+    deps: Vec<Dependence>,
+    degradation: DegradationReport,
+) -> Result<Optimized> {
+    let liveouts: Vec<usize> = (0..groups.len())
+        .filter(|&g| groups[g].stmts.iter().any(|&s| program.is_live_out(s)))
+        .collect();
+    if liveouts.is_empty() {
+        return Err(Error::Internal("program has no live-out statements".into()));
+    }
+    Ok(Optimized {
+        tree,
+        report: Report {
+            groups,
+            liveouts,
+            mixed: Vec::new(),
+            scratch_arrays: BTreeSet::new(),
+            scratch_scopes: std::collections::BTreeMap::new(),
+            shared_unfused: Vec::new(),
+            deps,
+            phases: Vec::new(),
+            degradation,
         },
     })
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS]
 //!               [--threads LIST] [--no-memo-diff] [--inject-bug]
-//!               [--artifacts-dir PATH] [--trace FILE]
+//!               [--budget-fuzz] [--artifacts-dir PATH] [--trace FILE]
 //! ```
 //!
 //! Each iteration derives its own generator from `seed + i`, draws a
@@ -15,6 +15,15 @@
 //! optimizer — a deliberate Rule 2 legality bug — and is expected to make
 //! the run *fail*: it is the oracle's self-test.
 //!
+//! `--budget-fuzz` additionally draws a random — aggressively small —
+//! resource budget per iteration (zero-op grants, 1 ms deadlines,
+//! single-digit branch caps included) and installs it for the optimize
+//! run: the soak mode for the degradation ladder. Whatever rung the
+//! governor forces, the run must neither panic nor diverge from the
+//! bit-exact reference. (The presburger memo differential is skipped
+//! under a budget: memoization legitimately shifts which call trips
+//! first.)
+//!
 //! `--trace FILE` enables the structured tracer for the whole run, writes
 //! a Chrome-trace JSON to FILE on exit (clean or failing), and prints the
 //! plain-text phase table to stderr — handy for seeing where oracle time
@@ -23,7 +32,9 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use tilefuse_fuzzgen::{describe, random_spec, run_oracle, shrink, OracleConfig, Rng};
+use tilefuse_fuzzgen::{
+    describe, random_budget, random_spec, run_oracle, shrink, OracleConfig, Rng,
+};
 
 struct Args {
     seed: u64,
@@ -32,6 +43,7 @@ struct Args {
     threads: Vec<usize>,
     memo_diff: bool,
     inject_bug: bool,
+    budget_fuzz: bool,
     artifacts_dir: String,
     trace: Option<String>,
 }
@@ -39,8 +51,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS] \
-         [--threads LIST] [--no-memo-diff] [--inject-bug] [--artifacts-dir PATH] \
-         [--trace FILE]"
+         [--threads LIST] [--no-memo-diff] [--inject-bug] [--budget-fuzz] \
+         [--artifacts-dir PATH] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -53,6 +65,7 @@ fn parse_args() -> Args {
         threads: vec![2, 5],
         memo_diff: true,
         inject_bug: false,
+        budget_fuzz: false,
         artifacts_dir: "fuzz-artifacts".into(),
         trace: None,
     };
@@ -79,6 +92,7 @@ fn parse_args() -> Args {
             }
             "--no-memo-diff" => args.memo_diff = false,
             "--inject-bug" => args.inject_bug = true,
+            "--budget-fuzz" => args.budget_fuzz = true,
             "--artifacts-dir" => args.artifacts_dir = value("--artifacts-dir"),
             "--trace" => args.trace = Some(value("--trace")),
             "--help" | "-h" => usage(),
@@ -113,7 +127,7 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> ExitCode {
-    let cfg = OracleConfig {
+    let base_cfg = OracleConfig {
         threads: args.threads.clone(),
         memo_diff: args.memo_diff,
         fault: if args.inject_bug {
@@ -121,6 +135,7 @@ fn run(args: &Args) -> ExitCode {
         } else {
             tilefuse_core::FaultInjection::None
         },
+        budget: None,
     };
     let start = Instant::now();
     let mut ran = 0u64;
@@ -133,6 +148,10 @@ fn run(args: &Args) -> ExitCode {
         }
         let mut rng = Rng::new(args.seed.wrapping_add(i));
         let spec = random_spec(&mut rng);
+        let cfg = OracleConfig {
+            budget: args.budget_fuzz.then(|| random_budget(&mut rng)),
+            ..base_cfg.clone()
+        };
         ran += 1;
         match run_oracle(&spec, &cfg) {
             Ok(()) => {
@@ -147,8 +166,13 @@ fn run(args: &Args) -> ExitCode {
                 eprintln!("seed {} iteration {i}: {first}", args.seed);
                 eprintln!("shrinking...");
                 let (min_spec, min_fail) = shrink(&spec, &cfg);
+                let budget_line = match &cfg.budget {
+                    Some(b) => format!("budget: {b:?}\n"),
+                    None => String::new(),
+                };
                 let artifact = format!(
-                    "tilefuse-fuzz failure\nseed: {}\niteration: {i}\nfailure: {min_fail}\n\
+                    "tilefuse-fuzz failure\nseed: {}\niteration: {i}\n{budget_line}\
+                     failure: {min_fail}\n\
                      \n== minimal reproducer ==\n{}\n== original spec ==\n{}",
                     args.seed,
                     describe(&min_spec),

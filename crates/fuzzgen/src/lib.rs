@@ -30,7 +30,7 @@ mod rng;
 mod shrink;
 mod spec;
 
-pub use gen::random_spec;
+pub use gen::{random_budget, random_spec};
 pub use oracle::{run_oracle, Failure, OracleConfig};
 pub use rng::Rng;
 pub use shrink::shrink;

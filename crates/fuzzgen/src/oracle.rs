@@ -44,9 +44,17 @@ pub struct OracleConfig {
     /// Thread counts for the parallel-interpreter differential.
     pub threads: Vec<usize>,
     /// Re-run the pipeline with the presburger memo disabled and compare.
+    /// Ignored (forced off) when `budget` is set: memoization legitimately
+    /// shifts *which* call exhausts the budget first, so the two runs may
+    /// settle on different (each individually bit-exact) ladder rungs.
     pub memo_diff: bool,
     /// Deliberate optimizer bug to inject (the oracle must catch it).
     pub fault: FaultInjection,
+    /// Resource budget to install for the optimize run. Every other check
+    /// still applies — whatever ladder rung the governor forces, the
+    /// result must stay legal and bit-exact — plus the degradation-report
+    /// coherence checks.
+    pub budget: Option<tilefuse_trace::Budget>,
 }
 
 impl Default for OracleConfig {
@@ -55,6 +63,7 @@ impl Default for OracleConfig {
             threads: vec![2, 5],
             memo_diff: true,
             fault: FaultInjection::None,
+            budget: None,
         }
     }
 }
@@ -131,6 +140,7 @@ fn options_for(spec: &ProgramSpec, cfg: &OracleConfig) -> Options {
             FusionHeuristic::MinFuse
         },
         fault: cfg.fault,
+        budget: cfg.budget.clone().unwrap_or_default(),
         ..Default::default()
     }
 }
@@ -184,6 +194,49 @@ pub fn run_oracle(spec: &ProgramSpec, cfg: &OracleConfig) -> Result<(), Failure>
 
     let run = run_pipeline(&program, &opts, &overrides)?;
     let o = &run.optimized;
+
+    // Degradation-report coherence: whichever ladder rung ran, the report
+    // must explain it. (Bit-exactness of the degraded tree is proven by
+    // the output/count checks below, which run unconditionally.)
+    let deg = &o.report.degradation;
+    if !(1..=4).contains(&deg.rung) {
+        return Err(fail(
+            "degradation-report",
+            format!("rung {} out of range", deg.rung),
+        ));
+    }
+    if deg.rung == 1 && !deg.trips.is_empty() {
+        return Err(fail(
+            "degradation-report",
+            format!("rung 1 with budget trips: {:?}", deg.trips),
+        ));
+    }
+    if deg.rung >= 2 && deg.trips.is_empty() {
+        return Err(fail(
+            "degradation-report",
+            format!("rung {} without any recorded budget trip", deg.rung),
+        ));
+    }
+    if deg.rung >= 3 && !o.report.mixed.is_empty() {
+        return Err(fail(
+            "degradation-report",
+            format!(
+                "rung {} but report still carries fusion schedules",
+                deg.rung
+            ),
+        ));
+    }
+    if let Some(cap) = cfg.budget.as_ref().and_then(|b| b.max_disjuncts) {
+        if deg.peak_disjuncts > cap {
+            return Err(fail(
+                "degradation-report",
+                format!(
+                    "peak disjunct count {} exceeds the configured cap {cap}",
+                    deg.peak_disjuncts
+                ),
+            ));
+        }
+    }
 
     // Exact legality re-check of the transformed tree. Fused producers
     // carry multi-valued schedule relations (one instance recomputed in
@@ -359,7 +412,7 @@ pub fn run_oracle(spec: &ProgramSpec, cfg: &OracleConfig) -> Result<(), Failure>
     // Memo differential: the whole pipeline re-run with every presburger
     // memo layer disabled must produce the same tree semantics — same
     // dependences, bit-identical buffers, identical instance counts.
-    if cfg.memo_diff {
+    if cfg.memo_diff && cfg.budget.is_none() {
         let p2 = build_program(spec).map_err(|e| fail("build", e))?;
         let _restore = MemoOff::new();
         let run2 = run_pipeline(&p2, &opts, &overrides)?;
@@ -443,6 +496,64 @@ mod tests {
             ..chain_spec()
         };
         run_oracle(&spec, &OracleConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn injected_budget_faults_prove_each_ladder_rung() {
+        // Each fault forces budget exhaustion at a specific pipeline
+        // phase; the full oracle must still pass — the degraded schedule
+        // is bit-exact — and the report must land on the expected rung.
+        for (fault, want_rung) in [
+            (FaultInjection::BudgetExhaustExtension, 2),
+            (FaultInjection::BudgetExhaustSurgery, 3),
+            (FaultInjection::BudgetExhaustTiling, 4),
+        ] {
+            let cfg = OracleConfig {
+                fault,
+                ..OracleConfig::default()
+            };
+            run_oracle(&chain_spec(), &cfg)
+                .unwrap_or_else(|e| panic!("{fault:?}: oracle failed: {e}"));
+            let program = build_program(&chain_spec()).unwrap();
+            let opts = options_for(&chain_spec(), &cfg);
+            let o = optimize(&program, &opts).unwrap();
+            assert_eq!(
+                o.report.degradation.rung, want_rung,
+                "{fault:?}: {:?}",
+                o.report.degradation
+            );
+            assert!(!o.report.degradation.trips.is_empty());
+        }
+    }
+
+    #[test]
+    fn adversarial_budgets_degrade_but_stay_exact() {
+        // A zero-op grant and a 1 ms deadline both force real (not
+        // injected) exhaustion somewhere in the pipeline; the oracle's
+        // bit-exactness and coherence checks must hold on whatever rung
+        // the ladder settles on.
+        for budget in [
+            tilefuse_trace::Budget {
+                max_omega_ops: Some(0),
+                ..tilefuse_trace::Budget::default()
+            },
+            tilefuse_trace::Budget {
+                deadline_ms: Some(0),
+                ..tilefuse_trace::Budget::default()
+            },
+            tilefuse_trace::Budget {
+                max_branches_per_call: Some(1),
+                max_disjuncts: Some(2),
+                ..tilefuse_trace::Budget::default()
+            },
+        ] {
+            let cfg = OracleConfig {
+                budget: Some(budget.clone()),
+                ..OracleConfig::default()
+            };
+            run_oracle(&chain_spec(), &cfg)
+                .unwrap_or_else(|e| panic!("budget {budget:?}: oracle failed: {e}"));
+        }
     }
 
     #[test]

@@ -240,8 +240,11 @@ impl BasicSet {
         // in single-variable bounds. Proving those empty here is O(rows) and
         // skips both the Omega test and the memo-table machinery.
         if memo && self.interval_empty() {
+            // The diagnostic cross-check must use the *ungoverned* Omega
+            // variant: a governor branch cap would both consume budget and
+            // return a conservative "feasible" that fires this assert.
             debug_assert!(
-                !omega::feasible(&self.to_system())?,
+                !omega::feasible_unbounded(&self.to_system())?,
                 "interval_empty wrongly claimed empty: eqs={:?} ineqs={:?}",
                 self.eqs,
                 self.ineqs
@@ -273,10 +276,20 @@ impl BasicSet {
                 canon_key = Some(ck);
             }
             if hit.is_none() {
-                let v = {
+                let sat = {
                     let _timer = crate::stats::op_timer(crate::stats::Op::IsEmpty);
-                    !omega::feasible(&canon.to_system())?
+                    omega::feasible_sat(&canon.to_system())?
                 };
+                if sat == omega::Sat::CappedFeasible {
+                    // Budget-capped conservative answer: sound to act on
+                    // (non-empty keeps dependences and excludes fusion) but
+                    // not a fact about the set, so it must not pollute the
+                    // memo table or the inline emptiness flag — a later
+                    // uncapped run must be free to compute the exact answer.
+                    crate::stats::record(crate::stats::Op::IsEmpty, false);
+                    return Ok(false);
+                }
+                let v = sat == omega::Sat::Infeasible;
                 if let Some(ck) = &canon_key {
                     cache::insert(ck.clone(), CacheVal::Bool(v));
                 }

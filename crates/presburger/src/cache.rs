@@ -123,6 +123,16 @@ fn intern_locked(g: &mut HashSet<Arc<[i64]>>, row: &[i64]) -> Row {
 }
 
 fn sys_key(eqs: &[Vec<i64>], ineqs: &[Vec<i64>]) -> SysKey {
+    // Governor memory bound: past the interned-row cap the interner (and
+    // the memo table, whose keys hold now-orphaned interned rows that can
+    // never pointer-hit again) is cleared wholesale. A cost, not an error:
+    // answers are unaffected, only recomputed.
+    let cap = tilefuse_trace::governor::intern_cap();
+    if cap != usize::MAX && lock(&INTERN).len() >= cap {
+        // Never hold both locks at once (matches every other path here).
+        lock(&INTERN).clear();
+        lock(&TABLE).clear();
+    }
     // One lock acquisition for the whole system, not one per row.
     let mut g = lock(&INTERN);
     let eqs = eqs.iter().map(|r| intern_locked(&mut g, r)).collect();

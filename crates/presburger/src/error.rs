@@ -48,6 +48,42 @@ pub enum Error {
         /// Index of the unbounded dimension.
         dim: usize,
     },
+    /// A cooperative resource budget was exhausted (see
+    /// [`tilefuse_trace::governor`]). Non-fatal by design: the optimizer's
+    /// degradation ladder catches it and falls back to a cheaper rung.
+    BudgetExhausted {
+        /// Which limit tripped (`"deadline"`, `"omega-ops"`, ...).
+        limit: &'static str,
+        /// The innermost governed phase active when it tripped.
+        phase: &'static str,
+    },
+}
+
+impl Error {
+    /// Whether this error is a cooperative budget-exhaustion signal rather
+    /// than a genuine failure.
+    #[must_use]
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, Error::BudgetExhausted { .. })
+    }
+
+    /// The `(limit, phase)` pair of a budget-exhaustion error.
+    #[must_use]
+    pub fn budget_info(&self) -> Option<(&'static str, &'static str)> {
+        match self {
+            Error::BudgetExhausted { limit, phase } => Some((limit, phase)),
+            _ => None,
+        }
+    }
+}
+
+impl From<tilefuse_trace::governor::Exhausted> for Error {
+    fn from(e: tilefuse_trace::governor::Exhausted) -> Self {
+        Error::BudgetExhausted {
+            limit: e.limit,
+            phase: e.phase,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -71,6 +107,9 @@ impl fmt::Display for Error {
             }
             Error::Unbounded { dim } => {
                 write!(f, "set is unbounded in dimension {dim}")
+            }
+            Error::BudgetExhausted { limit, phase } => {
+                write!(f, "budget exhausted ({limit} limit) in phase {phase}")
             }
         }
     }
@@ -128,5 +167,21 @@ mod tests {
             Error::KindMismatch { expected: "map" }.to_string(),
             "operand kind mismatch: expected a map"
         );
+    }
+
+    #[test]
+    fn budget_exhausted_roundtrip() {
+        let e = Error::from(tilefuse_trace::governor::Exhausted {
+            limit: "deadline",
+            phase: "algo1/extension",
+        });
+        assert!(e.is_budget_exhausted());
+        assert_eq!(e.budget_info(), Some(("deadline", "algo1/extension")));
+        assert_eq!(
+            e.to_string(),
+            "budget exhausted (deadline limit) in phase algo1/extension"
+        );
+        assert!(!Error::Overflow("mul").is_budget_exhausted());
+        assert_eq!(Error::Overflow("mul").budget_info(), None);
     }
 }

@@ -183,22 +183,72 @@ impl System {
 /// Elimination budget: a guard against pathological splinter recursion.
 const MAX_BRANCHES: usize = 4096;
 
+/// Three-valued answer from the governed Omega test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sat {
+    /// Definitely satisfiable (an assignment exists).
+    Feasible,
+    /// Definitely unsatisfiable (exact answer).
+    Infeasible,
+    /// A governor branch cap *below* the built-in `MAX_BRANCHES` was hit:
+    /// the conservative "feasible" answer. Correct to act on (non-empty is
+    /// the sound direction everywhere in this codebase) but not a fact
+    /// about the system — callers must not memoize it. The default-cap
+    /// fallback stays `Feasible` because it is deterministic process-wide.
+    CappedFeasible,
+}
+
 /// Exact integer feasibility of `sys` with *all* variables existential.
+/// `Ok(true)` on both exact and capped-conservative feasibility.
 pub(crate) fn feasible(sys: &System) -> Result<bool> {
+    Ok(feasible_sat(sys)? != Sat::Infeasible)
+}
+
+/// Governed feasibility: charges the governor per elimination step, honors
+/// its per-call branch cap, and reports cap hits via `stats`.
+pub(crate) fn feasible_sat(sys: &System) -> Result<Sat> {
+    feasible_impl(sys, true)
+}
+
+/// Ungoverned, default-cap feasibility for *diagnostic* call sites
+/// (`debug_assert!`): charges no budget and records no fallback, so a
+/// consistency check can neither trip the governor nor skew its accounting.
+#[allow(dead_code)] // referenced only from debug_assert! expressions
+pub(crate) fn feasible_unbounded(sys: &System) -> Result<bool> {
+    Ok(feasible_impl(sys, false)? != Sat::Infeasible)
+}
+
+fn feasible_impl(sys: &System, governed: bool) -> Result<Sat> {
+    let cap = if governed {
+        MAX_BRANCHES.min(tilefuse_trace::governor::branch_cap())
+    } else {
+        MAX_BRANCHES
+    };
     let mut work = vec![sys.clone()];
     let mut steps = 0usize;
     while let Some(mut s) = work.pop() {
         steps += 1;
-        if steps > MAX_BRANCHES {
+        if governed {
+            tilefuse_trace::governor::tick_omega(1)?;
+        }
+        if steps > cap {
             // Conservative answer: treat as feasible (never claims empty
-            // wrongly, so legality checks stay sound).
-            return Ok(true);
+            // wrongly, so legality checks stay sound). Counted instead of
+            // silent so over-approximation is observable.
+            if governed {
+                crate::stats::record_silent_feasible();
+            }
+            return Ok(if cap < MAX_BRANCHES {
+                Sat::CappedFeasible
+            } else {
+                Sat::Feasible
+            });
         }
         if !s.normalize() {
             continue;
         }
         match s.triage() {
-            Some(true) => return Ok(true),
+            Some(true) => return Ok(Sat::Feasible),
             Some(false) => continue,
             None => {}
         }
@@ -214,7 +264,7 @@ pub(crate) fn feasible(sys: &System) -> Result<bool> {
             work.push(branch);
         }
     }
-    Ok(false)
+    Ok(Sat::Infeasible)
 }
 
 /// Chooses the next variable to eliminate.
@@ -282,6 +332,10 @@ fn pick_col(s: &System) -> usize {
 /// removed, so all result systems have one fewer column *at that index*;
 /// fresh trailing witness columns may have been appended).
 pub(crate) fn eliminate_col(sys: &System, col: usize) -> Result<Vec<System>> {
+    // One governed op per projection step: coarse (a whole elimination,
+    // not a branch), but enough for the op budget to bound projection work
+    // and for bulk charges to poll the deadline.
+    tilefuse_trace::governor::tick_omega(1)?;
     eliminate_col_inner(sys.clone(), col, true)
 }
 

@@ -38,9 +38,27 @@ const N_OPS: usize = 5;
 /// `Op as usize` of the enclosing span.
 pub const OP_NAMES: [&str; N_OPS] = ["is_empty", "project", "intersect", "apply", "reverse"];
 
+/// Trace counter slot used for silent-feasible fallbacks (the slot after
+/// the five memoized-operation slots).
+pub const SILENT_FEASIBLE_SLOT: usize = N_OPS;
+
+/// Every trace counter slot this crate reports to, in slot order: the five
+/// memoized operations plus the silent-feasible fallback counter. Pass
+/// this (instead of [`OP_NAMES`]) to `tilefuse_trace::phase_table` /
+/// `chrome_trace_json` so slot 5 gets a label.
+pub const SLOT_NAMES: [&str; N_OPS + 1] = [
+    "is_empty",
+    "project",
+    "intersect",
+    "apply",
+    "reverse",
+    "silent_feasible",
+];
+
 static HITS: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
 static MISSES: [AtomicU64; N_OPS] = [const { AtomicU64::new(0) }; N_OPS];
 static POISONED: AtomicU64 = AtomicU64::new(0);
+static SILENT_FEASIBLE: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn record(op: Op, hit: bool) {
     let i = op as usize;
@@ -63,6 +81,24 @@ pub(crate) fn record_poisoned() {
 /// a key); each was evicted and recomputed. Stays 0 in normal operation.
 pub fn poisoned() -> u64 {
     POISONED.load(Ordering::Relaxed)
+}
+
+/// Records one conservative "feasible" fallback from `omega::feasible`
+/// hitting its branch cap: bumps the process-global counter, attributes
+/// the event to the innermost trace span (slot [`SILENT_FEASIBLE_SLOT`],
+/// counted as a miss), and informs the governor.
+pub(crate) fn record_silent_feasible() {
+    SILENT_FEASIBLE.fetch_add(1, Ordering::Relaxed);
+    tilefuse_trace::note_counter(SILENT_FEASIBLE_SLOT, false);
+    tilefuse_trace::governor::note_silent_feasible();
+}
+
+/// Times the Omega test fell back to the conservative "feasible" answer at
+/// its branch cap (built-in or governor-shrunk) since the last [`reset`].
+/// Non-zero means some emptiness answers were over-approximated — still
+/// sound, but observable here instead of silent.
+pub fn silent_feasible() -> u64 {
+    SILENT_FEASIBLE.load(Ordering::Relaxed)
 }
 
 /// RAII timer for the uncached body of a memoized operation: on drop,
@@ -120,6 +156,8 @@ pub struct CacheStats {
     pub reverse: OpStats,
     /// Entries currently resident in the memo table.
     pub entries: usize,
+    /// Conservative branch-cap fallbacks (see [`silent_feasible`]).
+    pub silent_feasible: u64,
 }
 
 impl CacheStats {
@@ -156,7 +194,11 @@ impl fmt::Display for CacheStats {
                 s.hit_rate() * 100.0
             )?;
         }
-        write!(f, "entries: {}", self.entries)
+        write!(f, "entries: {}", self.entries)?;
+        if self.silent_feasible > 0 {
+            write!(f, "  silent_feasible: {}", self.silent_feasible)?;
+        }
+        Ok(())
     }
 }
 
@@ -173,6 +215,7 @@ pub fn snapshot() -> CacheStats {
         apply: at(Op::Apply as usize),
         reverse: at(Op::Reverse as usize),
         entries: crate::cache::len(),
+        silent_feasible: SILENT_FEASIBLE.load(Ordering::Relaxed),
     }
 }
 
@@ -183,6 +226,7 @@ pub fn reset() {
         MISSES[i].store(0, Ordering::Relaxed);
     }
     POISONED.store(0, Ordering::Relaxed);
+    SILENT_FEASIBLE.store(0, Ordering::Relaxed);
 }
 
 /// Empties the memo table and the row interner. Counters are untouched;

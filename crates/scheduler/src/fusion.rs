@@ -191,8 +191,8 @@ pub fn analyze_group(
         };
         // Legality: every intra-group dependence non-negative at j.
         for d in &deps_in {
-            let si = stmts.iter().position(|&s| s == d.src).unwrap();
-            let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+            let si = stmt_index(stmts, d.src)?;
+            let di = stmt_index(stmts, d.dst)?;
             if !dim_satisfies(
                 program,
                 d,
@@ -207,8 +207,8 @@ pub fn analyze_group(
         // Parallelism: distance identically zero.
         let mut coin = true;
         for d in &deps_in {
-            let si = stmts.iter().position(|&s| s == d.src).unwrap();
-            let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+            let si = stmt_index(stmts, d.src)?;
+            let di = stmt_index(stmts, d.dst)?;
             if !dim_satisfies(program, d, j, dim_shift[si], dim_shift[di], DimCheck::Zero)? {
                 coin = false;
                 break;
@@ -272,6 +272,16 @@ fn innermost_parallel(
 /// with `δ_dst − δ_src ≥ −min_distance(dep)` for every dependence; `None`
 /// if infeasible (self-dependence with negative distance or positive
 /// cycle).
+/// Index of `s` within a group's statement list. Callers pre-filter their
+/// dependences to in-group endpoints, so a miss is an internal invariant
+/// violation — reported as a typed error, not a panic.
+fn stmt_index(stmts: &[StmtId], s: StmtId) -> Result<usize> {
+    stmts
+        .iter()
+        .position(|&x| x == s)
+        .ok_or_else(|| Error::Internal(format!("dependence endpoint S{} not in fusion group", s.0)))
+}
+
 fn solve_shifts(
     program: &Program,
     deps_in: &[&Dependence],
@@ -286,8 +296,8 @@ fn solve_shifts(
             continue;
         };
         let w = -lo;
-        let si = stmts.iter().position(|&s| s == d.src).unwrap();
-        let di = stmts.iter().position(|&s| s == d.dst).unwrap();
+        let si = stmt_index(stmts, d.src)?;
+        let di = stmt_index(stmts, d.dst)?;
         if si == di {
             if w > 0 {
                 return Ok(None); // self-dependence cannot be shifted away
@@ -377,7 +387,9 @@ fn greedy_fuse(
                             && g.n_outer_parallel() >= prev.n_outer_parallel().min(g.depth)
                     };
                     if ok {
-                        *groups.last_mut().unwrap() = g;
+                        *groups.last_mut().ok_or_else(|| {
+                            Error::Internal("greedy merge with no current group".into())
+                        })? = g;
                         continue;
                     }
                 }

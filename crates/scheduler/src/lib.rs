@@ -16,6 +16,12 @@
 //!   repository;
 //! * [`schedule`] is the one-call façade combining all of the above.
 
+// Non-test code must not panic on Option/Result: budget exhaustion and
+// malformed inputs are typed, recoverable events in this pipeline. CI runs
+// clippy with `-D warnings`, so these warns are hard failures there;
+// justified exceptions carry a local `#[allow]` with an invariant comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod checks;
 mod error;
 mod fusion;
@@ -50,18 +56,30 @@ pub struct Scheduled {
 /// non-rectangular domains) or a set operation fails.
 pub fn schedule(program: &Program, heuristic: FusionHeuristic) -> Result<Scheduled> {
     let _span = tilefuse_trace::span!("schedule");
+    // Governor checkpoints piggyback on the existing span boundaries: each
+    // marks the phase for exhaustion attribution and polls the deadline.
+    checkpoint("schedule/deps")?;
     let deps = {
         let _s = tilefuse_trace::span!("schedule/deps");
         compute_dependences(program)?
     };
+    checkpoint("schedule/fuse")?;
     let mut budget = FuseBudget::default();
     let fusion = {
         let _s = tilefuse_trace::span!("schedule/fuse", "{heuristic:?}");
         fuse(program, &deps, heuristic, &mut budget)?
     };
+    checkpoint("schedule/treebuild")?;
     let tree = {
         let _s = tilefuse_trace::span!("schedule/treebuild");
         build_tree(program, &fusion.groups)?
     };
     Ok(Scheduled { fusion, tree, deps })
+}
+
+/// Marks a governed phase and polls the resource budget (no-op without an
+/// installed governor), converting exhaustion into this crate's error.
+fn checkpoint(phase: &'static str) -> Result<()> {
+    tilefuse_trace::governor::checkpoint(phase)
+        .map_err(|e| Error::Presburger(tilefuse_presburger::Error::from(e)))
 }

@@ -167,7 +167,10 @@ pub fn build_tree(program: &Program, groups: &[Group]) -> Result<ScheduleTree> {
     }
     let child = if kids.len() == 1 {
         // Single group: no ordering needed.
-        match kids.pop().unwrap() {
+        let only = kids
+            .pop()
+            .ok_or_else(|| Error::Internal("no fusion groups to build a tree from".into()))?;
+        match only {
             Node::Filter { child, .. } => *child,
             other => other,
         }

@@ -1,0 +1,532 @@
+//! Cooperative resource governor: budgets, accounting, and cancellation.
+//!
+//! The governor is a thread-local accounting context installed around an
+//! `optimize` call. Hot paths (the Omega core's elimination loop) charge it
+//! with [`tick_omega`]; phase boundaries (the existing trace spans) poll it
+//! with [`checkpoint`]. Both return `Err(Exhausted)` once a limit is hit, and
+//! callers convert that into their own typed error — exhaustion is a value,
+//! never a panic.
+//!
+//! Design constraints:
+//! - **Near-free when idle.** All state lives in plain thread-local `Cell`s;
+//!   an inactive governor costs one `Cell::get` per tick. No atomics, no
+//!   locks, no `RefCell` borrow flags on the hot path.
+//! - **Sound degradation only.** The governor never changes *answers*; it
+//!   only stops work. Precision caps (branch/disjunct) are exposed as
+//!   [`branch_cap`]/[`disjunct_cap`] hints that shrink existing conservative
+//!   fallbacks, whose approximation direction is already sound everywhere in
+//!   this codebase (capped feasibility reports "maybe satisfiable", which
+//!   keeps dependences and excludes fusion — pessimistic, never wrong).
+//! - **Ladder liveness.** A blown deadline would poison every subsequent
+//!   governed operation, so fallback rungs call [`rearm`] (fresh grant) and
+//!   the final rung runs [`disarm`]ed (accounting continues, enforcement
+//!   stops). Total work is bounded by rungs × budget + one polynomial
+//!   fallback pass.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one optimizer run. `Default` is unlimited.
+///
+/// All limits are cooperative: they are polled at operation granularity, so
+/// overshoot is bounded by one operation (plus up to [`DEADLINE_STRIDE`]
+/// Omega steps for the deadline, which is polled with a stride to keep
+/// `Instant::now` off the hot path).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Budget {
+    /// Wall-clock deadline for the run, in milliseconds. `0` is legal and
+    /// exhausts at the first poll.
+    pub deadline_ms: Option<u64>,
+    /// Total Omega elimination steps across the run.
+    pub max_omega_ops: Option<u64>,
+    /// Branch cap for a *single* `omega::feasible` call; shrinks the
+    /// built-in `MAX_BRANCHES` conservative fallback (never enlarges it).
+    pub max_branches_per_call: Option<usize>,
+    /// Peak disjunct (basic-set) count tolerated in footprint/extension
+    /// sets; shrinks the built-in coalescing cap (never enlarges it).
+    pub max_disjuncts: Option<usize>,
+    /// Cap on the presburger row interner; crossing it triggers a wholesale
+    /// cache clear (a memory bound, not an error).
+    pub max_interned_rows: Option<usize>,
+}
+
+impl Budget {
+    /// An explicitly unlimited budget (same as `Default`).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether no limit is set at all.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A budget limit was hit. Carries which limit and the innermost phase
+/// (trace-span path) active when it tripped — both static so the error is
+/// `Copy` and allocation-free on the cancellation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Which limit tripped: `"deadline"`, `"omega-ops"`, or an injected name.
+    pub limit: &'static str,
+    /// The innermost [`checkpoint`] phase active when it tripped.
+    pub phase: &'static str,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhausted ({} limit) in phase {}",
+            self.limit, self.phase
+        )
+    }
+}
+
+/// Resources consumed so far by the installed governor (or since install).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Consumed {
+    /// Omega elimination steps charged via [`tick_omega`].
+    pub omega_ops: u64,
+    /// Times a feasibility call hit its branch cap and fell back to the
+    /// conservative "feasible" answer.
+    pub silent_feasible: u64,
+    /// Peak disjunct count observed via [`note_disjuncts`].
+    pub peak_disjuncts: usize,
+    /// Wall-clock time since [`install`] (or the last [`rearm`]'s epoch
+    /// does not reset this: it is total elapsed, not grant-relative).
+    pub elapsed: Duration,
+}
+
+/// Deadline is polled once per this many Omega ticks (power of two).
+pub const DEADLINE_STRIDE: u64 = 256;
+
+const UNSET: &str = "";
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static ENFORCING: Cell<bool> = const { Cell::new(false) };
+    static OMEGA_OPS: Cell<u64> = const { Cell::new(0) };
+    static OMEGA_CAP: Cell<u64> = const { Cell::new(u64::MAX) };
+    static BRANCH_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+    static DISJUNCT_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+    static INTERN_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+    static PEAK_DISJUNCTS: Cell<usize> = const { Cell::new(0) };
+    static SILENT: Cell<u64> = const { Cell::new(0) };
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+    static GRANT: Cell<Option<Duration>> = const { Cell::new(None) };
+    static START: Cell<Option<Instant>> = const { Cell::new(None) };
+    // Survives guard drop on purpose: a panic unwinds span guards before any
+    // catch_unwind handler runs, so the last phase is the only attribution
+    // left by the time the panic is converted to an error.
+    static PHASE: Cell<&'static str> = const { Cell::new(UNSET) };
+}
+
+/// RAII guard returned by [`install`]; restores the previous governor state
+/// (normally "none") on drop, including during unwinding. The last phase is
+/// deliberately left behind for panic attribution.
+#[derive(Debug)]
+pub struct GovernorGuard {
+    prev: Saved,
+}
+
+#[derive(Debug)]
+struct Saved {
+    active: bool,
+    enforcing: bool,
+    omega_ops: u64,
+    omega_cap: u64,
+    branch_cap: usize,
+    disjunct_cap: usize,
+    intern_cap: usize,
+    peak_disjuncts: usize,
+    silent: u64,
+    deadline: Option<Instant>,
+    grant: Option<Duration>,
+    start: Option<Instant>,
+}
+
+impl Drop for GovernorGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|c| c.set(self.prev.active));
+        ENFORCING.with(|c| c.set(self.prev.enforcing));
+        OMEGA_OPS.with(|c| c.set(self.prev.omega_ops));
+        OMEGA_CAP.with(|c| c.set(self.prev.omega_cap));
+        BRANCH_CAP.with(|c| c.set(self.prev.branch_cap));
+        DISJUNCT_CAP.with(|c| c.set(self.prev.disjunct_cap));
+        INTERN_CAP.with(|c| c.set(self.prev.intern_cap));
+        PEAK_DISJUNCTS.with(|c| c.set(self.prev.peak_disjuncts));
+        SILENT.with(|c| c.set(self.prev.silent));
+        DEADLINE.with(|c| c.set(self.prev.deadline));
+        GRANT.with(|c| c.set(self.prev.grant));
+        START.with(|c| c.set(self.prev.start));
+    }
+}
+
+/// Installs `budget` as this thread's governor until the guard drops.
+///
+/// Installation happens even for an unlimited budget so accounting
+/// (op counts, silent-feasible, peak disjuncts, elapsed) is collected;
+/// enforcement is enabled only when some limit is set. Nested installs
+/// save and restore the outer state.
+#[must_use]
+pub fn install(budget: &Budget) -> GovernorGuard {
+    let prev = Saved {
+        active: ACTIVE.with(Cell::get),
+        enforcing: ENFORCING.with(Cell::get),
+        omega_ops: OMEGA_OPS.with(Cell::get),
+        omega_cap: OMEGA_CAP.with(Cell::get),
+        branch_cap: BRANCH_CAP.with(Cell::get),
+        disjunct_cap: DISJUNCT_CAP.with(Cell::get),
+        intern_cap: INTERN_CAP.with(Cell::get),
+        peak_disjuncts: PEAK_DISJUNCTS.with(Cell::get),
+        silent: SILENT.with(Cell::get),
+        deadline: DEADLINE.with(Cell::get),
+        grant: GRANT.with(Cell::get),
+        start: START.with(Cell::get),
+    };
+    let now = Instant::now();
+    let grant = budget.deadline_ms.map(Duration::from_millis);
+    ACTIVE.with(|c| c.set(true));
+    ENFORCING.with(|c| c.set(!budget.is_unlimited()));
+    OMEGA_OPS.with(|c| c.set(0));
+    OMEGA_CAP.with(|c| c.set(budget.max_omega_ops.unwrap_or(u64::MAX)));
+    BRANCH_CAP.with(|c| c.set(budget.max_branches_per_call.unwrap_or(usize::MAX)));
+    DISJUNCT_CAP.with(|c| c.set(budget.max_disjuncts.unwrap_or(usize::MAX)));
+    INTERN_CAP.with(|c| c.set(budget.max_interned_rows.unwrap_or(usize::MAX)));
+    PEAK_DISJUNCTS.with(|c| c.set(0));
+    SILENT.with(|c| c.set(0));
+    DEADLINE.with(|c| c.set(grant.map(|d| now + d)));
+    GRANT.with(|c| c.set(grant));
+    START.with(|c| c.set(Some(now)));
+    GovernorGuard { prev }
+}
+
+/// Whether a governor is installed on this thread (even unlimited).
+#[must_use]
+pub fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Charges `n` Omega elimination steps. Errors once the op budget or the
+/// deadline (polled every [`DEADLINE_STRIDE`] ops) is exhausted.
+///
+/// # Errors
+/// Returns [`Exhausted`] when a limit is hit and the governor is enforcing.
+pub fn tick_omega(n: u64) -> Result<(), Exhausted> {
+    if !ACTIVE.with(Cell::get) {
+        return Ok(());
+    }
+    let ops = OMEGA_OPS.with(Cell::get).saturating_add(n);
+    OMEGA_OPS.with(|c| c.set(ops));
+    if !ENFORCING.with(Cell::get) {
+        return Ok(());
+    }
+    if ops > OMEGA_CAP.with(Cell::get) {
+        return Err(exhausted("omega-ops"));
+    }
+    if ops % DEADLINE_STRIDE < n {
+        check_deadline()?;
+    }
+    Ok(())
+}
+
+/// Marks the innermost phase and polls every limit. Call at span boundaries.
+///
+/// # Errors
+/// Returns [`Exhausted`] when a limit is hit and the governor is enforcing.
+pub fn checkpoint(phase: &'static str) -> Result<(), Exhausted> {
+    if !ACTIVE.with(Cell::get) {
+        return Ok(());
+    }
+    PHASE.with(|c| c.set(phase));
+    if !ENFORCING.with(Cell::get) {
+        return Ok(());
+    }
+    if OMEGA_OPS.with(Cell::get) > OMEGA_CAP.with(Cell::get) {
+        return Err(exhausted("omega-ops"));
+    }
+    check_deadline()
+}
+
+fn check_deadline() -> Result<(), Exhausted> {
+    if let Some(deadline) = DEADLINE.with(Cell::get) {
+        if Instant::now() >= deadline {
+            return Err(exhausted("deadline"));
+        }
+    }
+    Ok(())
+}
+
+fn exhausted(limit: &'static str) -> Exhausted {
+    Exhausted {
+        limit,
+        phase: PHASE.with(Cell::get),
+    }
+}
+
+/// Grants a fresh op budget and deadline window (same sizes as installed)
+/// so a fallback rung is not poisoned by the exhaustion that triggered it.
+pub fn rearm() {
+    if !ACTIVE.with(Cell::get) {
+        return;
+    }
+    OMEGA_OPS.with(|c| c.set(0));
+    let grant = GRANT.with(Cell::get);
+    DEADLINE.with(|c| c.set(grant.map(|d| Instant::now() + d)));
+}
+
+/// Stops enforcement (accounting continues) and lifts the precision caps.
+/// The last ladder rung runs disarmed so it always completes — and with
+/// exact set algebra, so no capped approximation can fail it either.
+pub fn disarm() {
+    ENFORCING.with(|c| c.set(false));
+    BRANCH_CAP.with(|c| c.set(usize::MAX));
+    DISJUNCT_CAP.with(|c| c.set(usize::MAX));
+    INTERN_CAP.with(|c| c.set(usize::MAX));
+}
+
+/// Whether the installed governor's precision caps have forced at least
+/// one conservatively-approximated feasibility answer in this region.
+///
+/// Downstream set algebra may then fail in ways exact analysis never does
+/// (a kept-but-actually-empty piece projecting to an unbounded hull, say):
+/// the degradation ladder treats *any* error as a budget trip while this
+/// is true, because the analysis result was already best-effort. Without
+/// an active governor this is always `false`, so genuine bugs in
+/// ungoverned runs propagate unchanged.
+#[must_use]
+pub fn approximated() -> bool {
+    ACTIVE.with(Cell::get) && SILENT.with(Cell::get) > 0
+}
+
+/// Effective per-call branch cap for `omega::feasible` (`usize::MAX` when
+/// uncapped). Callers must `min` this with their built-in cap.
+#[must_use]
+pub fn branch_cap() -> usize {
+    if ACTIVE.with(Cell::get) {
+        BRANCH_CAP.with(Cell::get)
+    } else {
+        usize::MAX
+    }
+}
+
+/// Effective disjunct cap for footprint coalescing (`usize::MAX` when
+/// uncapped). Callers must `min` this with their built-in cap.
+#[must_use]
+pub fn disjunct_cap() -> usize {
+    if ACTIVE.with(Cell::get) {
+        DISJUNCT_CAP.with(Cell::get)
+    } else {
+        usize::MAX
+    }
+}
+
+/// Effective interned-row cap (`usize::MAX` when uncapped).
+#[must_use]
+pub fn intern_cap() -> usize {
+    if ACTIVE.with(Cell::get) {
+        INTERN_CAP.with(Cell::get)
+    } else {
+        usize::MAX
+    }
+}
+
+/// Records one silent conservative feasibility fallback.
+pub fn note_silent_feasible() {
+    if ACTIVE.with(Cell::get) {
+        SILENT.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// Records an observed disjunct count; the governor keeps the peak.
+pub fn note_disjuncts(n: usize) {
+    if ACTIVE.with(Cell::get) {
+        PEAK_DISJUNCTS.with(|c| c.set(c.get().max(n)));
+    }
+}
+
+/// Resources consumed since [`install`]. Zeroes when no governor is active.
+#[must_use]
+pub fn consumed() -> Consumed {
+    Consumed {
+        omega_ops: OMEGA_OPS.with(Cell::get),
+        silent_feasible: SILENT.with(Cell::get),
+        peak_disjuncts: PEAK_DISJUNCTS.with(Cell::get),
+        elapsed: START
+            .with(Cell::get)
+            .map_or(Duration::ZERO, |s| s.elapsed()),
+    }
+}
+
+/// The innermost phase last marked by [`checkpoint`] on this thread.
+/// Survives guard drop so panic handlers can attribute the failure.
+#[must_use]
+pub fn last_phase() -> &'static str {
+    PHASE.with(Cell::get)
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` or `String`
+/// payloads; anything else renders as a placeholder).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_governor_is_a_no_op() {
+        assert!(!active());
+        assert!(tick_omega(1_000_000).is_ok());
+        assert!(checkpoint("anything").is_ok());
+        assert_eq!(branch_cap(), usize::MAX);
+        assert_eq!(disjunct_cap(), usize::MAX);
+        assert_eq!(intern_cap(), usize::MAX);
+    }
+
+    #[test]
+    fn unlimited_budget_accounts_without_enforcing() {
+        let _g = install(&Budget::unlimited());
+        assert!(active());
+        assert!(tick_omega(10).is_ok());
+        assert!(tick_omega(5).is_ok());
+        note_silent_feasible();
+        note_disjuncts(7);
+        note_disjuncts(3);
+        let c = consumed();
+        assert_eq!(c.omega_ops, 15);
+        assert_eq!(c.silent_feasible, 1);
+        assert_eq!(c.peak_disjuncts, 7);
+    }
+
+    #[test]
+    fn omega_op_cap_trips_and_names_phase() {
+        let budget = Budget {
+            max_omega_ops: Some(3),
+            ..Budget::default()
+        };
+        let _g = install(&budget);
+        checkpoint("test/phase").unwrap();
+        assert!(tick_omega(3).is_ok());
+        let err = tick_omega(1).unwrap_err();
+        assert_eq!(err.limit, "omega-ops");
+        assert_eq!(err.phase, "test/phase");
+        assert_eq!(
+            err.to_string(),
+            "budget exhausted (omega-ops limit) in phase test/phase"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_first_checkpoint() {
+        let budget = Budget {
+            deadline_ms: Some(0),
+            ..Budget::default()
+        };
+        let _g = install(&budget);
+        let err = checkpoint("early").unwrap_err();
+        assert_eq!(err.limit, "deadline");
+    }
+
+    #[test]
+    fn rearm_grants_fresh_ops_and_disarm_stops_enforcement() {
+        let budget = Budget {
+            max_omega_ops: Some(2),
+            ..Budget::default()
+        };
+        let _g = install(&budget);
+        assert!(tick_omega(2).is_ok());
+        assert!(tick_omega(1).is_err());
+        rearm();
+        assert!(tick_omega(2).is_ok());
+        assert!(tick_omega(1).is_err());
+        disarm();
+        assert!(tick_omega(100).is_ok());
+        // Accounting continued through exhaustion and disarm.
+        assert!(consumed().omega_ops >= 100);
+    }
+
+    #[test]
+    fn caps_are_visible_while_installed_and_restored_after() {
+        let budget = Budget {
+            max_branches_per_call: Some(8),
+            max_disjuncts: Some(2),
+            max_interned_rows: Some(64),
+            ..Budget::default()
+        };
+        {
+            let _g = install(&budget);
+            assert_eq!(branch_cap(), 8);
+            assert_eq!(disjunct_cap(), 2);
+            assert_eq!(intern_cap(), 64);
+        }
+        assert!(!active());
+        assert_eq!(branch_cap(), usize::MAX);
+    }
+
+    #[test]
+    fn nested_install_restores_outer_budget() {
+        let outer = Budget {
+            max_omega_ops: Some(100),
+            ..Budget::default()
+        };
+        let _g = install(&outer);
+        tick_omega(10).unwrap();
+        {
+            let inner = Budget {
+                max_omega_ops: Some(1),
+                ..Budget::default()
+            };
+            let _g2 = install(&inner);
+            assert!(tick_omega(2).is_err());
+        }
+        // Outer counter and cap are back.
+        assert_eq!(consumed().omega_ops, 10);
+        assert!(tick_omega(50).is_ok());
+    }
+
+    #[test]
+    fn last_phase_survives_guard_drop() {
+        {
+            let _g = install(&Budget::unlimited());
+            checkpoint("doomed/phase").unwrap();
+        }
+        assert_eq!(last_phase(), "doomed/phase");
+    }
+
+    #[test]
+    fn deadline_polled_on_stride() {
+        let budget = Budget {
+            deadline_ms: Some(0),
+            max_omega_ops: None,
+            ..Budget::default()
+        };
+        let _g = install(&budget);
+        // Below the stride no deadline poll happens...
+        assert!(tick_omega(1).is_ok());
+        // ...but a bulk charge crossing the stride boundary polls it.
+        assert!(tick_omega(DEADLINE_STRIDE).is_err());
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s.as_ref()), "boom");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(s.as_ref()), "kaboom");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(s.as_ref()), "<non-string panic payload>");
+    }
+}

@@ -30,7 +30,10 @@
 //! (a name nested under itself) would double-count `total_ns`; the
 //! instrumentation avoids them.
 
+pub mod governor;
 pub mod json;
+
+pub use governor::Budget;
 
 use std::borrow::Cow;
 use std::cell::RefCell;

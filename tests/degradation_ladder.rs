@@ -1,0 +1,166 @@
+//! Degradation-ladder integration tests on the paper's PolyMage pipelines.
+//!
+//! The resource governor (DESIGN.md §10) must turn *any* budget — however
+//! adversarial — into a graceful fall down the four-rung ladder, never a
+//! panic, hang, or wrong answer: the optimizer returns `Ok` with a
+//! populated [`DegradationReport`], respects the disjunct cap, and the
+//! resulting tree still executes bit-identically to the reference.
+//!
+//! Optimization runs at the bench suite's simulation-friendly 128x128;
+//! the bit-exactness executions override H/W down to 40x40 (the trees are
+//! symbolic in the parameters) so the interpreter passes stay fast in
+//! unoptimized CI builds.
+
+use tilefuse::codegen::{check_outputs_match, execute_tree, reference_execute};
+use tilefuse::core::{optimize, Options};
+use tilefuse::trace::Budget;
+use tilefuse::workloads::{polymage, Workload};
+
+/// Execution-time parameter overrides: small, and different from the
+/// build-time size so parameter specialization bugs cannot hide.
+const EXEC_SIZE: &[(&str, i64)] = &[("H", 40), ("W", 40)];
+
+fn opts_for(w: &Workload, budget: Budget) -> Options {
+    Options {
+        tile_sizes: w.tile_sizes.clone(),
+        budget,
+        ..Default::default()
+    }
+}
+
+/// With no budget installed every pipeline stays on rung 1: full
+/// tiling-then-fusion, no trips, nothing silently approximated.
+#[test]
+fn default_budget_stays_on_rung_one() {
+    for w in polymage::all(128, 128).unwrap() {
+        let o = optimize(&w.program, &opts_for(&w, Budget::default())).unwrap();
+        let deg = &o.report.degradation;
+        assert_eq!(deg.rung, 1, "{}: expected rung 1, got {deg:?}", w.name);
+        assert!(
+            deg.trips.is_empty(),
+            "{}: unexpected trips {:?}",
+            w.name,
+            deg.trips
+        );
+        assert_eq!(deg.silent_feasible, 0, "{}: {deg:?}", w.name);
+    }
+}
+
+/// Runs `optimize` under `budget`, checks report coherence and the
+/// disjunct cap, then executes the degraded tree and compares it
+/// bit-exactly against `reference`.
+fn check_degraded_exact(w: &Workload, budget: &Budget, reference: &tilefuse::codegen::ExecContext) {
+    let o = optimize(&w.program, &opts_for(w, budget.clone()))
+        .unwrap_or_else(|e| panic!("{} under {budget:?}: {e}", w.name));
+    let deg = &o.report.degradation;
+    assert!(
+        (1..=4).contains(&deg.rung),
+        "{}: rung {} out of range",
+        w.name,
+        deg.rung
+    );
+    assert!(
+        deg.rung == 1 || !deg.trips.is_empty(),
+        "{}: rung {} without recorded trips",
+        w.name,
+        deg.rung
+    );
+    if let Some(cap) = budget.max_disjuncts {
+        assert!(
+            deg.peak_disjuncts <= cap,
+            "{}: peak {} disjuncts exceeds cap {cap}",
+            w.name,
+            deg.peak_disjuncts
+        );
+    }
+    let (out, _) = execute_tree(&w.program, &o.tree, EXEC_SIZE, &o.report.scratch_scopes)
+        .unwrap_or_else(|e| panic!("{} under {budget:?}: {e}", w.name));
+    check_outputs_match(&w.program, reference, &out, 1e-12)
+        .unwrap_or_else(|e| panic!("{} under {budget:?}: {e}", w.name));
+}
+
+/// A zero-op grant — the harshest deterministic enforcement budget — on
+/// every pipeline: the ladder falls to wherever it must, the report
+/// explains it, and the tree stays bit-exact.
+#[test]
+fn zero_op_budget_degrades_but_stays_exact_on_every_pipeline() {
+    let zero_ops = Budget {
+        max_omega_ops: Some(0),
+        ..Budget::default()
+    };
+    for w in polymage::all(128, 128).unwrap() {
+        let (reference, _) = reference_execute(&w.program, EXEC_SIZE).unwrap();
+        check_degraded_exact(&w, &zero_ops, &reference);
+    }
+}
+
+/// Precision caps (single-digit branch cap, disjunct ceiling) plus a
+/// bounded op grant: the budget that exercises silent-feasibility
+/// absorption. Capped feasibility answers legitimately bypass the memo
+/// table, so this runs on the two small pipelines — the larger ones would
+/// grind through minutes of uncached Omega tests in debug CI builds (the
+/// release-build `--budget-fuzz` soak covers them).
+#[test]
+fn branch_capped_budget_degrades_but_stays_exact() {
+    let capped = Budget {
+        max_branches_per_call: Some(4),
+        max_disjuncts: Some(6),
+        max_omega_ops: Some(2_000),
+        ..Budget::default()
+    };
+    for w in [
+        polymage::unsharp_mask(128, 128).unwrap(),
+        polymage::harris(128, 128).unwrap(),
+    ] {
+        let (reference, _) = reference_execute(&w.program, EXEC_SIZE).unwrap();
+        check_degraded_exact(&w, &capped, &reference);
+    }
+}
+
+/// A zero-op grant leaves nothing for fusion *or* plain tiling: the ladder
+/// must land on its untiled floor, and the trips must name both dropped
+/// rungs.
+#[test]
+fn zero_op_budget_lands_on_the_untiled_floor() {
+    let w = polymage::harris(128, 128).unwrap();
+    let budget = Budget {
+        max_omega_ops: Some(0),
+        ..Budget::default()
+    };
+    let o = optimize(&w.program, &opts_for(&w, budget)).unwrap();
+    let deg = &o.report.degradation;
+    assert_eq!(deg.rung, 4, "expected the untiled floor, got {deg:?}");
+    assert!(
+        deg.trips.len() >= 2,
+        "expected ladder trips, got {:?}",
+        deg.trips
+    );
+    assert!(o.report.mixed.is_empty(), "rung 4 must not fuse: {deg:?}");
+}
+
+/// An expired deadline must never hang or panic — it degrades like any
+/// other exhausted budget and the result still validates and executes.
+#[test]
+fn expired_deadline_degrades_without_hanging() {
+    for w in polymage::all(128, 128).unwrap() {
+        let budget = Budget {
+            deadline_ms: Some(0),
+            ..Budget::default()
+        };
+        let o = optimize(&w.program, &opts_for(&w, budget))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let deg = &o.report.degradation;
+        assert!(
+            (1..=4).contains(&deg.rung),
+            "{}: rung {} out of range",
+            w.name,
+            deg.rung
+        );
+        assert!(
+            deg.rung == 1 || !deg.trips.is_empty(),
+            "{}: rung {} without recorded trips",
+            w.name,
+            deg.rung
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Error-path contract tests: malformed inputs produce *typed* errors with
+//! stable `Display` strings — never panics — at every layer boundary.
+//!
+//! These strings are part of the user-facing CLI/diagnostic surface; a test
+//! failure here means downstream tooling that greps or matches on them will
+//! break.
+
+use tilefuse::codegen::{AstNode, Buffer, Error as CodegenError};
+use tilefuse::core::{algorithm1, Error as CoreError, Options};
+use tilefuse::pir::Program;
+use tilefuse::scheduler::{build_tree, validate_group, Error as SchedulerError, Group};
+
+/// `core::Error::InvalidInput`: a live-out group index past the end of the
+/// group list is rejected before any indexing can panic.
+#[test]
+fn core_invalid_input_liveout_out_of_range() {
+    let program = Program::new("empty");
+    let err = algorithm1(&program, &[], &[], 0, &[], &Options::default())
+        .expect_err("out-of-range live-out index must be rejected");
+    assert!(matches!(err, CoreError::InvalidInput(_)), "got: {err:?}");
+    assert_eq!(
+        err.to_string(),
+        "invalid optimizer input: live-out group index 0 out of range (0 groups)"
+    );
+}
+
+/// `core::Error::InvalidInput`: producer indices get the same validation as
+/// the live-out index.
+#[test]
+fn core_invalid_input_producer_out_of_range() {
+    let program = Program::new("empty");
+    let group = Group {
+        stmts: vec![],
+        depth: 0,
+        shifts: vec![],
+        coincident: vec![],
+        innermost_parallel: false,
+    };
+    let err = algorithm1(&program, &[], &[group], 0, &[7], &Options::default())
+        .expect_err("out-of-range producer index must be rejected");
+    assert!(matches!(err, CoreError::InvalidInput(_)), "got: {err:?}");
+    assert_eq!(
+        err.to_string(),
+        "invalid optimizer input: producer group index 7 out of range (1 groups)"
+    );
+}
+
+/// `scheduler::Error::MalformedGroup`: an empty group is caught by
+/// `validate_group` with a stable message.
+#[test]
+fn scheduler_malformed_group_empty() {
+    let program = Program::new("empty");
+    let group = Group {
+        stmts: vec![],
+        depth: 0,
+        shifts: vec![],
+        coincident: vec![],
+        innermost_parallel: false,
+    };
+    let err = validate_group(&program, &group).expect_err("empty group must be rejected");
+    assert!(
+        matches!(err, SchedulerError::MalformedGroup(_)),
+        "got: {err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "malformed fusion group: group has no statements"
+    );
+}
+
+/// `scheduler::Error::MalformedGroup`: `build_tree` runs the same validation,
+/// so a hand-constructed inconsistent group (shift count != statement count)
+/// reports instead of panicking inside tree construction.
+#[test]
+fn scheduler_malformed_group_via_build_tree() {
+    let program = Program::new("empty");
+    let group = Group {
+        stmts: vec![tilefuse::pir::StmtId(0)],
+        depth: 1,
+        shifts: vec![], // wrong: must have one shift vector per statement
+        coincident: vec![true],
+        innermost_parallel: false,
+    };
+    let err = build_tree(&program, &[group]).expect_err("inconsistent group must be rejected");
+    assert!(
+        matches!(err, SchedulerError::MalformedGroup(_)),
+        "got: {err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "malformed fusion group: 0 shift vectors for 1 statements"
+    );
+}
+
+/// `codegen::Error::Exec`: an out-of-bounds buffer access is a typed
+/// execution error, not a slice panic.
+#[test]
+fn codegen_exec_out_of_bounds() {
+    let buf = Buffer::zeros(vec![2, 2]);
+    let err = buf.get(&[5, 5]).expect_err("out-of-bounds read must fail");
+    assert!(matches!(err, CodegenError::Exec(_)), "got: {err:?}");
+    assert_eq!(
+        err.to_string(),
+        "execution error: out-of-bounds access [5, 5] into shape [2, 2]"
+    );
+}
+
+/// `codegen::Error::Shape`: typed AST accessors on the wrong node kind
+/// report expected/found instead of aborting the walk.
+#[test]
+fn codegen_shape_mismatch() {
+    let node = AstNode::Comment("not a loop".into());
+    let err = node.as_for().expect_err("comment is not a for loop");
+    assert!(
+        matches!(
+            err,
+            CodegenError::Shape {
+                expected: "for",
+                found: "comment"
+            }
+        ),
+        "got: {err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "AST shape error: expected for, found comment"
+    );
+}
