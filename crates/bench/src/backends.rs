@@ -1,0 +1,173 @@
+//! Interpreter-vs-VM backend comparison (`experiments … --backend vm`).
+//!
+//! Unlike the modeled tables, this artifact *actually executes* every
+//! PolyMage workload on both execution backends — the reference tree
+//! interpreter and the register-based bytecode VM — at a real (small)
+//! image size, times each, and verifies the VM is bit-exact against the
+//! interpreter: every buffer compared by f64 bit pattern, plus full
+//! execution-statistics equality.
+//!
+//! Two pyramid workloads (Local Laplacian, Multiscale Interpolation) hit
+//! a pre-existing interpreter limitation on their *optimized* trees
+//! (`Unbounded` during scanning); since the interpreter is the oracle,
+//! those fall back to the minfuse-scheduled tree, which both backends
+//! run. The `tree` field records which tree was compared.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::tables::ResultTable;
+use crate::versions::BoxError;
+use tilefuse_codegen::{execute_compiled, execute_tree_parallel, ExecContext, ExecStats};
+use tilefuse_core::{optimize, Options};
+use tilefuse_pir::Program;
+use tilefuse_scheduler::FusionHeuristic;
+use tilefuse_workloads::polymage;
+
+/// Image size for the executed comparison. The interpreter is the slow
+/// side (minutes per workload at benchmark sizes); 32×32 keeps the whole
+/// artifact under a minute while still covering every loop structure.
+pub const BACKEND_IMG: i64 = 32;
+
+/// Tile sizes for the executed comparison (the auto-tuned Table I tiles
+/// target 2048×2048 images and degenerate at 32×32).
+pub const BACKEND_TILE: [i64; 2] = [4, 4];
+
+/// One workload's measured interp-vs-VM comparison.
+pub struct BackendRow {
+    /// Workload name as the paper spells it.
+    pub name: String,
+    /// Which tree was compared: `"optimized"`, or `"scheduled"` when the
+    /// interpreter cannot run the optimized tree (see module docs).
+    pub tree: &'static str,
+    /// Wall-clock of `lower_tree` (bytecode compilation), milliseconds.
+    pub lower_ms: f64,
+    /// Sequential interpreter execution, milliseconds.
+    pub interp_ms: f64,
+    /// Sequential VM execution (excluding lowering), milliseconds.
+    pub vm_ms: f64,
+    /// Whether every buffer bit and every statistic matched.
+    pub bit_exact: bool,
+}
+
+impl BackendRow {
+    /// Interpreter time over VM time (>1 means the VM is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.vm_ms > 0.0 {
+            self.interp_ms / self.vm_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn bit_exact(
+    program: &Program,
+    interp: &(ExecContext, ExecStats),
+    vm: &(ExecContext, ExecStats),
+) -> bool {
+    for a in program.arrays() {
+        let bi = interp.0.buffer(a.id()).data();
+        let bv = vm.0.buffer(a.id()).data();
+        if bi.len() != bv.len() {
+            return false;
+        }
+        if bi.iter().zip(bv).any(|(x, y)| x.to_bits() != y.to_bits()) {
+            return false;
+        }
+    }
+    interp.1 == vm.1
+}
+
+fn compare_one(program: &Program) -> Result<BackendRow, BoxError> {
+    let opt = optimize(program, &Options::cpu(&BACKEND_TILE))?;
+
+    // Interpreter is the oracle: if it cannot run the optimized tree,
+    // compare on the scheduled tree instead (and say so).
+    let (tree, scopes, kind) =
+        match execute_tree_parallel(program, &opt.tree, &[], &opt.report.scratch_scopes, 1) {
+            Ok(_) => (
+                opt.tree.clone(),
+                opt.report.scratch_scopes.clone(),
+                "optimized",
+            ),
+            Err(_) => {
+                let sched = tilefuse_scheduler::schedule(program, FusionHeuristic::MinFuse)?;
+                (sched.tree, BTreeMap::new(), "scheduled")
+            }
+        };
+
+    let t0 = Instant::now();
+    let interp = execute_tree_parallel(program, &tree, &[], &scopes, 1)?;
+    let interp_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let compiled = tilefuse_codegen::lower_tree(program, &tree, &[], &scopes)?;
+    let lower_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let vm = execute_compiled(program, &compiled, 1)?;
+    let vm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Ok(BackendRow {
+        name: program.name().to_string(),
+        tree: kind,
+        lower_ms,
+        interp_ms,
+        vm_ms,
+        bit_exact: bit_exact(program, &interp, &vm),
+    })
+}
+
+/// Executes every PolyMage workload on both backends sequentially (no
+/// worker pool — these are wall-clock timings) and returns one row per
+/// workload.
+///
+/// # Errors
+/// Returns an error if a workload fails to build, optimize, lower, or
+/// execute on either backend. A bit-exactness *mismatch* is not an error
+/// here — it is reported in the row (the driver fails the run on it).
+pub fn compare_backends(img: i64) -> Result<Vec<BackendRow>, BoxError> {
+    let mut rows = Vec::new();
+    for w in polymage::all(img, img)? {
+        rows.push(compare_one(&w.program)?);
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison as a printable table.
+pub fn backend_table(rows: &[BackendRow]) -> ResultTable {
+    ResultTable {
+        title: format!(
+            "Backends — interpreter vs. bytecode VM (measured, {BACKEND_IMG}x{BACKEND_IMG}, \
+             tile {BACKEND_TILE:?}, 1 thread)"
+        ),
+        columns: [
+            "tree",
+            "lower (ms)",
+            "interp (ms)",
+            "VM (ms)",
+            "speedup",
+            "bit-exact",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+        rows: rows
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    vec![
+                        r.tree.to_string(),
+                        format!("{:.1}", r.lower_ms),
+                        format!("{:.1}", r.interp_ms),
+                        format!("{:.1}", r.vm_ms),
+                        format!("{:.2}x", r.speedup()),
+                        if r.bit_exact { "yes" } else { "NO" }.to_string(),
+                    ],
+                )
+            })
+            .collect(),
+    }
+}

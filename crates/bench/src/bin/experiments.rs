@@ -26,9 +26,18 @@
 //! optimizer degrades through its ladder instead of blowing the limit,
 //! and the JSON summary gains a `"degradation"` section recording the
 //! rung and trip counts per workload.
+//!
+//! `--backend vm` additionally *executes* every PolyMage workload on both
+//! execution backends — the reference interpreter and the register-based
+//! bytecode VM — at a small real image size, prints the measured
+//! comparison, verifies the VM bit-exact against the interpreter, and
+//! records the timings in a `"backends"` section of the JSON summary.
+//! Any bit mismatch fails the run. (`--backend interp`, the default,
+//! skips the comparison.)
 
 use std::time::Instant;
 
+use tilefuse_bench::backends::{backend_table, compare_backends, BackendRow, BACKEND_IMG};
 use tilefuse_bench::par::{effective_jobs, par_map};
 use tilefuse_bench::tables::{self, ResultTable};
 use tilefuse_bench::versions::{self, BoxError};
@@ -66,7 +75,7 @@ struct Outcome {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [ARTIFACT] [--trace FILE] [--deadline-ms N] \
-         [--max-omega-branches N]"
+         [--max-omega-branches N] [--backend interp|vm]"
     );
     eprintln!("artifacts:");
     for (name, _) in ARTIFACTS {
@@ -79,6 +88,7 @@ fn usage() -> ! {
 fn main() {
     let mut which = None;
     let mut trace_path: Option<String> = None;
+    let mut backend_vm = false;
     let mut budget = tilefuse_trace::Budget::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -96,6 +106,12 @@ fn main() {
             match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => budget.max_branches_per_call = Some(n),
                 None => usage(),
+            }
+        } else if a == "--backend" {
+            match args.next().as_deref() {
+                Some("vm") => backend_vm = true,
+                Some("interp") => backend_vm = false,
+                _ => usage(),
             }
         } else if which.is_none() {
             which = Some(a);
@@ -147,6 +163,28 @@ fn main() {
             }
         }
     }
+    // The measured interp-vs-VM comparison runs after (not inside) the
+    // worker pool: its rows are wall-clock timings.
+    let mut backend_rows: Vec<BackendRow> = Vec::new();
+    if backend_vm {
+        match compare_backends(BACKEND_IMG) {
+            Ok(rows) => {
+                println!("{}", backend_table(&rows).to_markdown());
+                for r in &rows {
+                    if !r.bit_exact {
+                        eprintln!("BACKEND MISMATCH: {} is not bit-exact on the VM", r.name);
+                        failures += 1;
+                    }
+                }
+                backend_rows = rows;
+            }
+            Err(e) => {
+                eprintln!("backend comparison failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+
     let cache = stats::snapshot();
     eprintln!(
         "generated {} artifact(s) in {total:.3}s on {jobs} worker(s)",
@@ -173,7 +211,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&which, jobs, total, &outcomes, &cache);
+    let json = render_json(&which, jobs, total, &outcomes, &cache, &backend_rows);
     match std::fs::write("BENCH_experiments.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_experiments.json"),
         Err(e) => eprintln!("could not write BENCH_experiments.json: {e}"),
@@ -217,6 +255,7 @@ fn render_json(
     total: f64,
     outcomes: &[Outcome],
     cache: &stats::CacheStats,
+    backend_rows: &[BackendRow],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"selection\": \"{which}\",\n"));
@@ -233,6 +272,29 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    if !backend_rows.is_empty() {
+        s.push_str("  \"backends\": {\n");
+        s.push_str("    \"backend\": \"vm\",\n");
+        s.push_str(&format!(
+            "    \"img\": {BACKEND_IMG},\n    \"workloads\": [\n"
+        ));
+        for (i, r) in backend_rows.iter().enumerate() {
+            let comma = if i + 1 == backend_rows.len() { "" } else { "," };
+            s.push_str(&format!(
+                "      {{ \"name\": \"{}\", \"tree\": \"{}\", \"lower_ms\": {:.3}, \
+                 \"interp_ms\": {:.3}, \"vm_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"bit_exact\": {} }}{comma}\n",
+                r.name,
+                r.tree,
+                r.lower_ms,
+                r.interp_ms,
+                r.vm_ms,
+                r.speedup(),
+                r.bit_exact
+            ));
+        }
+        s.push_str("    ]\n  },\n");
+    }
     s.push_str("  \"presburger_cache\": {\n");
     let ops = [
         ("is_empty", &cache.is_empty),

@@ -11,8 +11,11 @@
 //!   micro-benchmarks of the polyhedral substrate, driven by the
 //!   self-contained [`microbench`] harness;
 //! * [`par`] — a bounded worker pool used to fan the experiment
-//!   configurations out over OS threads.
+//!   configurations out over OS threads;
+//! * [`backends`] — the measured interpreter-vs-bytecode-VM comparison
+//!   behind `experiments … --backend vm`.
 
+pub mod backends;
 pub mod microbench;
 pub mod par;
 pub mod tables;

@@ -54,6 +54,11 @@ impl Buffer {
         &self.data
     }
 
+    /// Mutable raw data, for the VM backend's flat-arena execution.
+    pub(crate) fn data_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.data
+    }
+
     fn index(&self, coords: &[i64]) -> Result<usize> {
         if coords.len() != self.shape.len() {
             return Err(Error::Exec(format!(
@@ -129,6 +134,14 @@ impl ExecContext {
     /// Panics if the array was not allocated.
     pub fn buffer(&self, array: ArrayId) -> &Buffer {
         &self.buffers[&array]
+    }
+
+    /// Mutable buffer access, for the VM backend.
+    ///
+    /// # Panics
+    /// Panics if the array was not allocated.
+    pub(crate) fn buffer_mut(&mut self, array: ArrayId) -> &mut Buffer {
+        self.buffers.get_mut(&array).expect("buffer allocated")
     }
 
     /// Maximum absolute difference of one array between two contexts.
@@ -243,7 +256,10 @@ impl Mem for OverlayMem<'_> {
     }
 }
 
-fn make_binding<'a>(program: &'a Program, values: &'a [i64]) -> impl Fn(&str) -> i64 + 'a {
+pub(crate) fn make_binding<'a>(
+    program: &'a Program,
+    values: &'a [i64],
+) -> impl Fn(&str) -> i64 + 'a {
     // Undeclared names resolve to 0: every execution entry point runs
     // `Program::validate_params` first, so by the time this closure is
     // consulted all referenced parameters are known to be declared.

@@ -9,17 +9,28 @@
 //!   validated against the original program's output;
 //! * the **AST generator + printers** ([`generate`], [`print()`]) render the
 //!   tree as OpenMP-C or CUDA-flavoured pseudo-code, reproducing the shape
-//!   of the paper's Fig. 1(b) and Fig. 5 listings.
+//!   of the paper's Fig. 1(b) and Fig. 5 listings;
+//! * the **bytecode VM** ([`lower_tree`], [`execute_compiled`]) lowers the
+//!   tree once to a register-based instruction stream and executes it
+//!   bit-identically to the interpreter — same buffers, same statistics —
+//!   but without per-instance set enumeration. [`execute_tree_backend`]
+//!   selects between the two engines via [`ExecBackend`].
 
 mod ast;
+mod bytecode;
 mod error;
 mod interp;
+mod lower;
 mod printer;
+mod vm;
 
 pub use ast::{generate, AstNode, ForView, StmtView};
+pub use bytecode::{disasm, CompiledProgram};
 pub use error::{Error, Result};
 pub use interp::{
     check_outputs_match, default_threads, execute_tree, execute_tree_parallel, execute_tree_traced,
     reference_execute, Access, Buffer, ExecContext, ExecStats,
 };
+pub use lower::lower_tree;
 pub use printer::{print, print_cuda_kernel, Target};
+pub use vm::{execute_compiled, execute_tree_backend, ExecBackend};

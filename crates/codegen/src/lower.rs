@@ -1,0 +1,768 @@
+//! Lowering: optimized schedule tree → bytecode.
+//!
+//! The pass reproduces the interpreter's execution order *by construction*
+//! instead of by sorting: every flattened entry's schedule graph is viewed
+//! as a loop nest over `[schedule dims, instance dims]` (the reverse of the
+//! wrapped set the interpreter scans), the per-level Fourier–Motzkin bounds
+//! from the [`Scanner`] become compiled guard rows with parameters folded
+//! in, and the entries' disjunct *streams* are merged into one shared loop
+//! nest: schedule dimensions that are compile-time constants become
+//! [`Inst::SetDim`] partitions emitted in ascending order, everything else
+//! becomes a merged [`Inst::LoopOpen`] whose per-stream guards keep each
+//! stream's activity in sync while the union range is walked ascending.
+//! Either way the VM visits schedule tuples in exactly the lexicographic
+//! `(sched, entry order, instance)` order the interpreter's global sort
+//! produces.
+//!
+//! Invariants the pass maintains (checked by the differential tests and
+//! the fuzz oracle's VM check):
+//!
+//! 1. **Order** — loops iterate ascending, static partitions are emitted
+//!    ascending, fibers run in flattened-entry order: the instance
+//!    sequence equals the interpreter's sorted work list.
+//! 2. **Exactness** — for div-free streams the per-level bounds are exact
+//!    (see [`Scanner::branch_exact`]) once branches that are empty under
+//!    the concrete parameters are dropped (their emptiness lives in
+//!    pure-parameter rows no loop level ever checks); streams with
+//!    existential divs carry the exact [`BasicSet`] for a per-point
+//!    membership test.
+//! 3. **Scratch** — a clear is attached to every loop increment (and
+//!    emitted between static partitions) at depth `d` for each scratch
+//!    buffer of scope `> d`: exactly the set the interpreter clears when
+//!    consecutive schedule tuples first differ at `d`.
+//! 4. **Parallelism** — a loop is marked parallel iff the interpreter's
+//!    `par_ok` predicate holds at its depth (all entries coincident, all
+//!    scratch scopes deeper); such dimensions are never turned into static
+//!    partitions so the VM can fan them out.
+//!
+//! [`Scanner`]: tilefuse_presburger::Scanner
+//! [`BasicSet`]: tilefuse_presburger::BasicSet
+//! [`Inst::SetDim`]: crate::bytecode::Inst::SetDim
+//! [`Inst::LoopOpen`]: crate::bytecode::Inst::LoopOpen
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::bytecode::{
+    BodyOp, BufMeta, CAccess, CAffine, CBound, CLevel, CompiledBody, CompiledProgram, FiberMeta,
+    FusedMeta, Inst, KernelKind, LoopMeta, ScratchMeta, StreamGuard, StreamMeta,
+};
+use crate::error::{Error, Result};
+use crate::interp::make_binding;
+use tilefuse_pir::{ArrayId, Expr, IdxExpr, Program};
+use tilefuse_presburger::{LoopBounds, Scanner, Set};
+use tilefuse_schedtree::{flatten, ScheduleTree};
+
+/// `ceil(n / d)` for `d > 0` (mirrors the scanner's bound evaluation).
+pub(crate) fn cdiv(n: i64, d: i64) -> i64 {
+    let q = n / d;
+    if n % d != 0 && (n < 0) == (d < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// `floor(n / d)` for `d > 0` (mirrors the scanner's bound evaluation).
+pub(crate) fn fdiv(n: i64, d: i64) -> i64 {
+    let q = n / d;
+    if n % d != 0 && (n < 0) != (d < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Folds a scanner bound row `[params | dims | const]` into a [`CBound`]
+/// with the parameter contribution substituted.
+fn cbound(coeff: i64, row: &[i64], n_param: usize, values: &[i64]) -> CBound {
+    let mut constant = row[row.len() - 1];
+    for (c, v) in row[..n_param].iter().zip(values) {
+        constant += c * v;
+    }
+    let terms = row[n_param..row.len() - 1]
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(j, &c)| (j, c))
+        .collect();
+    CBound {
+        coeff,
+        terms,
+        constant,
+    }
+}
+
+fn clevel(lb: &LoopBounds, n_param: usize, values: &[i64]) -> CLevel {
+    // Canonicalize: `max(lowers)` / `min(uppers)` are order-insensitive
+    // multiset reductions, so sorting and deduplicating changes nothing
+    // semantically but lets identical FM branches collapse into one
+    // stream (the real-shadow case splits produce thousands of disjuncts
+    // that fold to a handful of distinct bound sets after parameter
+    // substitution).
+    let mut lowers: Vec<CBound> = lb
+        .lowers
+        .iter()
+        .map(|(a, r)| cbound(*a, r, n_param, values))
+        .collect();
+    let mut uppers: Vec<CBound> = lb
+        .uppers
+        .iter()
+        .map(|(b, r)| cbound(*b, r, n_param, values))
+        .collect();
+    lowers.sort_unstable();
+    lowers.dedup();
+    uppers.sort_unstable();
+    uppers.dedup();
+    CLevel {
+        lowers: if lowers.is_empty() {
+            Vec::new()
+        } else {
+            vec![lowers]
+        },
+        uppers: if uppers.is_empty() {
+            Vec::new()
+        } else {
+            vec![uppers]
+        },
+    }
+}
+
+/// Whether the level has both a lower and an upper bound (a union-box
+/// merge needs every contributing disjunct bounded on every level, or the
+/// box itself would be unbounded where some disjuncts are fine).
+fn level_bounded(level: &CLevel) -> bool {
+    !level.lowers.is_empty() && !level.uppers.is_empty()
+}
+
+/// The union box of several single-stream levels: each stream's bound
+/// rows become one alternative group (deduplicated), so the merged level
+/// covers the union of the per-stream ranges at every outer point.
+fn merge_levels<'a>(levels: impl Iterator<Item = &'a CLevel>) -> CLevel {
+    let mut lowers: BTreeSet<Vec<CBound>> = BTreeSet::new();
+    let mut uppers: BTreeSet<Vec<CBound>> = BTreeSet::new();
+    for l in levels {
+        lowers.extend(l.lowers.iter().cloned());
+        uppers.extend(l.uppers.iter().cloned());
+    }
+    CLevel {
+        lowers: lowers.into_iter().collect(),
+        uppers: uppers.into_iter().collect(),
+    }
+}
+
+/// What a stream's compiled bounds say about one schedule dimension.
+enum LevelShape {
+    /// Pinned to a single compile-time constant.
+    Pinned(i64),
+    /// Provably empty under the concrete parameters.
+    Empty,
+    /// A runtime range (or dependent on outer dimensions).
+    Dynamic,
+}
+
+fn level_shape(level: &CLevel) -> LevelShape {
+    if !level_bounded(level) {
+        return LevelShape::Dynamic; // unbounded: leave for the runtime check
+    }
+    if level
+        .lowers
+        .iter()
+        .chain(&level.uppers)
+        .flatten()
+        .any(|b| !b.terms.is_empty())
+    {
+        return LevelShape::Dynamic;
+    }
+    let (Some(lo), Some(hi)) = (level.lo(&[]), level.hi(&[])) else {
+        return LevelShape::Dynamic;
+    };
+    if lo > hi {
+        LevelShape::Empty
+    } else if lo == hi {
+        LevelShape::Pinned(lo)
+    } else {
+        LevelShape::Dynamic
+    }
+}
+
+/// Whether a level's bounds pin the dimension to an affine function of the
+/// outer dimensions (an equality constraint): used only to classify fused
+/// kernels for the disassembly.
+fn level_pinned(level: &CLevel) -> bool {
+    let ([lowers], [uppers]) = (&level.lowers[..], &level.uppers[..]) else {
+        return false; // union boxes span a range by construction
+    };
+    lowers.iter().any(|lo| {
+        uppers.iter().any(|up| {
+            lo.coeff == up.coeff
+                && lo.constant == -up.constant
+                && lo.terms.len() == up.terms.len()
+                && lo
+                    .terms
+                    .iter()
+                    .zip(&up.terms)
+                    .all(|(&(r1, c1), &(r2, c2))| r1 == r2 && c1 == -c2)
+        })
+    })
+}
+
+/// One scannable disjunct during lowering: the program-level
+/// [`StreamMeta`] plus the schedule-dim levels that become loop guards.
+struct LStream {
+    sched: Vec<CLevel>,
+}
+
+struct Emitter<'a> {
+    n_sched: usize,
+    par_ok: &'a [bool],
+    lstreams: &'a [LStream],
+    streams: &'a [StreamMeta],
+    /// Body index per entry.
+    entry_body: &'a [usize],
+    /// Scratch indices by scope, for clear sets.
+    scratch_scopes: Vec<usize>,
+    insts: Vec<Inst>,
+    loops: Vec<LoopMeta>,
+    fused: Vec<FusedMeta>,
+    fibers: Vec<FiberMeta>,
+    bodies: &'a [CompiledBody],
+}
+
+impl Emitter<'_> {
+    /// Scratch buffers cleared when the schedule prefix changes at `d`.
+    fn clears_at(&self, d: usize) -> Vec<usize> {
+        self.scratch_scopes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &scope)| scope > d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Static partition: every live stream pins dimension `d` to a
+    /// constant. Returns the groups in ascending dimension value.
+    fn try_static(&self, streams: &[usize], d: usize) -> Option<Vec<(i64, Vec<usize>)>> {
+        let mut groups: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+        for &s in streams {
+            match level_shape(&self.lstreams[s].sched[d]) {
+                LevelShape::Pinned(v) => groups.entry(v).or_default().push(s),
+                LevelShape::Empty => {}
+                LevelShape::Dynamic => return None,
+            }
+        }
+        Some(groups.into_iter().collect())
+    }
+
+    fn make_fiber(&mut self, entry: usize, streams: Vec<usize>) -> usize {
+        let n_inst = self.streams[streams[0]].inst_levels.len();
+        // Partition into walk groups: streams whose instance-level bounds
+        // and exact test coincide enumerate the same box at every point.
+        let mut by_key: BTreeMap<(&[CLevel], Option<String>), Vec<usize>> = BTreeMap::new();
+        for &s in &streams {
+            let sm = &self.streams[s];
+            let key = (
+                sm.inst_levels.as_slice(),
+                sm.exact.as_ref().map(|e| format!("{e:?}")),
+            );
+            by_key.entry(key).or_default().push(s);
+        }
+        let groups = by_key.into_values().collect();
+        self.fibers.push(FiberMeta {
+            entry,
+            streams,
+            groups,
+            body: self.entry_body[entry],
+            n_inst,
+        });
+        self.fibers.len() - 1
+    }
+
+    /// Innermost-loop specialization: a single stream whose deeper
+    /// schedule dims are all pinned constants, with no scratch cleared at
+    /// or below this depth. (An exact membership test is fine: the fiber
+    /// walk filters phantom points at the leaf either way.)
+    fn try_fused(&mut self, streams: &[usize], d: usize) -> bool {
+        if streams.len() != 1 {
+            return false;
+        }
+        let s = streams[0];
+        if !self.clears_at(d).is_empty() {
+            return false;
+        }
+        let mut pins = Vec::new();
+        for dd in d + 1..self.n_sched {
+            match level_shape(&self.lstreams[s].sched[dd]) {
+                LevelShape::Pinned(v) => pins.push((dd, v)),
+                _ => return false,
+            }
+        }
+        let level = self.lstreams[s].sched[d].clone();
+        let kind = self.classify(s);
+        let fiber = self.make_fiber(self.streams[s].entry, vec![s]);
+        self.fused.push(FusedMeta {
+            dim: d,
+            parallel: self.par_ok.get(d).copied().unwrap_or(false),
+            level,
+            pins,
+            fiber,
+            kind,
+        });
+        self.insts.push(Inst::Fused(self.fused.len() - 1));
+        true
+    }
+
+    fn classify(&self, s: usize) -> KernelKind {
+        if !self.streams[s].inst_levels.iter().all(level_pinned) {
+            return KernelKind::Combine;
+        }
+        let body = &self.bodies[self.entry_body[self.streams[s].entry]];
+        let translation_of_store = |acc: &CAccess| {
+            acc.coords.len() == body.store.coords.len()
+                && acc
+                    .coords
+                    .iter()
+                    .zip(&body.store.coords)
+                    .all(|(a, b)| a.terms == b.terms && a.constant == b.constant)
+        };
+        if body.accesses.iter().all(translation_of_store) {
+            KernelKind::Point
+        } else {
+            KernelKind::Stencil
+        }
+    }
+
+    fn emit(&mut self, streams: &[usize], d: usize) {
+        if streams.is_empty() {
+            return;
+        }
+        if d == self.n_sched {
+            // Leaf: one fiber per entry, in flattened-entry order.
+            let mut by_entry: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &s in streams {
+                by_entry.entry(self.streams[s].entry).or_default().push(s);
+            }
+            for (entry, ss) in by_entry {
+                let f = self.make_fiber(entry, ss);
+                self.insts.push(Inst::Fiber(f));
+            }
+            return;
+        }
+        let parallel = self.par_ok.get(d).copied().unwrap_or(false);
+        // Static partitions would serialize a parallel dimension, so only
+        // consider them where the interpreter could not fan out either.
+        if !parallel {
+            if let Some(groups) = self.try_static(streams, d) {
+                let clears = self.clears_at(d);
+                for (gi, (value, group)) in groups.iter().enumerate() {
+                    if gi > 0 && !clears.is_empty() {
+                        self.insts.push(Inst::Clear(clears.clone()));
+                    }
+                    self.insts.push(Inst::SetDim {
+                        dim: d,
+                        value: *value,
+                    });
+                    self.emit(group, d + 1);
+                }
+                return;
+            }
+        }
+        if self.try_fused(streams, d) {
+            return;
+        }
+        let guards = streams
+            .iter()
+            .map(|&s| StreamGuard {
+                stream: s,
+                level: self.lstreams[s].sched[d].clone(),
+            })
+            .collect();
+        let l = self.loops.len();
+        self.loops.push(LoopMeta {
+            dim: d,
+            parallel,
+            open_ip: 0,
+            close_ip: 0,
+            guards,
+            clears: self.clears_at(d),
+        });
+        let open_ip = self.insts.len();
+        self.insts.push(Inst::LoopOpen(l));
+        self.emit(streams, d + 1);
+        let close_ip = self.insts.len();
+        self.insts.push(Inst::LoopClose(l));
+        self.loops[l].open_ip = open_ip;
+        self.loops[l].close_ip = close_ip;
+    }
+}
+
+fn caffine(e: &IdxExpr, n_sched: usize, program: &Program, values: &[i64]) -> CAffine {
+    let bind = make_binding(program, values);
+    let mut constant = e.constant_term();
+    for (n, c) in e.param_terms() {
+        constant += c * bind(n);
+    }
+    let terms = (0..e.n_dims())
+        .filter(|&d| e.dim_coeff(d) != 0)
+        .map(|d| (n_sched + d, e.dim_coeff(d)))
+        .collect();
+    CAffine { terms, constant }
+}
+
+/// Compiles one statement body to register form, emitting ops in the
+/// interpreter's left-to-right evaluation order so loads, errors and
+/// floating-point rounding replay identically.
+fn compile_body(
+    program: &Program,
+    stmt_idx: usize,
+    body: &tilefuse_pir::Body,
+    n_sched: usize,
+    values: &[i64],
+    buf_of: &BTreeMap<ArrayId, usize>,
+) -> CompiledBody {
+    let mut ops = Vec::new();
+    let mut accesses = Vec::new();
+    let mut next_reg = 0usize;
+    let result = compile_expr(
+        &body.rhs,
+        program,
+        n_sched,
+        values,
+        buf_of,
+        &mut ops,
+        &mut accesses,
+        &mut next_reg,
+    );
+    let store = CAccess {
+        buf: buf_of[&body.target],
+        coords: body
+            .target_idx
+            .iter()
+            .map(|e| caffine(e, n_sched, program, values))
+            .collect(),
+    };
+    CompiledBody {
+        stmt: stmt_idx,
+        ops,
+        accesses,
+        store,
+        result,
+        n_regs: next_reg.max(1),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_expr(
+    e: &Expr,
+    program: &Program,
+    n_sched: usize,
+    values: &[i64],
+    buf_of: &BTreeMap<ArrayId, usize>,
+    ops: &mut Vec<BodyOp>,
+    accesses: &mut Vec<CAccess>,
+    next_reg: &mut usize,
+) -> usize {
+    fn alloc(next_reg: &mut usize) -> usize {
+        let r = *next_reg;
+        *next_reg += 1;
+        r
+    }
+    match e {
+        Expr::Const(v) => {
+            let dst = alloc(next_reg);
+            ops.push(BodyOp::Const { dst, v: *v });
+            dst
+        }
+        Expr::Iter(d) => {
+            let dst = alloc(next_reg);
+            ops.push(BodyOp::Iter {
+                dst,
+                reg: n_sched + d,
+            });
+            dst
+        }
+        Expr::Load(arr, idx) => {
+            let acc = accesses.len();
+            accesses.push(CAccess {
+                buf: buf_of[arr],
+                coords: idx
+                    .iter()
+                    .map(|i| caffine(i, n_sched, program, values))
+                    .collect(),
+            });
+            let dst = alloc(next_reg);
+            ops.push(BodyOp::Load { dst, acc });
+            dst
+        }
+        Expr::Bin(op, l, r) => {
+            let a = compile_expr(l, program, n_sched, values, buf_of, ops, accesses, next_reg);
+            let b = compile_expr(r, program, n_sched, values, buf_of, ops, accesses, next_reg);
+            let dst = alloc(next_reg);
+            ops.push(BodyOp::Bin { op: *op, dst, a, b });
+            dst
+        }
+        Expr::Un(op, x) => {
+            let a = compile_expr(x, program, n_sched, values, buf_of, ops, accesses, next_reg);
+            let dst = alloc(next_reg);
+            ops.push(BodyOp::Un { op: *op, dst, a });
+            dst
+        }
+    }
+}
+
+/// Whether a branch is empty under the concrete parameter values because
+/// of constraints that involve no set dimension and no div — rows no loop
+/// level ever records, which the interpreter only catches through its leaf
+/// membership test.
+fn empty_under_params(b: &tilefuse_presburger::BasicSet, values: &[i64]) -> bool {
+    let n_param = b.space().n_param();
+    let n_var = b.space().n_dim() + b.n_div();
+    let pure = |r: &[i64]| r[n_param..n_param + n_var].iter().all(|&c| c == 0);
+    let eval = |r: &[i64]| {
+        r[..n_param]
+            .iter()
+            .zip(values)
+            .map(|(c, v)| c * v)
+            .sum::<i64>()
+            + r[r.len() - 1]
+    };
+    b.ineq_rows().iter().any(|r| pure(r) && eval(r) < 0)
+        || b.eq_rows().iter().any(|r| pure(r) && eval(r) != 0)
+}
+
+/// Lowers an optimized schedule tree to a [`CompiledProgram`] for the
+/// concrete parameter binding given by `overrides`.
+///
+/// `scratch_scopes` is the same map [`crate::execute_tree`] takes: each
+/// tile-local array's schedule-prefix length.
+///
+/// # Errors
+/// Returns an error on malformed trees, unknown statements, scanner
+/// overflow, or when the resource governor's budget is exhausted.
+pub fn lower_tree(
+    program: &Program,
+    tree: &ScheduleTree,
+    overrides: &[(&str, i64)],
+    scratch_scopes: &BTreeMap<ArrayId, usize>,
+) -> Result<CompiledProgram> {
+    let _span = tilefuse_trace::span!("codegen/lower", "{}", program.name());
+    tilefuse_trace::governor::checkpoint("codegen/lower")
+        .map_err(|e| Error::Presburger(tilefuse_presburger::Error::from(e)))?;
+    program.validate_params()?;
+    let values = program.param_values(overrides);
+    let entries = flatten(tree)?;
+    let n_sched = entries
+        .iter()
+        .map(|e| e.schedule.space().n_out())
+        .max()
+        .unwrap_or(0);
+
+    // Parallelizable depths: the same predicate the parallel interpreter
+    // uses (all entries coincident, every scratch scope strictly deeper).
+    let mut par_ok = vec![true; n_sched];
+    for e in &entries {
+        for (d, ok) in par_ok.iter_mut().enumerate() {
+            *ok &= e.par_depths.get(d).copied().unwrap_or(false);
+        }
+    }
+    let min_scope = scratch_scopes.values().copied().min().unwrap_or(usize::MAX);
+    for (d, ok) in par_ok.iter_mut().enumerate() {
+        *ok &= d < min_scope;
+    }
+
+    // Buffers, in array-id order.
+    let mut bufs = Vec::new();
+    let mut buf_of = BTreeMap::new();
+    {
+        let bind = make_binding(program, &values);
+        for a in program.arrays() {
+            let shape = a.shape(&bind);
+            let len = shape.iter().product::<i64>().max(0) as usize;
+            buf_of.insert(a.id(), bufs.len());
+            bufs.push(BufMeta {
+                array: a.id(),
+                name: a.name().to_owned(),
+                shape,
+                len,
+                scratch: None,
+            });
+        }
+    }
+    let mut scratch = Vec::new();
+    for (&arr, &scope) in scratch_scopes {
+        let buf = *buf_of
+            .get(&arr)
+            .ok_or_else(|| Error::Exec(format!("scratch scope for unknown array {arr:?}")))?;
+        bufs[buf].scratch = Some(scratch.len());
+        scratch.push(ScratchMeta { buf, scope });
+    }
+
+    // Bodies: one per distinct statement, in first-appearance order.
+    let mut stmt_names: Vec<String> = Vec::new();
+    let mut body_of_stmt: BTreeMap<String, usize> = BTreeMap::new();
+    let mut bodies = Vec::new();
+    let mut entry_body = Vec::with_capacity(entries.len());
+    let mut entry_labels = Vec::with_capacity(entries.len());
+    for (order, e) in entries.iter().enumerate() {
+        let stmt = program
+            .stmt_named(&e.stmt)
+            .ok_or_else(|| Error::Exec(format!("unknown statement {}", e.stmt)))?;
+        let body = match body_of_stmt.get(&e.stmt) {
+            Some(&b) => b,
+            None => {
+                let idx = stmt_names.len();
+                stmt_names.push(e.stmt.clone());
+                bodies.push(compile_body(
+                    program,
+                    idx,
+                    stmt.body(),
+                    n_sched,
+                    &values,
+                    &buf_of,
+                ));
+                body_of_stmt.insert(e.stmt.clone(), bodies.len() - 1);
+                bodies.len() - 1
+            }
+        };
+        entry_body.push(body);
+        entry_labels.push(format!("{}#{order}", e.stmt));
+    }
+
+    // Streams: the disjuncts of each entry's schedule graph, scanned as
+    // [sched dims, inst dims].
+    let n_param = program.params().len();
+    let mut lstreams = Vec::new();
+    let mut streams = Vec::new();
+    let mut max_inst = 0usize;
+    for (order, e) in entries.iter().enumerate() {
+        tilefuse_trace::governor::checkpoint("codegen/lower")
+            .map_err(|g| Error::Presburger(tilefuse_presburger::Error::from(g)))?;
+        let n_inst = e.schedule.space().n_in();
+        max_inst = max_inst.max(n_inst);
+        let graph = e.schedule.intersect_domain(&e.domain)?;
+        let rev = graph.reverse();
+        let ws = rev.as_wrapped_set();
+        let scanner = Scanner::new(ws, &values)?;
+        // The FM real-shadow case splits can produce branches whose
+        // compiled bounds are identical after parameter substitution; a
+        // stream enumerates the same point set as any bound-identical
+        // sibling (and the fiber deduplicates instances anyway), so keep
+        // one representative per distinct triple.
+        let mut seen: BTreeSet<(Vec<CLevel>, Vec<CLevel>, Option<String>)> = BTreeSet::new();
+        let mut e_lstreams = Vec::new();
+        let mut e_streams = Vec::new();
+        for bi in 0..scanner.n_branch() {
+            let exact_set = scanner.branch_exact(bi);
+            if empty_under_params(exact_set, &values) {
+                continue;
+            }
+            let levels = scanner.branch_bounds(bi);
+            debug_assert_eq!(levels.len(), n_sched + n_inst);
+            let sched: Vec<CLevel> = levels[..n_sched.min(levels.len())]
+                .iter()
+                .map(|lb| clevel(lb, n_param, &values))
+                .collect();
+            let inst_levels: Vec<CLevel> = levels[n_sched.min(levels.len())..]
+                .iter()
+                .map(|lb| clevel(lb, n_param, &values))
+                .collect();
+            let exact = (exact_set.n_div() > 0).then(|| Set::from_basic(exact_set.clone()));
+            let key = (
+                sched.clone(),
+                inst_levels.clone(),
+                exact.as_ref().map(|s| format!("{s:?}")),
+            );
+            if !seen.insert(key) {
+                continue;
+            }
+            e_lstreams.push(LStream { sched });
+            e_streams.push(StreamMeta {
+                entry: order,
+                inst_levels,
+                exact,
+            });
+        }
+        // Tile-halo relations decompose into hundreds or thousands of
+        // clip case-split disjuncts; kept as separate streams they make
+        // per-point fiber and guard cost O(disjuncts). Collapse such an
+        // entry into ONE stream whose levels are the union box of the
+        // per-disjunct bounds (alternative groups, min-of-max /
+        // max-of-min) with the full wrapped set as a runtime membership
+        // test rejecting box points outside the union. Requires every
+        // disjunct bounded on every level, or the box would be unbounded
+        // where individual disjuncts are fine.
+        const MERGE_THRESHOLD: usize = 8;
+        let bounded = e_streams
+            .iter()
+            .zip(&e_lstreams)
+            .all(|(sm, ls)| sm.inst_levels.iter().chain(&ls.sched).all(level_bounded));
+        if e_streams.len() > MERGE_THRESHOLD && bounded {
+            let sched: Vec<CLevel> = (0..n_sched)
+                .map(|d| merge_levels(e_lstreams.iter().map(|ls| &ls.sched[d])))
+                .collect();
+            let inst_levels: Vec<CLevel> = (0..n_inst)
+                .map(|k| merge_levels(e_streams.iter().map(|sm| &sm.inst_levels[k])))
+                .collect();
+            lstreams.push(LStream { sched });
+            streams.push(StreamMeta {
+                entry: order,
+                inst_levels,
+                exact: Some(ws.clone()),
+            });
+        } else {
+            lstreams.extend(e_lstreams);
+            streams.extend(e_streams);
+        }
+    }
+
+    let mut em = Emitter {
+        n_sched,
+        par_ok: &par_ok,
+        lstreams: &lstreams,
+        streams: &streams,
+        entry_body: &entry_body,
+        scratch_scopes: scratch.iter().map(|s| s.scope).collect(),
+        insts: Vec::new(),
+        loops: Vec::new(),
+        fused: Vec::new(),
+        fibers: Vec::new(),
+        bodies: &bodies,
+    };
+    let all: Vec<usize> = (0..streams.len()).collect();
+    em.emit(&all, 0);
+
+    Ok(CompiledProgram {
+        name: program.name().to_owned(),
+        insts: em.insts,
+        loops: em.loops,
+        fused: em.fused,
+        fibers: em.fibers,
+        streams,
+        bodies,
+        bufs,
+        scratch,
+        stmt_names,
+        n_sched,
+        max_inst,
+        param_names: program.params().iter().map(|(n, _)| n.clone()).collect(),
+        param_values: values,
+        entry_labels,
+    })
+}
+
+impl CompiledProgram {
+    /// Deliberately corrupts the lowering: offsets the last coordinate of
+    /// the first compiled load access by one. Used by the fuzz harness's
+    /// `VmMisLower` fault injection to prove the VM differential check
+    /// catches bad lowerings; returns `false` if no load exists to corrupt.
+    pub fn inject_mis_lower(&mut self) -> bool {
+        for body in &mut self.bodies {
+            for acc in &mut body.accesses {
+                if let Some(c) = acc.coords.last_mut() {
+                    c.constant += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

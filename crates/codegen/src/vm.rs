@@ -1,0 +1,851 @@
+//! The bytecode virtual machine: executes a [`CompiledProgram`]
+//! bit-identically to the schedule-tree interpreter.
+//!
+//! Where the interpreter materializes and sorts the full `(schedule tuple,
+//! instance)` work list and re-resolves names per instance, the VM walks
+//! the compiled loop nest directly: integer dim registers drive compiled
+//! affine bounds, statement bodies run as flat register programs, and
+//! tile-local scratch is an epoch-stamped flat array — clearing a tile is
+//! an epoch bump, not a `BTreeMap` sweep. Statistics (instances, loads,
+//! stores, scratch hits) are counted at exactly the interpreter's points,
+//! so [`ExecStats`] match bit-for-bit.
+//!
+//! Parallel execution mirrors [`crate::execute_tree_parallel`]: at the
+//! outermost loop marked parallel the iterations fan out across OS
+//! threads, each against a copy-on-write overlay and a private scratch;
+//! write logs and statistics merge back in ascending iteration order, so
+//! the result is independent of thread count and interleaving.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::bytecode::{BodyOp, CAccess, CLevel, CompiledProgram, FiberMeta, Inst};
+use crate::error::{Error, Result};
+use crate::interp::{default_threads, execute_tree_parallel, ExecContext, ExecStats};
+use tilefuse_pir::{ArrayId, BinOp, Program, UnOp};
+use tilefuse_schedtree::ScheduleTree;
+
+/// Backing memory for a VM run: the top-level machine writes straight
+/// through; each parallel worker logs into a copy-on-write overlay keyed
+/// by `(buffer, flat index)`, merged back in chunk order.
+enum Mem<'a> {
+    Direct(&'a mut Vec<Vec<f64>>),
+    Overlay {
+        base: &'a [Vec<f64>],
+        writes: BTreeMap<(usize, usize), f64>,
+    },
+}
+
+impl Mem<'_> {
+    #[inline]
+    fn load(&self, buf: usize, idx: usize) -> f64 {
+        match self {
+            Mem::Direct(d) => d[buf][idx],
+            Mem::Overlay { base, writes } => writes
+                .get(&(buf, idx))
+                .copied()
+                .unwrap_or_else(|| base[buf][idx]),
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, buf: usize, idx: usize, v: f64) {
+        match self {
+            Mem::Direct(d) => d[buf][idx] = v,
+            Mem::Overlay { writes, .. } => {
+                writes.insert((buf, idx), v);
+            }
+        }
+    }
+}
+
+/// Counters in index form; converted to [`ExecStats`] once at the end.
+#[derive(Clone)]
+struct RawStats {
+    instances: Vec<u64>,
+    loads: u64,
+    stores: u64,
+    scratch_hits: u64,
+}
+
+impl RawStats {
+    fn new(n_stmts: usize) -> Self {
+        RawStats {
+            instances: vec![0; n_stmts],
+            loads: 0,
+            stores: 0,
+            scratch_hits: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &RawStats) {
+        for (a, b) in self.instances.iter_mut().zip(&other.instances) {
+            *a += b;
+        }
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.scratch_hits += other.scratch_hits;
+    }
+
+    fn into_stats(self, names: &[String]) -> ExecStats {
+        let mut stats = ExecStats {
+            loads: self.loads,
+            stores: self.stores,
+            scratch_hits: self.scratch_hits,
+            ..ExecStats::default()
+        };
+        for (name, &n) in names.iter().zip(&self.instances) {
+            if n > 0 {
+                stats.instances.insert(name.clone(), n);
+            }
+        }
+        stats
+    }
+}
+
+/// Epoch-stamped tile-local storage: `clear` is an epoch bump; an element
+/// is live iff its stamp equals the current epoch. Out-of-range or
+/// wrong-arity coordinates — which the interpreter's `BTreeMap` scratch
+/// accepts silently — spill to a side map so the semantics stay identical.
+struct ScratchState {
+    data: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    side: BTreeMap<Vec<i64>, (u32, f64)>,
+}
+
+impl ScratchState {
+    fn new(len: usize) -> Self {
+        ScratchState {
+            data: vec![0.0; len],
+            stamp: vec![0; len],
+            epoch: 1,
+            side: BTreeMap::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+            self.side.clear();
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> Option<f64> {
+        (self.stamp[idx] == self.epoch).then(|| self.data[idx])
+    }
+
+    #[inline]
+    fn put(&mut self, idx: usize, v: f64) {
+        self.data[idx] = v;
+        self.stamp[idx] = self.epoch;
+    }
+
+    fn get_side(&self, coords: &[i64]) -> Option<f64> {
+        self.side
+            .get(coords)
+            .filter(|(e, _)| *e == self.epoch)
+            .map(|&(_, v)| v)
+    }
+
+    fn put_side(&mut self, coords: Vec<i64>, v: f64) {
+        self.side.insert(coords, (self.epoch, v));
+    }
+}
+
+/// Per-loop iteration state. A loop id appears exactly once in the
+/// instruction stream and loops never re-enter themselves, so one slot per
+/// loop suffices — no runtime stack.
+#[derive(Default, Clone)]
+struct LoopState {
+    cur: i64,
+    hi: i64,
+    /// Per-guard `[lo, hi]` under the current outer prefix.
+    ranges: Vec<(i64, i64)>,
+    /// Whether each guard's stream was active when the loop opened.
+    entered: Vec<bool>,
+}
+
+/// What a parallel section executes per claimed iteration value.
+enum ParJob<'a> {
+    Loop {
+        l: usize,
+        ranges: &'a [(i64, i64)],
+        entered: &'a [bool],
+    },
+    Fused(usize),
+}
+
+struct Machine<'p> {
+    prog: &'p CompiledProgram,
+    /// Shared integer register file: schedule dims `0..n_sched`, then the
+    /// current fiber's instance dims.
+    dims: Vec<i64>,
+    active: Vec<bool>,
+    lstate: Vec<LoopState>,
+    scratch: Vec<ScratchState>,
+    regs: Vec<f64>,
+    stats: RawStats,
+    n_threads: usize,
+    /// Per-stream index of the disjunct that last accepted a membership
+    /// query. Consecutive lexicographic points almost always fall in the
+    /// same disjunct, so trying it first makes `in_exact` amortized O(1)
+    /// even when the exact set has thousands of case-split branches.
+    mru: Vec<usize>,
+}
+
+impl<'p> Machine<'p> {
+    fn new(prog: &'p CompiledProgram, n_threads: usize) -> Self {
+        let n_regs = prog.bodies.iter().map(|b| b.n_regs).max().unwrap_or(1);
+        Machine {
+            prog,
+            dims: vec![0; prog.n_sched + prog.max_inst],
+            active: vec![true; prog.streams.len()],
+            lstate: vec![LoopState::default(); prog.loops.len()],
+            scratch: prog
+                .scratch
+                .iter()
+                .map(|s| ScratchState::new(prog.bufs[s.buf].len))
+                .collect(),
+            regs: vec![0.0; n_regs],
+            stats: RawStats::new(prog.stmt_names.len()),
+            n_threads,
+            mru: vec![0; prog.streams.len()],
+        }
+    }
+
+    /// Runs instructions `[from, to)`.
+    fn run(&mut self, mem: &mut Mem, from: usize, to: usize) -> Result<()> {
+        let prog = self.prog;
+        let mut ip = from;
+        while ip < to {
+            match &prog.insts[ip] {
+                Inst::SetDim { dim, value } => {
+                    self.dims[*dim] = *value;
+                    ip += 1;
+                }
+                Inst::Clear(list) => {
+                    for &s in list {
+                        self.scratch[s].clear();
+                    }
+                    ip += 1;
+                }
+                Inst::LoopOpen(l) => {
+                    ip = self.loop_open(*l, mem)?;
+                }
+                Inst::LoopClose(l) => {
+                    ip = self.loop_close(*l);
+                }
+                Inst::Fiber(f) => {
+                    self.fiber(*f, mem)?;
+                    ip += 1;
+                }
+                Inst::Fused(f) => {
+                    self.fused(*f, mem)?;
+                    ip += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the loop's guards and either enters the first populated
+    /// iteration, dispatches the whole range in parallel, or skips the
+    /// loop. Returns the next instruction pointer.
+    fn loop_open(&mut self, l: usize, mem: &mut Mem) -> Result<usize> {
+        let prog = self.prog;
+        let meta = &prog.loops[l];
+        let n_guards = meta.guards.len();
+        let mut ranges = vec![(1i64, 0i64); n_guards];
+        let mut entered = vec![false; n_guards];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for (gi, g) in meta.guards.iter().enumerate() {
+            if !self.active[g.stream] {
+                continue;
+            }
+            entered[gi] = true;
+            let (Some(ls), Some(hs)) = (g.level.lo(&self.dims), g.level.hi(&self.dims)) else {
+                return Err(Error::Exec(format!(
+                    "unbounded schedule dimension {}",
+                    meta.dim
+                )));
+            };
+            ranges[gi] = (ls, hs);
+            if ls <= hs {
+                lo = lo.min(ls);
+                hi = hi.max(hs);
+            }
+        }
+        if lo > hi {
+            return Ok(meta.close_ip + 1);
+        }
+        if meta.parallel && self.n_threads > 1 && hi > lo {
+            let job = ParJob::Loop {
+                l,
+                ranges: &ranges,
+                entered: &entered,
+            };
+            self.run_parallel(&job, lo, hi, mem)?;
+            // The merged state is what sequential execution would leave
+            // after the last iteration; the next instance's prefix differs
+            // at most at this depth, so clear everything scoped deeper.
+            for &s in &prog.loops[l].clears {
+                self.scratch[s].clear();
+            }
+            return Ok(prog.loops[l].close_ip + 1);
+        }
+        self.dims[meta.dim] = lo;
+        for (gi, g) in meta.guards.iter().enumerate() {
+            self.active[g.stream] = entered[gi] && lo >= ranges[gi].0 && lo <= ranges[gi].1;
+        }
+        self.lstate[l] = LoopState {
+            cur: lo,
+            hi,
+            ranges,
+            entered,
+        };
+        Ok(meta.open_ip + 1)
+    }
+
+    /// Advances the loop: bumps deeper-scoped scratch epochs on every
+    /// increment (the interpreter clears exactly these arrays when the
+    /// schedule prefix changes at this depth), skips values where no
+    /// stream is live, and either jumps back to the body or falls through.
+    fn loop_close(&mut self, l: usize) -> usize {
+        let prog = self.prog;
+        let meta = &prog.loops[l];
+        let hi = self.lstate[l].hi;
+        let mut cur = self.lstate[l].cur;
+        loop {
+            cur += 1;
+            if cur > hi {
+                self.lstate[l].cur = cur;
+                return meta.close_ip + 1;
+            }
+            for &s in &meta.clears {
+                self.scratch[s].clear();
+            }
+            let mut any = false;
+            for (gi, g) in meta.guards.iter().enumerate() {
+                let (lo_s, hi_s) = self.lstate[l].ranges[gi];
+                let a = self.lstate[l].entered[gi] && cur >= lo_s && cur <= hi_s;
+                self.active[g.stream] = a;
+                any |= a;
+            }
+            if any {
+                self.dims[meta.dim] = cur;
+                self.lstate[l].cur = cur;
+                return meta.open_ip + 1;
+            }
+        }
+    }
+
+    /// Executes a specialized fused inner loop.
+    fn fused(&mut self, fi: usize, mem: &mut Mem) -> Result<()> {
+        let prog = self.prog;
+        let meta = &prog.fused[fi];
+        let fiber = &prog.fibers[meta.fiber];
+        let s = fiber.streams[0];
+        if !self.active[s] {
+            return Ok(());
+        }
+        let (Some(lo), Some(hi)) = (meta.level.lo(&self.dims), meta.level.hi(&self.dims)) else {
+            return Err(Error::Exec(format!(
+                "unbounded schedule dimension {}",
+                meta.dim
+            )));
+        };
+        if lo > hi {
+            return Ok(());
+        }
+        for &(d, v) in &meta.pins {
+            self.dims[d] = v;
+        }
+        if meta.parallel && self.n_threads > 1 && hi > lo {
+            return self.run_parallel(&ParJob::Fused(fi), lo, hi, mem);
+        }
+        for v in lo..=hi {
+            self.dims[meta.dim] = v;
+            self.walk_exec(s, 0, fiber, mem)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one claimed iteration of a parallel section on a worker.
+    fn run_chunk(&mut self, job: &ParJob, v: i64, mem: &mut Mem) -> Result<()> {
+        let prog = self.prog;
+        match *job {
+            ParJob::Loop { l, ranges, entered } => {
+                let meta = &prog.loops[l];
+                self.dims[meta.dim] = v;
+                let mut any = false;
+                for (gi, g) in meta.guards.iter().enumerate() {
+                    let a = entered[gi] && v >= ranges[gi].0 && v <= ranges[gi].1;
+                    self.active[g.stream] = a;
+                    any |= a;
+                }
+                if !any {
+                    return Ok(());
+                }
+                self.run(mem, meta.open_ip + 1, meta.close_ip)
+            }
+            ParJob::Fused(fi) => {
+                let meta = &prog.fused[fi];
+                self.dims[meta.dim] = v;
+                self.walk_exec(
+                    prog.fibers[meta.fiber].streams[0],
+                    0,
+                    &prog.fibers[meta.fiber],
+                    mem,
+                )
+            }
+        }
+    }
+
+    /// Fans the iterations `lo..=hi` out across threads, mirroring the
+    /// parallel interpreter: claims by atomic counter, copy-on-write
+    /// overlays, private scratch, ascending merge.
+    fn run_parallel(&mut self, job: &ParJob, lo: i64, hi: i64, mem: &mut Mem) -> Result<()> {
+        let Mem::Direct(data) = mem else {
+            // Workers run with n_threads == 1, so a nested parallel
+            // section can only be reached from the top-level machine.
+            return Err(Error::Exec("nested parallel VM section".into()));
+        };
+        let n = (hi - lo + 1) as usize;
+        let threads = self.n_threads.min(n);
+        type ChunkOut = (BTreeMap<(usize, usize), f64>, RawStats);
+        let results: Vec<Mutex<Option<Result<ChunkOut>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let base: &[Vec<f64>] = data;
+        let this: &Machine = self;
+        std::thread::scope(|sc| {
+            for _ in 0..threads {
+                sc.spawn(|| {
+                    let mut m = Machine::new(this.prog, 1);
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        let _ = tilefuse_trace::governor::checkpoint("codegen/vm-exec");
+                        let v = lo + k as i64;
+                        m.dims.copy_from_slice(&this.dims);
+                        m.active.copy_from_slice(&this.active);
+                        for sc_state in &mut m.scratch {
+                            sc_state.clear();
+                        }
+                        m.stats = RawStats::new(this.prog.stmt_names.len());
+                        let mut cmem = Mem::Overlay {
+                            base,
+                            writes: BTreeMap::new(),
+                        };
+                        let r = m.run_chunk(job, v, &mut cmem);
+                        let writes = match cmem {
+                            Mem::Overlay { writes, .. } => writes,
+                            Mem::Direct(_) => unreachable!("worker memory is an overlay"),
+                        };
+                        let out = r.map(|()| (writes, m.stats.clone()));
+                        *results[k].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                    }
+                });
+            }
+        });
+        for cell in results {
+            let r = cell
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every chunk index was claimed by a worker");
+            let (writes, chunk_stats) = r?;
+            for ((buf, idx), v) in writes {
+                data[buf][idx] = v;
+            }
+            self.stats.merge(&chunk_stats);
+        }
+        Ok(())
+    }
+
+    /// Runs a fiber: enumerates the owning entry's instance dims under the
+    /// current schedule point and executes the body per instance, in
+    /// lexicographic order. A single div-free stream walks its (exact)
+    /// bounds directly; unions and divful streams collect candidates into
+    /// an ordered set with the exact membership test, reproducing the
+    /// scanner's dedup semantics.
+    fn fiber(&mut self, f: usize, mem: &mut Mem) -> Result<()> {
+        let prog = self.prog;
+        let meta = &prog.fibers[f];
+        // One walk per *group* whose members include an active stream: all
+        // members share identical instance bounds, so any active member
+        // makes the group's box live. This keeps the per-point cost at
+        // O(groups), not O(streams) — crucial when a halo relation's case
+        // splits produce thousands of coverage-only stream variants.
+        let mut live = meta
+            .groups
+            .iter()
+            .filter(|g| g.iter().any(|&s| self.active[s]))
+            .map(|g| g[0]);
+        let Some(first) = live.next() else {
+            return Ok(());
+        };
+        if live.next().is_none() {
+            // A single box enumerates in lexicographic order without
+            // duplicates, and the membership filter inside `walk_exec`
+            // preserves both, so no collection pass is needed.
+            return self.walk_exec(first, 0, meta, mem);
+        }
+        let mut pts: BTreeSet<Vec<i64>> = BTreeSet::new();
+        for g in &meta.groups {
+            if g.iter().any(|&s| self.active[s]) {
+                self.walk_collect(g[0], 0, meta.n_inst, &mut pts)?;
+            }
+        }
+        for p in pts {
+            self.dims[prog.n_sched..prog.n_sched + meta.n_inst].copy_from_slice(&p);
+            self.exec_body(meta, mem)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one instance level's `[lo, hi]` under the current dims.
+    /// `None` means empty; an error mirrors the scanner's `Unbounded`.
+    fn inst_range(&self, level: &CLevel, k: usize) -> Result<Option<(i64, i64)>> {
+        let (Some(lo), Some(hi)) = (level.lo(&self.dims), level.hi(&self.dims)) else {
+            return Err(Error::Exec(format!("unbounded instance dimension {k}")));
+        };
+        Ok((lo <= hi).then_some((lo, hi)))
+    }
+
+    /// Tests the current point (params + sched dims + first `n_inst`
+    /// instance dims) against the stream's exact set, if any. Tries the
+    /// most-recently-matching disjunct first (see [`Machine::mru`]).
+    fn in_exact(&mut self, s: usize, n_inst: usize) -> Result<bool> {
+        let prog = self.prog;
+        let Some(exact) = &prog.streams[s].exact else {
+            return Ok(true);
+        };
+        let full: Vec<i64> = prog
+            .param_values
+            .iter()
+            .chain(&self.dims[..prog.n_sched + n_inst])
+            .copied()
+            .collect();
+        let basics = exact.basics();
+        let m = self.mru[s].min(basics.len().saturating_sub(1));
+        if basics[m].contains(&full)? {
+            return Ok(true);
+        }
+        for (i, b) in basics.iter().enumerate() {
+            if i != m && b.contains(&full)? {
+                self.mru[s] = i;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Direct execution walk for a single stream (or group of streams with
+    /// identical bounds): enumerates the bounding box in lexicographic
+    /// order, filtering through the exact set when the box over-covers.
+    fn walk_exec(&mut self, s: usize, k: usize, meta: &FiberMeta, mem: &mut Mem) -> Result<()> {
+        if k == meta.n_inst {
+            if !self.in_exact(s, meta.n_inst)? {
+                return Ok(());
+            }
+            return self.exec_body(meta, mem);
+        }
+        let prog = self.prog;
+        let Some((lo, hi)) = self.inst_range(&prog.streams[s].inst_levels[k], k)? else {
+            return Ok(());
+        };
+        for v in lo..=hi {
+            self.dims[prog.n_sched + k] = v;
+            self.walk_exec(s, k + 1, meta, mem)?;
+        }
+        Ok(())
+    }
+
+    /// Candidate-collection walk for unions / divful streams.
+    fn walk_collect(
+        &mut self,
+        s: usize,
+        k: usize,
+        n_inst: usize,
+        out: &mut BTreeSet<Vec<i64>>,
+    ) -> Result<()> {
+        let prog = self.prog;
+        if k == n_inst {
+            if !self.in_exact(s, n_inst)? {
+                return Ok(());
+            }
+            out.insert(self.dims[prog.n_sched..prog.n_sched + n_inst].to_vec());
+            return Ok(());
+        }
+        let Some((lo, hi)) = self.inst_range(&prog.streams[s].inst_levels[k], k)? else {
+            return Ok(());
+        };
+        for v in lo..=hi {
+            self.dims[prog.n_sched + k] = v;
+            self.walk_collect(s, k + 1, n_inst, out)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves an access to a flat index: `Ok(Some)` in bounds, `Ok(None)`
+    /// out of bounds or wrong arity (with the evaluated coordinates for
+    /// error text / scratch side storage).
+    fn flat_idx(&self, acc: &CAccess, shape: &[i64]) -> (Option<usize>, Vec<i64>) {
+        let coords: Vec<i64> = acc.coords.iter().map(|c| c.eval(&self.dims)).collect();
+        if coords.len() != shape.len() {
+            return (None, coords);
+        }
+        let mut idx = 0i64;
+        for (c, s) in coords.iter().zip(shape) {
+            if *c < 0 || c >= s {
+                return (None, coords);
+            }
+            idx = idx * s + c;
+        }
+        (Some(idx as usize), coords)
+    }
+
+    /// Executes one statement instance: counters, loads (scratch first),
+    /// register ops, then the store — in exactly the interpreter's order,
+    /// including the continue-on-load-error-then-fail behavior.
+    fn exec_body(&mut self, fmeta: &FiberMeta, mem: &mut Mem) -> Result<()> {
+        let prog = self.prog;
+        let body = &prog.bodies[fmeta.body];
+        self.stats.instances[body.stmt] += 1;
+        let mut loads = 0u64;
+        let mut hits = 0u64;
+        let mut err: Option<Error> = None;
+        for op in &body.ops {
+            match op {
+                BodyOp::Const { dst, v } => self.regs[*dst] = *v,
+                BodyOp::Iter { dst, reg } => self.regs[*dst] = self.dims[*reg] as f64,
+                BodyOp::Load { dst, acc } => {
+                    loads += 1;
+                    let a = &body.accesses[*acc];
+                    let bm = &prog.bufs[a.buf];
+                    let (flat, coords) = self.flat_idx(a, &bm.shape);
+                    let mut value = 0.0f64;
+                    let mut served = false;
+                    if let Some(sc) = bm.scratch {
+                        let hit = match flat {
+                            Some(idx) => self.scratch[sc].get(idx),
+                            None => self.scratch[sc].get_side(&coords),
+                        };
+                        if let Some(v) = hit {
+                            hits += 1;
+                            value = v;
+                            served = true;
+                        }
+                    }
+                    if !served {
+                        match flat {
+                            Some(idx) => value = mem.load(a.buf, idx),
+                            None => {
+                                err = Some(oob_error(&coords, &bm.shape));
+                            }
+                        }
+                    }
+                    self.regs[*dst] = value;
+                }
+                BodyOp::Bin { op, dst, a, b } => {
+                    let x = self.regs[*a];
+                    let y = self.regs[*b];
+                    self.regs[*dst] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Max => x.max(y),
+                        BinOp::Min => x.min(y),
+                    };
+                }
+                BodyOp::Un { op, dst, a } => {
+                    let x = self.regs[*a];
+                    self.regs[*dst] = match op {
+                        UnOp::Neg => -x,
+                        UnOp::Relu => x.max(0.0),
+                        UnOp::Exp => x.exp(),
+                        UnOp::Sqrt => x.sqrt(),
+                        UnOp::Abs => x.abs(),
+                        UnOp::Recip => 1.0 / x,
+                    };
+                }
+            }
+        }
+        self.stats.loads += loads;
+        self.stats.scratch_hits += hits;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let value = self.regs[body.result];
+        let bm = &prog.bufs[body.store.buf];
+        let (flat, coords) = self.flat_idx(&body.store, &bm.shape);
+        self.stats.stores += 1;
+        if let Some(sc) = bm.scratch {
+            match flat {
+                Some(idx) => self.scratch[sc].put(idx, value),
+                None => self.scratch[sc].put_side(coords, value),
+            }
+        } else {
+            match flat {
+                Some(idx) => mem.store(body.store.buf, idx, value),
+                None => return Err(oob_error(&coords, &bm.shape)),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn oob_error(coords: &[i64], shape: &[i64]) -> Error {
+    if coords.len() != shape.len() {
+        Error::Exec(format!(
+            "access with {} coords into {}-d buffer",
+            coords.len(),
+            shape.len()
+        ))
+    } else {
+        Error::Exec(format!(
+            "out-of-bounds access {coords:?} into shape {shape:?}"
+        ))
+    }
+}
+
+/// Executes a compiled program.
+///
+/// Buffers are initialized exactly as [`ExecContext::initialized`] does
+/// for the interpreter (same deterministic pseudo-inputs), executed on the
+/// VM, and returned as an ordinary [`ExecContext`]. `n_threads == 0` means
+/// [`default_threads`]; `1` forces the sequential path; any other value
+/// fans parallel loops out with copy-on-write overlays and an ascending
+/// merge, so results and statistics are bit-identical across thread
+/// counts — and to the interpreter.
+///
+/// # Errors
+/// Returns an error on out-of-bounds accesses or unbounded dimensions
+/// (the same conditions under which the interpreter fails). Worker panics
+/// are caught and surfaced as [`Error::Exec`], tagged with the active
+/// governor phase.
+pub fn execute_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    n_threads: usize,
+) -> Result<(ExecContext, ExecStats)> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_compiled_inner(program, compiled, n_threads)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(Error::Exec(format!(
+            "panic during VM execution (phase {}): {}",
+            tilefuse_trace::governor::last_phase(),
+            tilefuse_trace::governor::panic_message(payload.as_ref()),
+        )))
+    })
+}
+
+fn execute_compiled_inner(
+    program: &Program,
+    compiled: &CompiledProgram,
+    n_threads: usize,
+) -> Result<(ExecContext, ExecStats)> {
+    let _span = tilefuse_trace::span!("codegen/vm-exec", "{}", program.name());
+    tilefuse_trace::governor::checkpoint("codegen/vm-exec")
+        .map_err(|e| Error::Presburger(tilefuse_presburger::Error::from(e)))?;
+    let n_threads = if n_threads == 0 {
+        default_threads()
+    } else {
+        n_threads
+    };
+    let overrides: Vec<(&str, i64)> = compiled
+        .param_names
+        .iter()
+        .map(String::as_str)
+        .zip(compiled.param_values.iter().copied())
+        .collect();
+    let mut ctx = ExecContext::initialized(program, &overrides);
+    // Move the buffer data into the VM's flat arena, run, and move it back
+    // (shapes agree: both sides derive them from the same binding).
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(compiled.bufs.len());
+    for b in &compiled.bufs {
+        data.push(std::mem::take(ctx.buffer_mut(b.array).data_mut()));
+    }
+    let mut machine = Machine::new(compiled, n_threads);
+    let mut mem = Mem::Direct(&mut data);
+    let r = machine.run(&mut mem, 0, compiled.insts.len());
+    for (b, d) in compiled.bufs.iter().zip(data) {
+        *ctx.buffer_mut(b.array).data_mut() = d;
+    }
+    r?;
+    Ok((ctx, machine.stats.into_stats(&compiled.stmt_names)))
+}
+
+/// Which engine executes an optimized schedule tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The tree-walking reference interpreter.
+    #[default]
+    Interp,
+    /// The compiled bytecode VM (lower once, then run).
+    Vm,
+}
+
+impl ExecBackend {
+    /// Parses `"interp"` / `"vm"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "interp" | "interpreter" => Some(ExecBackend::Interp),
+            "vm" | "bytecode" => Some(ExecBackend::Vm),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (matches [`ExecBackend::parse`] input).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Interp => "interp",
+            ExecBackend::Vm => "vm",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Executes `tree` on the selected backend with identical semantics:
+/// [`ExecBackend::Interp`] delegates to [`execute_tree_parallel`];
+/// [`ExecBackend::Vm`] lowers to bytecode ([`crate::lower_tree`]) and runs
+/// the compiled program. Outputs and [`ExecStats`] are bit-identical
+/// between backends for any valid tree — that invariant is enforced by
+/// the differential tests and the fuzz oracle's VM check.
+///
+/// # Errors
+/// Propagates lowering and execution failures from either backend.
+pub fn execute_tree_backend(
+    program: &Program,
+    tree: &ScheduleTree,
+    overrides: &[(&str, i64)],
+    scratch_scopes: &BTreeMap<ArrayId, usize>,
+    n_threads: usize,
+    backend: ExecBackend,
+) -> Result<(ExecContext, ExecStats)> {
+    match backend {
+        ExecBackend::Interp => {
+            execute_tree_parallel(program, tree, overrides, scratch_scopes, n_threads)
+        }
+        ExecBackend::Vm => {
+            let compiled = crate::lower::lower_tree(program, tree, overrides, scratch_scopes)?;
+            execute_compiled(program, &compiled, n_threads)
+        }
+    }
+}

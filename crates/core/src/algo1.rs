@@ -45,6 +45,12 @@ pub enum FaultInjection {
     /// ladder must fall through rung 3 to rung 4 (untiled conservative
     /// schedule).
     BudgetExhaustTiling,
+    /// Corrupt the bytecode lowering of the optimized tree (one load's
+    /// access function is offset by one element). Inert inside the
+    /// optimizer — the fuzz oracle applies it after `optimize` via
+    /// `CompiledProgram::inject_mis_lower` so its VM differential check
+    /// can prove it catches a miscompiled backend.
+    VmMisLower,
 }
 
 /// Optimizer options (the paper's target-specific knobs).

@@ -3,7 +3,8 @@
 //! ```text
 //! tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS]
 //!               [--threads LIST] [--no-memo-diff] [--inject-bug]
-//!               [--budget-fuzz] [--artifacts-dir PATH] [--trace FILE]
+//!               [--inject-vm-bug] [--budget-fuzz] [--artifacts-dir PATH]
+//!               [--trace FILE]
 //! ```
 //!
 //! Each iteration derives its own generator from `seed + i`, draws a
@@ -14,6 +15,12 @@
 //! `--inject-bug` enables `FaultInjection::SkipSharedSliceCheck` in the
 //! optimizer — a deliberate Rule 2 legality bug — and is expected to make
 //! the run *fail*: it is the oracle's self-test.
+//!
+//! `--inject-vm-bug` enables `FaultInjection::VmMisLower` — the bytecode
+//! lowering of every optimized tree is deliberately corrupted (one load's
+//! access offset by an element) — and is likewise expected to fail, at
+//! the oracle's VM differential check: the self-test for the compiled
+//! backend path.
 //!
 //! `--budget-fuzz` additionally draws a random — aggressively small —
 //! resource budget per iteration (zero-op grants, 1 ms deadlines,
@@ -43,6 +50,7 @@ struct Args {
     threads: Vec<usize>,
     memo_diff: bool,
     inject_bug: bool,
+    inject_vm_bug: bool,
     budget_fuzz: bool,
     artifacts_dir: String,
     trace: Option<String>,
@@ -51,8 +59,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tilefuse-fuzz [--seed N] [--iters N] [--time-budget SECS] \
-         [--threads LIST] [--no-memo-diff] [--inject-bug] [--budget-fuzz] \
-         [--artifacts-dir PATH] [--trace FILE]"
+         [--threads LIST] [--no-memo-diff] [--inject-bug] [--inject-vm-bug] \
+         [--budget-fuzz] [--artifacts-dir PATH] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -65,6 +73,7 @@ fn parse_args() -> Args {
         threads: vec![2, 5],
         memo_diff: true,
         inject_bug: false,
+        inject_vm_bug: false,
         budget_fuzz: false,
         artifacts_dir: "fuzz-artifacts".into(),
         trace: None,
@@ -92,6 +101,7 @@ fn parse_args() -> Args {
             }
             "--no-memo-diff" => args.memo_diff = false,
             "--inject-bug" => args.inject_bug = true,
+            "--inject-vm-bug" => args.inject_vm_bug = true,
             "--budget-fuzz" => args.budget_fuzz = true,
             "--artifacts-dir" => args.artifacts_dir = value("--artifacts-dir"),
             "--trace" => args.trace = Some(value("--trace")),
@@ -132,6 +142,8 @@ fn run(args: &Args) -> ExitCode {
         memo_diff: args.memo_diff,
         fault: if args.inject_bug {
             tilefuse_core::FaultInjection::SkipSharedSliceCheck
+        } else if args.inject_vm_bug {
+            tilefuse_core::FaultInjection::VmMisLower
         } else {
             tilefuse_core::FaultInjection::None
         },

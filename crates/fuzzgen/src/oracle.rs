@@ -24,13 +24,19 @@
 //!    injected `FaultInjection::SkipSharedSliceCheck` bug);
 //! 8. any of the above differing when the presburger memo layers
 //!    (structural cache, inline emptiness flags, interval pre-check) are
-//!    disabled — memoization must be semantically invisible.
+//!    disabled — memoization must be semantically invisible;
+//! 9. the register-based bytecode VM (the optimized tree lowered via
+//!    `lower_tree`, executed sequentially and at every parallel thread
+//!    count) differing from the sequential interpreter in any buffer bit
+//!    or statistic — `FaultInjection::VmMisLower` deliberately corrupts
+//!    the lowering here to prove this check catches a miscompile.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::spec::{build_program, ProgramSpec};
 use tilefuse_codegen::{
-    check_outputs_match, execute_tree, execute_tree_parallel, reference_execute, ExecStats,
+    check_outputs_match, execute_compiled, execute_tree, execute_tree_parallel, lower_tree,
+    reference_execute, ExecStats,
 };
 use tilefuse_core::{optimize, FaultInjection, Optimized, Options};
 use tilefuse_pir::Program;
@@ -94,7 +100,8 @@ impl Failure {
             | "liveout-count"
             | "unfused-count"
             | "shared-slice-overlap"
-            | "memo-diff" => "semantic",
+            | "memo-diff"
+            | "vm-mismatch" => "semantic",
             other => other,
         }
     }
@@ -449,6 +456,50 @@ pub fn run_oracle(spec: &ProgramSpec, cfg: &OracleConfig) -> Result<(), Failure>
         }
     }
 
+    // Compiled-backend differential: lower the optimized tree to bytecode
+    // and run it on the register VM, sequentially and at every parallel
+    // thread count. Buffers must be bit-identical and statistics equal to
+    // the sequential interpreter's. `FaultInjection::VmMisLower` corrupts
+    // the lowered program here (one load's access function offset by one
+    // element) so a self-test can prove this check catches a miscompile
+    // in the VM path — the interpreter checks above all pass under it.
+    let mut compiled = lower_tree(&program, &o.tree, &overrides, &o.report.scratch_scopes)
+        .map_err(|e| fail("vm-lower", e))?;
+    if cfg.fault == FaultInjection::VmMisLower && !compiled.inject_mis_lower() {
+        return Err(fail(
+            "vm-lower",
+            "VmMisLower requested but the lowered program has no load to corrupt",
+        ));
+    }
+    for threads in std::iter::once(1).chain(cfg.threads.iter().copied()) {
+        let (vm_ctx, vm_stats) =
+            execute_compiled(&program, &compiled, threads).map_err(|e| fail("vm-execute", e))?;
+        for a in program.arrays() {
+            let d = run
+                .context
+                .max_diff(&vm_ctx, a.id())
+                .map_err(|e| fail("vm-execute", e))?;
+            if d != 0.0 {
+                return Err(fail(
+                    "vm-mismatch",
+                    format!(
+                        "array {} differs by {d} on the VM with {threads} thread(s)",
+                        a.name()
+                    ),
+                ));
+            }
+        }
+        if vm_stats != run.stats {
+            return Err(fail(
+                "vm-mismatch",
+                format!(
+                    "VM stats differ with {threads} thread(s): {vm_stats:?} vs {:?}",
+                    run.stats
+                ),
+            ));
+        }
+    }
+
     Ok(())
 }
 
@@ -524,6 +575,23 @@ mod tests {
             );
             assert!(!o.report.degradation.trips.is_empty());
         }
+    }
+
+    #[test]
+    fn injected_vm_mislower_fails_the_vm_check() {
+        // The fault is inert in the optimizer, so every interpreter-side
+        // check passes; only the VM differential may object — either with
+        // a bit mismatch or, when the offset access lands out of bounds,
+        // a VM execution error.
+        let cfg = OracleConfig {
+            fault: FaultInjection::VmMisLower,
+            ..OracleConfig::default()
+        };
+        let f = run_oracle(&chain_spec(), &cfg).unwrap_err();
+        assert!(
+            ["vm-mismatch", "vm-execute"].contains(&f.check),
+            "expected the VM differential to fire, got: {f}"
+        );
     }
 
     #[test]

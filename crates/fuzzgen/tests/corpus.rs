@@ -189,3 +189,39 @@ fn injected_rule2_bug_is_caught_and_shrunk() {
     // failure really is the deliberate bug, not a latent one.
     run_oracle(&min_spec, &OracleConfig::default()).unwrap();
 }
+
+#[test]
+fn injected_vm_mislower_is_caught_and_shrunk() {
+    let spec = shared_overlap_spec();
+    // Clean without the fault (sanity — the VM differential passes).
+    run_oracle(&spec, &OracleConfig::default()).unwrap();
+
+    // VmMisLower is inert in the optimizer: every interpreter-side check
+    // passes and only the oracle's VM differential can object, either as
+    // a bit mismatch or as an out-of-bounds VM access.
+    let cfg = OracleConfig {
+        fault: FaultInjection::VmMisLower,
+        ..Default::default()
+    };
+    let first = run_oracle(&spec, &cfg).unwrap_err();
+    assert!(
+        ["vm-mismatch", "vm-execute"].contains(&first.check),
+        "{first}"
+    );
+
+    // The shrinker must reduce the reproducer within the same failure
+    // class — down to (at most) a producer and one consumer, since any
+    // statement with a load suffices to expose the corrupted access.
+    let (min_spec, min_fail) = shrink(&spec, &cfg);
+    assert_eq!(min_fail.class(), first.class());
+    let p = build_program(&min_spec).unwrap();
+    assert!(
+        p.stmts().len() <= 2,
+        "shrunk to {} statements:\n{}",
+        p.stmts().len(),
+        describe(&min_spec)
+    );
+    // And the minimal spec is clean without the fault: the failure is the
+    // deliberate mis-lowering, not a latent VM bug.
+    run_oracle(&min_spec, &OracleConfig::default()).unwrap();
+}

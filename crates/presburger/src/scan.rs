@@ -112,6 +112,17 @@ impl Scanner {
         &self.branches[i].levels
     }
 
+    /// The exact basic set of branch `i` — the membership test that makes
+    /// enumeration exact. For a branch without existential divs the
+    /// per-level bounds are already exact (every original constraint row is
+    /// recorded at its deepest dimension, and real-shadow FM only *adds*
+    /// implied rows), so consumers compiling the bounds into loops — the
+    /// bytecode lowering in `codegen` — need the leaf membership test only
+    /// when [`BasicSet::n_div`] is nonzero.
+    pub fn branch_exact(&self, i: usize) -> &BasicSet {
+        &self.branches[i].exact
+    }
+
     /// Invokes `f` on every point (as `&[i64]` of length `n_dim`) in the
     /// set; `f` returns `false` to stop early. Points from unions are
     /// deduplicated.

@@ -4,7 +4,13 @@
 //! children whose self ("untracked") time exceeds the threshold fails the
 //! check. Used by CI after `experiments table1 --trace trace.json`.
 //!
-//! Usage: trace-check FILE [--max-untracked PCT]
+//! `--require-span NAME` (repeatable) additionally fails the check unless
+//! a span with that exact name was recorded with nonzero total time —
+//! CI's VM-differential job uses it to prove a `--backend vm` trace
+//! really exercised the bytecode path (`codegen/lower`,
+//! `codegen/vm-exec`), not just the interpreter.
+//!
+//! Usage: trace-check FILE [--max-untracked PCT] [--require-span NAME]...
 
 use std::process::ExitCode;
 
@@ -16,6 +22,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut file = None;
     let mut max_untracked = DEFAULT_MAX_UNTRACKED;
+    let mut required: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-untracked" => {
@@ -25,8 +32,15 @@ fn main() -> ExitCode {
                 };
                 max_untracked = v;
             }
+            "--require-span" => {
+                let Some(name) = args.next() else {
+                    eprintln!("trace-check: --require-span needs a span name");
+                    return ExitCode::from(2);
+                };
+                required.push(name);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: trace-check FILE [--max-untracked PCT]");
+                eprintln!("usage: trace-check FILE [--max-untracked PCT] [--require-span NAME]...");
                 return ExitCode::SUCCESS;
             }
             _ if file.is_none() => file = Some(arg),
@@ -37,7 +51,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: trace-check FILE [--max-untracked PCT]");
+        eprintln!("usage: trace-check FILE [--max-untracked PCT] [--require-span NAME]...");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&file) {
@@ -47,7 +61,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match check(&text, max_untracked) {
+    match check(&text, max_untracked, &required) {
         Ok(summary) => {
             println!("{summary}");
             ExitCode::SUCCESS
@@ -62,7 +76,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn check(text: &str, max_untracked_pct: f64) -> Result<String, Vec<String>> {
+fn check(text: &str, max_untracked_pct: f64, required: &[String]) -> Result<String, Vec<String>> {
     let root = json::parse(text).map_err(|e| vec![e.to_string()])?;
     let mut errors = Vec::new();
 
@@ -111,6 +125,7 @@ fn check(text: &str, max_untracked_pct: f64) -> Result<String, Vec<String>> {
         }
     };
     let mut worst: Option<(String, f64)> = None;
+    let mut seen: Vec<(String, f64)> = Vec::new();
     for (i, s) in spans.iter().enumerate() {
         let name = s
             .get("name")
@@ -124,6 +139,7 @@ fn check(text: &str, max_untracked_pct: f64) -> Result<String, Vec<String>> {
             errors.push(format!("spans[{i}] '{name}': missing totalNs/selfNs"));
             continue;
         };
+        seen.push((name.clone(), total));
         let has_children = s
             .get("hasChildren")
             .and_then(Value::as_bool)
@@ -139,6 +155,15 @@ fn check(text: &str, max_untracked_pct: f64) -> Result<String, Vec<String>> {
             errors.push(format!(
                 "span '{name}' has {pct:.1}% untracked time (self {self_ns:.0}ns of \
                  {total:.0}ns total, budget {max_untracked_pct}%)"
+            ));
+        }
+    }
+
+    for want in required {
+        if !seen.iter().any(|(n, total)| n == want && *total > 0.0) {
+            errors.push(format!(
+                "required span '{want}' missing (or zero total time) — the traced run \
+                 never entered that phase"
             ));
         }
     }
@@ -181,22 +206,35 @@ mod tests {
 
     #[test]
     fn accepts_within_budget_rejects_over() {
-        assert!(check(&doc(40), 5.0).is_ok());
-        let errs = check(&doc(400), 5.0).unwrap_err();
+        assert!(check(&doc(40), 5.0, &[]).is_ok());
+        let errs = check(&doc(400), 5.0, &[]).unwrap_err();
         assert!(
             errs.iter().any(|e| e.contains("40.0% untracked")),
             "{errs:?}"
         );
         // Leaf spans are exempt: a/b is 100% self time but has no children.
-        assert!(check(&doc(0), 5.0).is_ok());
+        assert!(check(&doc(0), 5.0, &[]).is_ok());
+    }
+
+    #[test]
+    fn required_spans_must_be_present_with_time() {
+        // 'a/b' was recorded with time: satisfied. 'codegen/vm-exec' was
+        // never entered: the check must fail and say which span.
+        assert!(check(&doc(40), 5.0, &["a/b".into()]).is_ok());
+        let errs = check(&doc(40), 5.0, &["codegen/vm-exec".into()]).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("required span 'codegen/vm-exec' missing")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn rejects_malformed_shapes() {
-        assert!(check("not json", 5.0).is_err());
-        assert!(check("{}", 5.0).is_err());
+        assert!(check("not json", 5.0, &[]).is_err());
+        assert!(check("{}", 5.0, &[]).is_err());
         let bad_event = r#"{ "traceEvents": [ { "ph": "B" } ], "spans": [] }"#;
-        let errs = check(bad_event, 5.0).unwrap_err();
+        let errs = check(bad_event, 5.0, &[]).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("'ph' must be")), "{errs:?}");
     }
 }

@@ -1,0 +1,244 @@
+//! Golden snapshots of [`tilefuse::codegen::disasm`] on the paper's
+//! running example (Fig. 1(a) conv2d): the bytecode lowered from the
+//! smartfuse startup tree, and from the fully optimized tree with its
+//! tile loops, scratch-scoped `A`, static sequence partitions and clear
+//! sets. Companion to `tests/render_golden.rs`, one layer further down.
+//!
+//! These tests pin the exact listing. If a change to the scheduler,
+//! optimizer or lowering alters the bytecode *intentionally*, re-bless by
+//! running with `BYTECODE_GOLDEN_PRINT=1` and pasting the new output; any
+//! unintentional drift (lost fused loop, wrong clear set, guard changes,
+//! reordered partitions) fails loudly here.
+
+use tilefuse::codegen::{disasm, lower_tree};
+use tilefuse::core::{optimize, Options};
+use tilefuse::pir::{ArrayKind, Body, Expr, IdxExpr, Program, SchedTerm};
+use tilefuse::scheduler::{schedule, FusionHeuristic};
+
+/// The paper's Fig. 1(a) at 6x6 with a 3x3 kernel (same program as the
+/// render goldens, small enough for a readable snapshot).
+fn conv2d(h: i64, w: i64) -> Program {
+    let mut p = Program::new("conv2d").with_param("H", h).with_param("W", w);
+    let a = p.add_array("A", vec!["H".into(), "W".into()], ArrayKind::Temp);
+    let b = p.add_array("B", vec![3.into(), 3.into()], ArrayKind::Input);
+    let c = p.add_array(
+        "C",
+        vec![("H", -2).into(), ("W", -2).into()],
+        ArrayKind::Output,
+    );
+    let d2 = |d| IdxExpr::dim(2, d);
+    let d4 = |d| IdxExpr::dim(4, d);
+    p.add_stmt(
+        "{ S0[h, w] : 0 <= h < H and 0 <= w < W }",
+        vec![SchedTerm::Cst(0), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: a,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::mul(Expr::load(a, vec![d2(0), d2(1)]), Expr::Const(0.5)),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S1[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(0),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::Const(0.0),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S2[h, w, kh, kw] : 0 <= h <= H - 3 and 0 <= w <= W - 3 and 0 <= kh <= 2 and 0 <= kw <= 2 }",
+        vec![
+            SchedTerm::Cst(1),
+            SchedTerm::Var(0),
+            SchedTerm::Var(1),
+            SchedTerm::Cst(1),
+            SchedTerm::Var(2),
+            SchedTerm::Var(3),
+        ],
+        Body {
+            target: c,
+            target_idx: vec![d4(0), d4(1)],
+            rhs: Expr::add(
+                Expr::load(c, vec![d4(0), d4(1)]),
+                Expr::mul(
+                    Expr::load(a, vec![d4(0).plus(&d4(2)), d4(1).plus(&d4(3))]),
+                    Expr::load(b, vec![d4(2), d4(3)]),
+                ),
+            ),
+        },
+    )
+    .unwrap();
+    p.add_stmt(
+        "{ S3[h, w] : 0 <= h <= H - 3 and 0 <= w <= W - 3 }",
+        vec![SchedTerm::Cst(2), SchedTerm::Var(0), SchedTerm::Var(1)],
+        Body {
+            target: c,
+            target_idx: vec![d2(0), d2(1)],
+            rhs: Expr::relu(Expr::load(c, vec![d2(0), d2(1)])),
+        },
+    )
+    .unwrap();
+    p
+}
+
+/// Compares against a golden snapshot with a helpful diff on mismatch;
+/// set `BYTECODE_GOLDEN_PRINT=1` to print the actual text for re-blessing.
+fn assert_golden(actual: &str, golden: &str) {
+    if std::env::var_os("BYTECODE_GOLDEN_PRINT").is_some() {
+        println!("{actual}");
+    }
+    if actual.trim_end() != golden.trim_end() {
+        let mismatch = actual
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, g)| a != g)
+            .unwrap_or_else(|| actual.lines().count().min(golden.lines().count()));
+        panic!(
+            "disasm drifted from golden snapshot (first differing line {}):\n--- actual ---\n{actual}\n--- golden ---\n{golden}",
+            mismatch + 1
+        );
+    }
+}
+
+const GOLDEN_SMARTFUSE: &str = r#";; conv2d — compiled schedule (6 sched dims, 21 insts, 4 loops, 2 fused)
+;; params: H=6, W=6
+buffers:
+  b0 A[6, 6]
+  b1 B[3, 3]
+  b2 C[4, 4]
+body 0 (S0, 3 regs):
+  r0 <- load A[i0, i1]
+  r1 <- const 0.5
+  r2 <- mul r0, r1
+  store A[i0, i1] <- r2
+body 1 (S1, 1 regs):
+  r0 <- const 0
+  store C[i0, i1] <- r0
+body 2 (S2, 5 regs):
+  r0 <- load C[i0, i1]
+  r1 <- load A[i0 + i2, i1 + i3]
+  r2 <- load B[i2, i3]
+  r3 <- mul r1, r2
+  r4 <- add r0, r3
+  store C[i0, i1] <- r4
+body 3 (S3, 2 regs):
+  r0 <- load C[i0, i1]
+  r1 <- relu r0
+  store C[i0, i1] <- r1
+code:
+0000 set        d0 = 0
+0001 loop_open  L0 d1 par  s0{d1 >= -(0), d1 <= 5}
+0002   fused_loop d2 kind=point par S0#0  {d2 >= -(0), d2 <= 5}  pin[d3=0,d4=0,d5=0] body=0
+0003 loop_close L0
+0004 set        d0 = 1
+0005 loop_open  L1 d1 par  s1{d1 >= -(0), d1 <= 3} s2{d1 >= -(0), d1 <= 3} s3{d1 >= -(0), d1 <= 3}
+0006   loop_open  L2 d2 par  s1{d2 >= -(0), d2 <= 3} s2{d2 >= -(0), d2 <= 3} s3{d2 >= -(0), d2 <= 3}
+0007     set        d3 = 0
+0008     set        d4 = 0
+0009     set        d5 = 0
+0010     fiber      S1#1 body=1 inst_dims=2 groups=1 streams={s1}
+0011     set        d3 = 1
+0012     loop_open  L3 d4  s2{d4 >= -(0), d4 <= 2}
+0013       fused_loop d5 kind=stencil S2#2  {d5 >= -(0), d5 <= 2} body=2
+0014     loop_close L3
+0015     set        d3 = 2
+0016     set        d4 = 0
+0017     set        d5 = 0
+0018     fiber      S3#3 body=3 inst_dims=2 groups=1 streams={s3}
+0019   loop_close L2
+0020 loop_close L1"#;
+
+const GOLDEN_OPTIMIZED: &str = r#";; conv2d — compiled schedule (9 sched dims, 31 insts, 7 loops, 1 fused)
+;; params: H=6, W=6
+buffers:
+  b0 A[6, 6]  scratch(scope 3)
+  b1 B[3, 3]
+  b2 C[4, 4]
+body 0 (S0, 3 regs):
+  r0 <- load A[i0, i1]
+  r1 <- const 0.5
+  r2 <- mul r0, r1
+  store A[i0, i1] <- r2
+body 1 (S1, 1 regs):
+  r0 <- const 0
+  store C[i0, i1] <- r0
+body 2 (S2, 5 regs):
+  r0 <- load C[i0, i1]
+  r1 <- load A[i0 + i2, i1 + i3]
+  r2 <- load B[i2, i3]
+  r3 <- mul r1, r2
+  r4 <- add r0, r3
+  store C[i0, i1] <- r4
+body 3 (S3, 2 regs):
+  r0 <- load C[i0, i1]
+  r1 <- relu r0
+  store C[i0, i1] <- r1
+code:
+0000 set        d0 = 1
+0001 loop_open  L0 d1 par  s0{d1 >= -(0), 2 * d1 <= 3} s1{d1 >= -(0), 2 * d1 <= 3} s2{d1 >= -(0), 2 * d1 <= 3} s3{d1 >= -(0), 2 * d1 <= 3} s4{d1 >= -(0), 2 * d1 <= 3} s5{d1 >= -(0), 2 * d1 <= 3} s6{d1 >= -(0), 2 * d1 <= 3}
+0002   loop_open  L1 d2 par  s0{d2 >= -(0), 2 * d2 <= 3} s1{d2 >= -(0), 2 * d2 <= 3} s2{d2 >= -(0), 2 * d2 <= 3} s3{d2 >= -(0), 2 * d2 <= 3} s4{d2 >= -(0), 2 * d2 <= 3} s5{d2 >= -(0), 2 * d2 <= 3} s6{d2 >= -(0), 2 * d2 <= 3}
+0003     set        d3 = 0
+0004     loop_open  L2 d4  s0{d4 >= -(0), d4 >= -(-2d1), d4 <= 5, d4 <= 2d1 + 3} s1{d4 >= -(-3), d4 >= -(-2d1), d4 <= 5, d4 <= 2d1 + 3} s2{d4 >= -(0), d4 >= -(-2d1), d4 <= 5, d4 <= 2d1 + 3} s3{d4 >= -(-3), d4 >= -(-2d1), d4 <= 5, d4 <= 2d1 + 3}
+0005       loop_open  L3 d5  s0{d5 >= -(0), d5 >= -(-2d2), d5 <= 5, d5 <= 2d2 + 3} s1{d5 >= -(0), d5 >= -(-2d2), d5 <= 5, d5 <= 2d2 + 3} s2{d5 >= -(-3), d5 >= -(-2d2), d5 <= 5, d5 <= 2d2 + 3} s3{d5 >= -(-3), d5 >= -(-2d2), d5 <= 5, d5 <= 2d2 + 3}
+0006         set        d6 = 0
+0007         set        d7 = 0
+0008         set        d8 = 0
+0009         fiber      S0#0 body=0 inst_dims=2 groups=4 streams={s0,s1,s2,s3}
+0010       loop_close L3
+0011     loop_close L2
+0012     set        d3 = 1
+0013     loop_open  L4 d4  s4{d4 >= -(0), d4 >= -(-2d1), d4 <= 3, d4 <= 2d1 + 1} s5{d4 >= -(0), d4 >= -(-2d1), d4 <= 3, d4 <= 2d1 + 1} s6{d4 >= -(0), d4 >= -(-2d1), d4 <= 3, d4 <= 2d1 + 1}
+0014       loop_open  L5 d5  s4{d5 >= -(0), d5 >= -(-2d2), d5 <= 3, d5 <= 2d2 + 1} s5{d5 >= -(0), d5 >= -(-2d2), d5 <= 3, d5 <= 2d2 + 1} s6{d5 >= -(0), d5 >= -(-2d2), d5 <= 3, d5 <= 2d2 + 1}
+0015         set        d6 = 0
+0016         set        d7 = 0
+0017         set        d8 = 0
+0018         fiber      S1#1 body=1 inst_dims=2 groups=1 streams={s4}
+0019         set        d6 = 1
+0020         loop_open  L6 d7  s5{d7 >= -(0), d7 <= 2}
+0021           fused_loop d8 kind=stencil S2#2  {d8 >= -(0), d8 <= 2} body=2
+0022         loop_close L6
+0023         set        d6 = 2
+0024         set        d7 = 0
+0025         set        d8 = 0
+0026         fiber      S3#3 body=3 inst_dims=2 groups=1 streams={s6}
+0027       loop_close L5
+0028     loop_close L4
+0029   loop_close L1  clear[sc0]
+0030 loop_close L0  clear[sc0]"#;
+
+#[test]
+fn smartfuse_bytecode_matches_golden() {
+    let p = conv2d(6, 6);
+    let s = schedule(&p, FusionHeuristic::SmartFuse).unwrap();
+    let compiled = lower_tree(&p, &s.tree, &[], &std::collections::BTreeMap::new()).unwrap();
+    assert_golden(&disasm(&compiled), GOLDEN_SMARTFUSE);
+}
+
+#[test]
+fn optimized_bytecode_matches_golden() {
+    let p = conv2d(6, 6);
+    let opts = Options {
+        tile_sizes: vec![2, 2],
+        parallel_cap: None,
+        startup: FusionHeuristic::SmartFuse,
+        ..Default::default()
+    };
+    let o = optimize(&p, &opts).unwrap();
+    let compiled = lower_tree(&p, &o.tree, &[], &o.report.scratch_scopes).unwrap();
+    let text = disasm(&compiled);
+    // Structural invariants first, so a drift failure still names what is
+    // missing rather than only showing a wall of text.
+    assert!(text.contains("scratch(scope 3)"), "{text}");
+    assert!(text.contains("fused_loop"), "{text}");
+    assert!(text.contains("clear[sc0]"), "{text}");
+    assert!(text.contains("par"), "{text}");
+    assert_golden(&text, GOLDEN_OPTIMIZED);
+}

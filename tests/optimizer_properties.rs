@@ -6,9 +6,10 @@
 //! generator so the suite is reproducible without external dependencies.
 
 use tilefuse::codegen::{
-    check_outputs_match, execute_tree, execute_tree_parallel, reference_execute,
+    check_outputs_match, execute_tree, execute_tree_backend, execute_tree_parallel,
+    reference_execute, ExecBackend,
 };
-use tilefuse::core::{optimize, Options};
+use tilefuse::core::{optimize, FaultInjection, Options};
 use tilefuse::scheduler::FusionHeuristic;
 use tilefuse::workloads::pipeline::PipelineBuilder;
 
@@ -140,6 +141,92 @@ fn random_pipeline_parallel_execution_is_bit_identical() {
             assert_eq!(
                 seq_stats, par_stats,
                 "case {case}: stats differ with {threads} threads (kinds = {kinds:?})"
+            );
+        }
+    }
+}
+
+/// Budget exhaustion must degrade identically no matter which execution
+/// backend consumes the result: the `DegradationReport` is produced by
+/// `optimize` alone (two optimize runs under the same exhausted budget
+/// land on the same rung), and the degraded tree — at every rung of the
+/// ladder, including real (non-injected) exhaustion — executes
+/// bit-exactly on the bytecode VM: identical buffers by f64 bit pattern
+/// and identical statistics to the interpreter, sequentially and in
+/// parallel.
+#[test]
+fn degraded_schedules_are_bit_exact_across_backends() {
+    let mut rng = Rng::new(0xbadbed);
+    let faults: [(FaultInjection, Option<u8>, Option<u64>); 4] = [
+        // Injected exhaustion at each pipeline phase → rungs 2, 3, 4.
+        (FaultInjection::BudgetExhaustExtension, Some(2), None),
+        (FaultInjection::BudgetExhaustSurgery, Some(3), None),
+        (FaultInjection::BudgetExhaustTiling, Some(4), None),
+        // Real exhaustion: a zero-op omega grant trips wherever the first
+        // feasibility test lands; whatever rung results must still be
+        // backend-independent and bit-exact.
+        (FaultInjection::None, None, Some(0)),
+    ];
+    for (case, (fault, want_rung, max_ops)) in faults.into_iter().enumerate() {
+        let kinds = random_kinds(&mut rng);
+        let tile = rng.range(2, 5) as i64;
+        let p = build_pipeline(&kinds, 14);
+        let opts = Options {
+            tile_sizes: vec![tile, tile],
+            parallel_cap: None,
+            fault,
+            budget: tilefuse::trace::Budget {
+                max_omega_ops: max_ops,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // One optimize run per backend: the reports must agree rung for
+        // rung (degradation is decided before any backend runs).
+        let oi = optimize(&p, &opts).unwrap();
+        let ov = optimize(&p, &opts).unwrap();
+        assert_eq!(
+            oi.report.degradation.rung, ov.report.degradation.rung,
+            "case {case} ({fault:?}): rung differs between optimize runs"
+        );
+        if let Some(want) = want_rung {
+            assert_eq!(
+                oi.report.degradation.rung, want,
+                "case {case} ({fault:?}): {:?}",
+                oi.report.degradation
+            );
+        }
+        assert!(
+            oi.report.degradation.rung == 1 || !oi.report.degradation.trips.is_empty(),
+            "case {case}: degraded without a recorded trip"
+        );
+        let (seq, seq_stats) = execute_tree(&p, &oi.tree, &[], &oi.report.scratch_scopes).unwrap();
+        for threads in [1, 3] {
+            let (vm, vm_stats) = execute_tree_backend(
+                &p,
+                &ov.tree,
+                &[],
+                &ov.report.scratch_scopes,
+                threads,
+                ExecBackend::Vm,
+            )
+            .unwrap();
+            for a in p.arrays() {
+                let bi = seq.buffer(a.id()).data();
+                let bv = vm.buffer(a.id()).data();
+                assert!(
+                    bi.len() == bv.len()
+                        && bi.iter().zip(bv).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "case {case} ({fault:?}) rung {}: array {} differs on the VM \
+                     with {threads} thread(s) (kinds = {kinds:?}, tile = {tile})",
+                    oi.report.degradation.rung,
+                    a.name()
+                );
+            }
+            assert_eq!(
+                seq_stats, vm_stats,
+                "case {case} ({fault:?}) rung {}: stats differ with {threads} thread(s)",
+                oi.report.degradation.rung
             );
         }
     }
